@@ -1,0 +1,198 @@
+//! Configuration of an AMPC execution.
+//!
+//! The model's parameters (Section 2 of the paper): input size `N`, space
+//! per machine `S = Θ(N^{1-Ω(1)})` — for graph inputs the paper uses
+//! `S = n^ε` for a constant `ε ∈ (0, 1)` — number of machines `P`, and total
+//! space `T = S · P = O(N polylog N)`.  [`AmpcConfig`] derives `S`, `P` and
+//! `T` from the input size and `ε`, and controls how strictly the per-round
+//! query/write budgets are enforced.
+
+use serde::{Deserialize, Serialize};
+
+/// Default space exponent ε used when the caller does not care.
+pub const DEFAULT_EPSILON: f64 = 0.5;
+
+/// How budget violations are handled by the runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BudgetMode {
+    /// A machine exceeding its per-round query/write budget aborts the run
+    /// with [`crate::AmpcError::BudgetExceeded`].
+    Strict,
+    /// Violations are recorded in the round statistics but execution
+    /// continues.  This is the default: the paper's budgets hold with high
+    /// probability, and the recorded counts let tests assert the bound while
+    /// benches keep running on unlucky random draws.
+    Record,
+}
+
+/// Parameters of an AMPC execution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AmpcConfig {
+    /// Problem-size parameter the space bound is expressed in (the paper
+    /// uses the number of vertices `n` for graph problems).
+    pub size_parameter: usize,
+    /// Space exponent ε: each machine has `S = ⌈size_parameter^ε⌉` space.
+    pub epsilon: f64,
+    /// Multiplier on the per-round budgets (the constants hidden in `O(S)`).
+    pub budget_factor: f64,
+    /// Total space available, `T`.  Defaults to `Θ(N)` where `N` is the
+    /// input size; algorithms that need `Θ(N log N)` pass it explicitly.
+    pub total_space: usize,
+    /// Budget enforcement mode.
+    pub budget_mode: BudgetMode,
+    /// Worker threads used to execute machines in parallel.  `0` means "one
+    /// per available CPU".
+    pub threads: usize,
+    /// Seed for all randomness the runtime itself draws (machine assignment,
+    /// per-machine RNG streams).
+    pub seed: u64,
+}
+
+impl AmpcConfig {
+    /// Configuration for an input of size `input_size` (for graphs,
+    /// `N = n + m`) using `size_parameter` (for graphs, `n`) and exponent ε.
+    pub fn new(size_parameter: usize, input_size: usize, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1), got {epsilon}");
+        AmpcConfig {
+            size_parameter: size_parameter.max(1),
+            epsilon,
+            budget_factor: 8.0,
+            total_space: input_size.max(1),
+            budget_mode: BudgetMode::Record,
+            threads: 0,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Convenience constructor for graph inputs: `size_parameter = n`,
+    /// `input_size = n + m`.
+    pub fn for_graph(n: usize, m: usize, epsilon: f64) -> Self {
+        AmpcConfig::new(n, n + m, epsilon)
+    }
+
+    /// Builder-style: set the budget multiplier.
+    pub fn with_budget_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.budget_factor = factor;
+        self
+    }
+
+    /// Builder-style: set the budget mode.
+    pub fn with_budget_mode(mut self, mode: BudgetMode) -> Self {
+        self.budget_mode = mode;
+        self
+    }
+
+    /// Builder-style: set the total space `T`.
+    pub fn with_total_space(mut self, total: usize) -> Self {
+        self.total_space = total.max(1);
+        self
+    }
+
+    /// Builder-style: set the number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder-style: set the runtime seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Space per machine, `S = ⌈size_parameter^ε⌉` (at least 2).
+    pub fn space_per_machine(&self) -> usize {
+        ((self.size_parameter as f64).powf(self.epsilon).ceil() as usize).max(2)
+    }
+
+    /// Number of machines, `P = ⌈T / S⌉` (at least 1).
+    pub fn num_machines(&self) -> usize {
+        self.total_space.div_ceil(self.space_per_machine()).max(1)
+    }
+
+    /// Per-machine, per-round query/write budget: `budget_factor · S`.
+    pub fn round_budget(&self) -> u64 {
+        (self.budget_factor * self.space_per_machine() as f64).ceil() as u64
+    }
+
+    /// Number of shards used for the DDS.  The paper assumes the DDS is
+    /// served by `P` machines; we use `min(P, 256)` shards to keep per-shard
+    /// lock overhead sensible at simulation scale.
+    pub fn num_shards(&self) -> usize {
+        self.num_machines().clamp(1, 256)
+    }
+
+    /// Worker threads to use, resolving `0` to the number of CPUs.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_and_machine_counts_follow_the_model() {
+        let cfg = AmpcConfig::for_graph(10_000, 40_000, 0.5);
+        assert_eq!(cfg.space_per_machine(), 100); // 10_000^0.5
+        assert_eq!(cfg.num_machines(), 500); // (10_000 + 40_000) / 100
+        assert_eq!(cfg.total_space, 50_000);
+        assert!(cfg.round_budget() >= 100);
+    }
+
+    #[test]
+    fn epsilon_changes_machine_granularity() {
+        let coarse = AmpcConfig::for_graph(10_000, 0, 0.75);
+        let fine = AmpcConfig::for_graph(10_000, 0, 0.25);
+        assert!(coarse.space_per_machine() > fine.space_per_machine());
+        assert!(coarse.num_machines() < fine.num_machines());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = AmpcConfig::for_graph(100, 100, 0.5)
+            .with_budget_factor(2.0)
+            .with_budget_mode(BudgetMode::Strict)
+            .with_total_space(1000)
+            .with_threads(3)
+            .with_seed(99);
+        assert_eq!(cfg.budget_mode, BudgetMode::Strict);
+        assert_eq!(cfg.total_space, 1000);
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.effective_threads(), 3);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.round_budget(), 20);
+    }
+
+    #[test]
+    fn tiny_inputs_still_get_valid_parameters() {
+        let cfg = AmpcConfig::for_graph(1, 0, 0.5);
+        assert!(cfg.space_per_machine() >= 2);
+        assert!(cfg.num_machines() >= 1);
+        assert!(cfg.num_shards() >= 1);
+    }
+
+    #[test]
+    fn shards_are_capped() {
+        let cfg = AmpcConfig::for_graph(1_000_000, 10_000_000, 0.25);
+        assert_eq!(cfg.num_shards(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must lie in (0, 1)")]
+    fn invalid_epsilon_rejected() {
+        let _ = AmpcConfig::for_graph(10, 10, 1.5);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_cpu_count() {
+        let cfg = AmpcConfig::for_graph(10, 10, 0.5);
+        assert!(cfg.effective_threads() >= 1);
+    }
+}

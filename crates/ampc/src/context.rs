@@ -1,0 +1,214 @@
+//! The per-machine handle used inside a round.
+//!
+//! A [`MachineContext`] is what an algorithm's per-machine closure receives.
+//! It exposes exactly the operations the model allows within a round:
+//!
+//! * adaptive **reads** against the snapshot of the previous round's store
+//!   (`D_{i-1}`) — each read may depend on the values returned by earlier
+//!   reads, which is the defining "adaptive" capability of AMPC;
+//! * buffered **writes** destined for the current round's store (`D_i`) —
+//!   they become visible only after the round completes;
+//! * per-machine randomness and the query/write accounting the model's
+//!   `O(S)` budgets are stated in.
+
+use crate::config::AmpcConfig;
+use ampc_dds::{Key, Snapshot, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Handle through which a machine interacts with the DDS during one round.
+pub struct MachineContext {
+    machine_id: usize,
+    round: usize,
+    snapshot: Snapshot,
+    writes: Vec<(Key, Value)>,
+    queries: u64,
+    budget: u64,
+    rng: StdRng,
+}
+
+impl MachineContext {
+    /// Create the context for `machine_id` in `round`, reading from
+    /// `snapshot` (the frozen `D_{round-1}`).
+    pub(crate) fn new(machine_id: usize, round: usize, snapshot: Snapshot, config: &AmpcConfig) -> Self {
+        // Derive a per-(round, machine) RNG stream from the run seed so that
+        // re-executing a failed machine reproduces its random choices — the
+        // property the paper's fault-tolerance argument needs.
+        let stream = config
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((round as u64) << 32)
+            .wrapping_add(machine_id as u64);
+        MachineContext {
+            machine_id,
+            round,
+            snapshot,
+            writes: Vec::new(),
+            queries: 0,
+            budget: config.round_budget(),
+            rng: StdRng::seed_from_u64(stream),
+        }
+    }
+
+    /// Id of this machine within the round.
+    pub fn machine_id(&self) -> usize {
+        self.machine_id
+    }
+
+    /// Index of the round being executed.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The per-round query/write budget (`O(S)`).
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Queries issued so far in this round.
+    pub fn queries_issued(&self) -> u64 {
+        self.queries
+    }
+
+    /// Writes issued so far in this round.
+    pub fn writes_issued(&self) -> u64 {
+        self.writes.len() as u64
+    }
+
+    /// Remaining budget before this machine exceeds `O(S)` communication.
+    pub fn remaining_budget(&self) -> u64 {
+        self.budget.saturating_sub(self.queries + self.writes_issued())
+    }
+
+    /// `true` once the machine has used up its communication budget.
+    pub fn budget_exhausted(&self) -> bool {
+        self.remaining_budget() == 0
+    }
+
+    /// Adaptive read: first value stored under `key` in `D_{round-1}`.
+    pub fn read(&mut self, key: Key) -> Option<Value> {
+        self.queries += 1;
+        self.snapshot.get(&key)
+    }
+
+    /// Adaptive read of the `index`-th value stored under `key` (zero-based),
+    /// the model's `(x, i)` multi-value addressing.
+    pub fn read_indexed(&mut self, key: Key, index: usize) -> Option<Value> {
+        self.queries += 1;
+        self.snapshot.get_indexed(&key, index)
+    }
+
+    /// Number of values stored under `key`.
+    pub fn multiplicity(&mut self, key: Key) -> usize {
+        self.queries += 1;
+        self.snapshot.multiplicity(&key)
+    }
+
+    /// Buffer a write of `(key, value)` into `D_round`.
+    ///
+    /// Writes become visible to other machines only in the next round, after
+    /// the runtime commits them.
+    pub fn write(&mut self, key: Key, value: Value) {
+        self.writes.push((key, value));
+    }
+
+    /// Per-machine random number generator.
+    ///
+    /// Deterministic given (run seed, round, machine id), so a restarted
+    /// machine replays the same random choices.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Consume the context, returning its buffered writes and its counters
+    /// `(writes, queries)`.
+    pub(crate) fn into_parts(self) -> (Vec<(Key, Value)>, u64) {
+        (self.writes, self.queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_dds::{KeyTag, ShardedStore};
+    use rand::Rng;
+
+    fn test_config() -> AmpcConfig {
+        AmpcConfig::for_graph(100, 100, 0.5).with_budget_factor(1.0)
+    }
+
+    fn snapshot_with(pairs: &[(u64, u64)]) -> Snapshot {
+        let store = ShardedStore::new(4);
+        for &(k, v) in pairs {
+            store.write(Key::of(KeyTag::Scalar, k), Value::scalar(v));
+        }
+        store.freeze()
+    }
+
+    #[test]
+    fn reads_hit_previous_round_snapshot() {
+        let snap = snapshot_with(&[(1, 10), (2, 20)]);
+        let cfg = test_config();
+        let mut ctx = MachineContext::new(0, 1, snap, &cfg);
+        assert_eq!(ctx.read(Key::of(KeyTag::Scalar, 1)), Some(Value::scalar(10)));
+        assert_eq!(ctx.read(Key::of(KeyTag::Scalar, 3)), None);
+        assert_eq!(ctx.queries_issued(), 2);
+    }
+
+    #[test]
+    fn writes_are_buffered_not_readable() {
+        let snap = snapshot_with(&[]);
+        let cfg = test_config();
+        let mut ctx = MachineContext::new(0, 1, snap, &cfg);
+        let key = Key::of(KeyTag::Scalar, 7);
+        ctx.write(key, Value::scalar(70));
+        // The model forbids reading your own round's writes.
+        assert_eq!(ctx.read(key), None);
+        assert_eq!(ctx.writes_issued(), 1);
+        let (writes, queries) = ctx.into_parts();
+        assert_eq!(writes, vec![(key, Value::scalar(70))]);
+        assert_eq!(queries, 1);
+    }
+
+    #[test]
+    fn budget_accounting_counts_reads_and_writes() {
+        let snap = snapshot_with(&[]);
+        let cfg = test_config(); // budget = 1.0 * sqrt(100) = 10
+        let mut ctx = MachineContext::new(0, 1, snap, &cfg);
+        assert_eq!(ctx.budget(), 10);
+        for i in 0..6u64 {
+            let _ = ctx.read(Key::of(KeyTag::Scalar, i));
+        }
+        for i in 0..4u64 {
+            ctx.write(Key::of(KeyTag::Scalar, i), Value::scalar(i));
+        }
+        assert_eq!(ctx.remaining_budget(), 0);
+        assert!(ctx.budget_exhausted());
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_round_and_machine() {
+        let cfg = test_config();
+        let draw = |machine: usize, round: usize| -> u64 {
+            let mut ctx = MachineContext::new(machine, round, snapshot_with(&[]), &cfg);
+            ctx.rng().gen()
+        };
+        assert_eq!(draw(3, 2), draw(3, 2));
+        assert_ne!(draw(3, 2), draw(4, 2));
+        assert_ne!(draw(3, 2), draw(3, 3));
+    }
+
+    #[test]
+    fn multiplicity_and_indexed_reads() {
+        let store = ShardedStore::new(2);
+        let key = Key::of(KeyTag::Scalar, 5);
+        store.write(key, Value::scalar(1));
+        store.write(key, Value::scalar(2));
+        let cfg = test_config();
+        let mut ctx = MachineContext::new(0, 1, store.freeze(), &cfg);
+        assert_eq!(ctx.multiplicity(key), 2);
+        assert_eq!(ctx.read_indexed(key, 1), Some(Value::scalar(2)));
+        assert_eq!(ctx.read_indexed(key, 2), None);
+        assert_eq!(ctx.queries_issued(), 3);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type of the AMPC runtime.
+
+use std::fmt;
+
+/// Errors produced by the AMPC runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AmpcError {
+    /// A machine exceeded its per-round query/write budget while the
+    /// configuration demanded strict enforcement.
+    BudgetExceeded {
+        /// Round in which the violation happened.
+        round: usize,
+        /// Machine that violated its budget.
+        machine: usize,
+        /// Queries the machine had issued when it hit the limit.
+        queries: u64,
+        /// Writes the machine had issued when it hit the limit.
+        writes: u64,
+        /// The configured per-round budget.
+        budget: u64,
+    },
+    /// The algorithm asked for more machines than the configuration allows.
+    TooManyMachines {
+        /// Machines requested for the round.
+        requested: usize,
+        /// Machines available under the configuration.
+        available: usize,
+    },
+    /// An algorithm-level invariant failed (used by drivers to surface
+    /// unexpected states without panicking inside worker threads).
+    Algorithm(String),
+}
+
+impl fmt::Display for AmpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmpcError::BudgetExceeded { round, machine, queries, writes, budget } => write!(
+                f,
+                "machine {machine} exceeded its budget in round {round}: {queries} queries + {writes} writes > {budget}"
+            ),
+            AmpcError::TooManyMachines { requested, available } => {
+                write!(f, "round requested {requested} machines but only {available} are available")
+            }
+            AmpcError::Algorithm(msg) => write!(f, "algorithm error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AmpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_readably() {
+        let e = AmpcError::BudgetExceeded { round: 2, machine: 7, queries: 100, writes: 5, budget: 64 };
+        let text = e.to_string();
+        assert!(text.contains("machine 7"));
+        assert!(text.contains("round 2"));
+        assert!(text.contains("> 64"));
+
+        let e = AmpcError::TooManyMachines { requested: 10, available: 4 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("4"));
+
+        let e = AmpcError::Algorithm("bad state".into());
+        assert!(e.to_string().contains("bad state"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = AmpcError::Algorithm("x".into());
+        let b = AmpcError::Algorithm("x".into());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,87 @@
+//! Fault injection for exercising the model's fault-tolerance story.
+//!
+//! Section 2.1 of the paper argues AMPC is as fault tolerant as MPC: because
+//! the contents of `D_{i-1}` never change within round `i`, a failed machine
+//! can simply be re-executed from scratch against the same snapshot.  The
+//! [`FaultPlan`] lets tests and benches schedule machine failures at chosen
+//! `(round, machine)` coordinates; the runtime discards the failed attempt's
+//! writes and re-runs the machine, and tests then assert that results are
+//! identical to a failure-free run.
+
+use std::collections::HashSet;
+
+/// A deterministic schedule of machine failures.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    failures: HashSet<(usize, usize)>,
+}
+
+impl FaultPlan {
+    /// A plan with no failures.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule the first execution attempt of `machine` in `round` to fail.
+    pub fn fail(mut self, round: usize, machine: usize) -> Self {
+        self.failures.insert((round, machine));
+        self
+    }
+
+    /// Schedule failures for every machine of `round`.
+    pub fn fail_round(mut self, round: usize, machines: usize) -> Self {
+        for m in 0..machines {
+            self.failures.insert((round, m));
+        }
+        self
+    }
+
+    /// Does the first attempt of `machine` in `round` fail?
+    pub fn should_fail(&self, round: usize, machine: usize) -> bool {
+        self.failures.contains(&(round, machine))
+    }
+
+    /// Number of scheduled failures.
+    pub fn len(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// `true` if no failures are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fails() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(!plan.should_fail(0, 0));
+        assert!(!plan.should_fail(5, 3));
+    }
+
+    #[test]
+    fn scheduled_failures_fire_once() {
+        let plan = FaultPlan::none().fail(2, 1).fail(3, 0);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.should_fail(2, 1));
+        assert!(plan.should_fail(3, 0));
+        assert!(!plan.should_fail(2, 0));
+        assert!(!plan.should_fail(1, 1));
+    }
+
+    #[test]
+    fn fail_round_covers_all_machines() {
+        let plan = FaultPlan::none().fail_round(1, 4);
+        assert_eq!(plan.len(), 4);
+        for m in 0..4 {
+            assert!(plan.should_fail(1, m));
+        }
+        assert!(!plan.should_fail(1, 4));
+        assert!(!plan.should_fail(0, 0));
+    }
+}

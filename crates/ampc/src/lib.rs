@@ -1,0 +1,55 @@
+//! # ampc-runtime — the AMPC model executor
+//!
+//! This crate implements the Adaptive Massively Parallel Computation model
+//! of Behnezhad et al. (SPAA 2019) as an executable runtime:
+//!
+//! * [`AmpcConfig`] derives the model parameters — space per machine
+//!   `S = n^ε`, machine count `P`, total space `T` and the per-round `O(S)`
+//!   communication budgets — from the input size and the exponent ε.
+//! * [`AmpcRuntime`] executes rounds: every virtual machine runs a closure
+//!   against a [`MachineContext`] which gives *adaptive* random-read access
+//!   to the previous round's distributed data store and buffered writes into
+//!   the next one.  Machines run in parallel on worker threads.
+//! * [`RunStats`] / [`RoundStats`] record the quantities the paper's theorems
+//!   bound: number of rounds, queries and writes in total and per machine,
+//!   budget violations and fault-injection restarts.
+//! * [`FaultPlan`] schedules machine failures to exercise the model's
+//!   restart-from-snapshot fault-tolerance story.
+//!
+//! ```
+//! use ampc_runtime::{AmpcConfig, AmpcRuntime};
+//! use ampc_dds::{Key, KeyTag, Value};
+//!
+//! // Store g(x) = x + 1 for x in 0..100, then chase 50 pointers in ONE round.
+//! let config = AmpcConfig::for_graph(10_000, 0, 0.5);
+//! let mut runtime = AmpcRuntime::new(config);
+//! runtime.load_input((0..100u64).map(|x| (Key::of(KeyTag::Successor, x), Value::scalar(x + 1))));
+//! let reached = runtime
+//!     .run_round(1, |ctx| {
+//!         let mut x = 0u64;
+//!         for _ in 0..50 {
+//!             x = ctx.read(Key::of(KeyTag::Successor, x)).unwrap().x;
+//!         }
+//!         x
+//!     })
+//!     .unwrap();
+//! assert_eq!(reached, vec![50]);
+//! assert_eq!(runtime.stats().num_rounds(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod context;
+pub mod error;
+pub mod fault;
+pub mod runtime;
+pub mod slackness;
+pub mod stats;
+
+pub use config::{AmpcConfig, BudgetMode, DEFAULT_EPSILON};
+pub use context::MachineContext;
+pub use error::AmpcError;
+pub use fault::FaultPlan;
+pub use runtime::AmpcRuntime;
+pub use stats::{RoundStats, RunStats};

@@ -1,0 +1,468 @@
+//! The AMPC round executor.
+//!
+//! [`AmpcRuntime`] owns the chain of distributed data stores and executes
+//! rounds: in each round every *virtual machine* runs a user-supplied
+//! closure against a [`MachineContext`], reading adaptively from the
+//! previous round's snapshot and buffering writes for the next round.
+//! Machines are executed in parallel on a pool of worker threads (the
+//! "physical machines"), with dynamic assignment of virtual machines to
+//! workers — the parallel-slackness scheme of Section 2.1.
+//!
+//! The runtime records [`RoundStats`] for every round (queries, writes,
+//! maxima per machine, budget violations, fault restarts, wall time), which
+//! is the data every test and benchmark in this workspace asserts on.
+
+use crate::config::{AmpcConfig, BudgetMode};
+use crate::context::MachineContext;
+use crate::error::AmpcError;
+use crate::fault::FaultPlan;
+use crate::stats::{RoundStats, RunStats};
+use ampc_dds::{DdsChain, Key, Snapshot, Value};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Executes AMPC rounds against a chain of distributed data stores.
+pub struct AmpcRuntime {
+    config: AmpcConfig,
+    chain: DdsChain,
+    stats: RunStats,
+    fault_plan: FaultPlan,
+    /// Snapshot of the most recently completed epoch (what the next round reads).
+    snapshot: Snapshot,
+    /// Rounds executed so far (adaptive rounds + counted scatters).
+    rounds_executed: usize,
+}
+
+impl AmpcRuntime {
+    /// Create a runtime for the given configuration with an empty `D_0`.
+    pub fn new(config: AmpcConfig) -> Self {
+        let chain = DdsChain::new(config.num_shards());
+        let snapshot = Snapshot::empty(config.num_shards());
+        AmpcRuntime {
+            config,
+            chain,
+            stats: RunStats::default(),
+            fault_plan: FaultPlan::none(),
+            snapshot,
+            rounds_executed: 0,
+        }
+    }
+
+    /// Install a fault-injection plan (see [`FaultPlan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// The configuration this runtime was built with.
+    pub fn config(&self) -> &AmpcConfig {
+        &self.config
+    }
+
+    /// Statistics recorded so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Consume the runtime and return its statistics.
+    pub fn into_stats(self) -> RunStats {
+        self.stats
+    }
+
+    /// Number of rounds executed so far.
+    pub fn rounds_executed(&self) -> usize {
+        self.rounds_executed
+    }
+
+    /// Snapshot of the most recently completed round's store.
+    ///
+    /// Algorithm drivers use this to extract results after their final
+    /// round; it is also what the next round's machines will read.
+    pub fn snapshot(&self) -> Snapshot {
+        self.snapshot.clone()
+    }
+
+    /// Load the algorithm's *input* into `D_0`.
+    ///
+    /// The model places the input in the data store before the computation
+    /// starts, so this does not count as a round.
+    pub fn load_input(&mut self, pairs: impl IntoIterator<Item = (Key, Value)>) {
+        self.chain.write_batch(pairs);
+        self.snapshot = self.chain.advance();
+    }
+
+    /// Scatter driver-assembled key-value pairs into the next store.
+    ///
+    /// Algorithms use this for the parts the paper implements "using
+    /// standard MPC primitives" (re-publishing a contracted graph, statuses,
+    /// …).  It counts as one round whose writes are distributed evenly over
+    /// the machines.
+    pub fn scatter(&mut self, pairs: Vec<(Key, Value)>) {
+        let started = Instant::now();
+        let num_machines = self.config.num_machines();
+        let total_writes = pairs.len() as u64;
+        self.chain.write_batch(pairs);
+        self.snapshot = self.chain.advance();
+        let max_writes = total_writes.div_ceil(num_machines.max(1) as u64);
+        let budget = self.config.round_budget();
+        self.stats.push(RoundStats {
+            round: self.rounds_executed,
+            machines: num_machines,
+            total_queries: 0,
+            max_queries_per_machine: 0,
+            total_writes,
+            max_writes_per_machine: max_writes,
+            budget_violations: u64::from(max_writes > budget),
+            restarts: 0,
+            wall_time: started.elapsed(),
+        });
+        self.rounds_executed += 1;
+    }
+
+    /// Execute one adaptive round with `num_machines` virtual machines.
+    ///
+    /// Machine `i` runs `work(&mut ctx)` with a context whose reads go to
+    /// the previous round's snapshot; its buffered writes are committed (in
+    /// machine-id order) when every machine has finished, and become visible
+    /// to the *next* round.  Returns the per-machine results in machine-id
+    /// order.
+    ///
+    /// # Errors
+    /// [`AmpcError::BudgetExceeded`] in [`BudgetMode::Strict`] if any machine
+    /// exceeded its `O(S)` budget.
+    pub fn run_round<R, F>(&mut self, num_machines: usize, work: F) -> Result<Vec<R>, AmpcError>
+    where
+        R: Send,
+        F: Fn(&mut MachineContext) -> R + Sync,
+    {
+        let started = Instant::now();
+        let num_machines = num_machines.max(1);
+        let round = self.rounds_executed;
+        let threads = self.config.effective_threads().min(num_machines).max(1);
+
+        struct MachineOutcome<R> {
+            machine: usize,
+            result: R,
+            writes: Vec<(Key, Value)>,
+            queries: u64,
+            restarted: bool,
+        }
+
+        let outcomes: Mutex<Vec<MachineOutcome<R>>> = Mutex::new(Vec::with_capacity(num_machines));
+        let cursor = AtomicUsize::new(0);
+        let snapshot = &self.snapshot;
+        let config = &self.config;
+        let fault_plan = &self.fault_plan;
+        let work = &work;
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let mut local: Vec<MachineOutcome<R>> = Vec::new();
+                    loop {
+                        let machine = cursor.fetch_add(1, Ordering::Relaxed);
+                        if machine >= num_machines {
+                            break;
+                        }
+                        let mut restarted = false;
+                        if fault_plan.should_fail(round, machine) {
+                            // Simulated failure: the machine runs, crashes and
+                            // its writes are discarded; it is then re-executed
+                            // from scratch against the same immutable snapshot.
+                            let mut doomed = MachineContext::new(machine, round, snapshot.clone(), config);
+                            let _ = work(&mut doomed);
+                            drop(doomed);
+                            restarted = true;
+                        }
+                        let mut ctx = MachineContext::new(machine, round, snapshot.clone(), config);
+                        let result = work(&mut ctx);
+                        let queries = ctx.queries_issued();
+                        let (writes, _) = ctx.into_parts();
+                        local.push(MachineOutcome { machine, result, writes, queries, restarted });
+                    }
+                    outcomes.lock().append(&mut local);
+                });
+            }
+        })
+        .expect("AMPC worker thread panicked");
+
+        let mut outcomes = outcomes.into_inner();
+        outcomes.sort_by_key(|o| o.machine);
+
+        // Aggregate statistics and detect budget violations.
+        let budget = self.config.round_budget();
+        let mut total_queries = 0u64;
+        let mut total_writes = 0u64;
+        let mut max_queries = 0u64;
+        let mut max_writes = 0u64;
+        let mut violations = 0u64;
+        let mut restarts = 0u64;
+        let mut first_violation: Option<(usize, u64, u64)> = None;
+        for o in &outcomes {
+            let writes = o.writes.len() as u64;
+            total_queries += o.queries;
+            total_writes += writes;
+            max_queries = max_queries.max(o.queries);
+            max_writes = max_writes.max(writes);
+            restarts += u64::from(o.restarted);
+            if o.queries + writes > budget {
+                violations += 1;
+                if first_violation.is_none() {
+                    first_violation = Some((o.machine, o.queries, writes));
+                }
+            }
+        }
+
+        if self.config.budget_mode == BudgetMode::Strict {
+            if let Some((machine, queries, writes)) = first_violation {
+                return Err(AmpcError::BudgetExceeded { round, machine, queries, writes, budget });
+            }
+        }
+
+        // Commit writes in deterministic (machine id, write order) order so
+        // multi-value indices are reproducible, then advance the epoch.
+        let mut results = Vec::with_capacity(outcomes.len());
+        for o in outcomes {
+            self.chain.write_batch(o.writes);
+            results.push(o.result);
+        }
+        self.snapshot = self.chain.advance();
+
+        self.stats.push(RoundStats {
+            round,
+            machines: num_machines,
+            total_queries,
+            max_queries_per_machine: max_queries,
+            total_writes,
+            max_writes_per_machine: max_writes,
+            budget_violations: violations,
+            restarts,
+            wall_time: started.elapsed(),
+        });
+        self.rounds_executed += 1;
+        Ok(results)
+    }
+
+    /// Record `extra` rounds of work done with standard MPC primitives
+    /// (sorting, deduplication, prefix sums) that the driver performed
+    /// outside the adaptive executor.  Keeps round counts honest when an
+    /// algorithm leans on MPC-implementable steps the paper does not detail.
+    pub fn note_mpc_rounds(&mut self, extra: usize, communication: u64) {
+        for _ in 0..extra {
+            self.stats.push(RoundStats {
+                round: self.rounds_executed,
+                machines: self.config.num_machines(),
+                total_queries: 0,
+                max_queries_per_machine: 0,
+                total_writes: communication / extra.max(1) as u64,
+                max_writes_per_machine: (communication / extra.max(1) as u64)
+                    .div_ceil(self.config.num_machines().max(1) as u64),
+                budget_violations: 0,
+                restarts: 0,
+                wall_time: std::time::Duration::ZERO,
+            });
+            self.rounds_executed += 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for AmpcRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AmpcRuntime")
+            .field("machines", &self.config.num_machines())
+            .field("space_per_machine", &self.config.space_per_machine())
+            .field("rounds_executed", &self.rounds_executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_dds::KeyTag;
+
+    fn key(v: u64) -> Key {
+        Key::of(KeyTag::Scalar, v)
+    }
+
+    fn config(n: usize) -> AmpcConfig {
+        AmpcConfig::for_graph(n, n, 0.5).with_threads(4)
+    }
+
+    #[test]
+    fn round_reads_previous_writes_next() {
+        let mut rt = AmpcRuntime::new(config(100));
+        rt.load_input((0..10u64).map(|i| (key(i), Value::scalar(i * 2))));
+
+        // Round 1: each machine reads one input value and writes its square.
+        let results = rt
+            .run_round(10, |ctx| {
+                let id = ctx.machine_id() as u64;
+                let value = ctx.read(key(id)).unwrap();
+                ctx.write(key(100 + id), Value::scalar(value.x * value.x));
+                value.x
+            })
+            .unwrap();
+        assert_eq!(results, (0..10u64).map(|i| i * 2).collect::<Vec<_>>());
+
+        // Round 2: reads see the squares written in round 1, not the input.
+        let results = rt
+            .run_round(10, |ctx| {
+                let id = ctx.machine_id() as u64;
+                let new = ctx.read(key(100 + id)).map(|v| v.x);
+                let old = ctx.read(key(id)).map(|v| v.x);
+                (new, old)
+            })
+            .unwrap();
+        for (i, (new, old)) in results.iter().enumerate() {
+            assert_eq!(*new, Some((i as u64 * 2) * (i as u64 * 2)));
+            assert_eq!(*old, None, "old epoch data must not be visible");
+        }
+        assert_eq!(rt.rounds_executed(), 2);
+        assert_eq!(rt.stats().num_rounds(), 2);
+    }
+
+    #[test]
+    fn adaptive_reads_within_a_round_chase_pointers() {
+        // g(x) = x + 1 stored for x in 0..50; one machine computes g^k(0)
+        // in a single round by adaptive lookups — the capability MPC lacks.
+        let mut rt = AmpcRuntime::new(config(2_000));
+        rt.load_input((0..50u64).map(|i| (key(i), Value::scalar(i + 1))));
+        let results = rt
+            .run_round(1, |ctx| {
+                let mut x = 0u64;
+                for _ in 0..50 {
+                    x = ctx.read(key(x)).map(|v| v.x).unwrap_or(x);
+                }
+                x
+            })
+            .unwrap();
+        assert_eq!(results, vec![50]);
+        assert_eq!(rt.stats().rounds[0].total_queries, 50);
+        assert_eq!(rt.stats().rounds[0].max_queries_per_machine, 50);
+    }
+
+    #[test]
+    fn results_are_ordered_by_machine_id() {
+        let mut rt = AmpcRuntime::new(config(100));
+        rt.load_input(std::iter::empty());
+        let results = rt.run_round(32, |ctx| ctx.machine_id()).unwrap();
+        assert_eq!(results, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multi_value_commit_order_is_deterministic() {
+        let mut rt = AmpcRuntime::new(config(100));
+        rt.load_input(std::iter::empty());
+        rt.run_round(8, |ctx| {
+            ctx.write(key(7), Value::scalar(ctx.machine_id() as u64));
+        })
+        .unwrap();
+        let snap = rt.snapshot();
+        assert_eq!(snap.multiplicity(&key(7)), 8);
+        for i in 0..8 {
+            assert_eq!(snap.get_indexed(&key(7), i), Some(Value::scalar(i as u64)));
+        }
+    }
+
+    #[test]
+    fn strict_budget_mode_errors_on_violation() {
+        let cfg = AmpcConfig::for_graph(100, 100, 0.5)
+            .with_budget_factor(1.0) // budget = 10
+            .with_budget_mode(BudgetMode::Strict)
+            .with_threads(2);
+        let mut rt = AmpcRuntime::new(cfg);
+        rt.load_input((0..100u64).map(|i| (key(i), Value::scalar(i))));
+        let err = rt
+            .run_round(2, |ctx| {
+                for i in 0..50u64 {
+                    let _ = ctx.read(key(i));
+                }
+            })
+            .unwrap_err();
+        match err {
+            AmpcError::BudgetExceeded { budget, queries, .. } => {
+                assert_eq!(budget, 10);
+                assert_eq!(queries, 50);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_budget_mode_counts_violations_but_continues() {
+        let cfg = AmpcConfig::for_graph(100, 100, 0.5)
+            .with_budget_factor(1.0)
+            .with_budget_mode(BudgetMode::Record)
+            .with_threads(2);
+        let mut rt = AmpcRuntime::new(cfg);
+        rt.load_input((0..100u64).map(|i| (key(i), Value::scalar(i))));
+        let results = rt
+            .run_round(2, |ctx| {
+                for i in 0..50u64 {
+                    let _ = ctx.read(key(i));
+                }
+                ctx.machine_id()
+            })
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(rt.stats().rounds[0].budget_violations, 2);
+    }
+
+    #[test]
+    fn scatter_counts_as_a_round() {
+        let mut rt = AmpcRuntime::new(config(100));
+        rt.scatter((0..20u64).map(|i| (key(i), Value::scalar(i))).collect());
+        assert_eq!(rt.rounds_executed(), 1);
+        assert_eq!(rt.stats().rounds[0].total_writes, 20);
+        let snap = rt.snapshot();
+        assert_eq!(snap.get(&key(3)), Some(Value::scalar(3)));
+    }
+
+    #[test]
+    fn fault_injection_restarts_do_not_change_results() {
+        let run = |plan: FaultPlan| {
+            let mut rt = AmpcRuntime::new(config(100)).with_fault_plan(plan);
+            rt.load_input((0..8u64).map(|i| (key(i), Value::scalar(i * 3))));
+            let results = rt
+                .run_round(8, |ctx| {
+                    let id = ctx.machine_id() as u64;
+                    let v = ctx.read(key(id)).unwrap().x;
+                    ctx.write(key(100 + id), Value::scalar(v + 1));
+                    v
+                })
+                .unwrap();
+            let snap = rt.snapshot();
+            let written: Vec<_> = (0..8u64).map(|i| snap.get(&key(100 + i))).collect();
+            (results, written, rt.stats().restarts())
+        };
+
+        let (clean_results, clean_written, clean_restarts) = run(FaultPlan::none());
+        let (faulty_results, faulty_written, faulty_restarts) =
+            run(FaultPlan::none().fail(0, 3).fail(0, 5));
+        assert_eq!(clean_restarts, 0);
+        assert_eq!(faulty_restarts, 2);
+        assert_eq!(clean_results, faulty_results);
+        assert_eq!(clean_written, faulty_written);
+    }
+
+    #[test]
+    fn note_mpc_rounds_extends_round_count() {
+        let mut rt = AmpcRuntime::new(config(100));
+        rt.note_mpc_rounds(3, 300);
+        assert_eq!(rt.rounds_executed(), 3);
+        assert_eq!(rt.stats().num_rounds(), 3);
+        assert_eq!(rt.stats().total_writes(), 300);
+    }
+
+    #[test]
+    fn machine_rngs_differ_within_a_round() {
+        use rand::Rng;
+        let mut rt = AmpcRuntime::new(config(100));
+        rt.load_input(std::iter::empty());
+        let draws = rt.run_round(16, |ctx| ctx.rng().gen::<u64>()).unwrap();
+        let distinct: std::collections::HashSet<u64> = draws.iter().copied().collect();
+        assert_eq!(distinct.len(), 16);
+    }
+}

@@ -1,0 +1,82 @@
+//! Parallel slackness: multiplexing virtual machines onto physical workers.
+//!
+//! Section 2.1 of the paper observes that the per-query latency of an
+//! RDMA-backed DDS can be hidden by splitting each physical machine into
+//! many *virtual* machines and context-switching between them whenever one
+//! blocks on a remote read.  In this simulation "physical machines" are
+//! worker threads, and the same idea appears as work distribution: the
+//! runtime executes `P` virtual machines on `threads ≪ P` workers by
+//! assigning virtual machines to workers dynamically.
+//!
+//! [`partition_virtual_machines`] computes the static block partition used
+//! for accounting and tests; the runtime itself uses dynamic (work-stealing
+//! style) assignment via an atomic cursor, which has the same load profile
+//! in the balanced workloads the model assumes.
+
+use std::ops::Range;
+
+/// Split `virtual_machines` ids into contiguous blocks, one per worker.
+///
+/// Blocks differ in size by at most one, and empty trailing blocks are
+/// returned when there are more workers than virtual machines.
+pub fn partition_virtual_machines(virtual_machines: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.max(1);
+    let base = virtual_machines / workers;
+    let extra = virtual_machines % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// The slackness factor `T^δ` the paper suggests: how many virtual machines
+/// each physical worker simulates.
+pub fn slackness_factor(virtual_machines: usize, workers: usize) -> f64 {
+    if workers == 0 {
+        virtual_machines as f64
+    } else {
+        virtual_machines as f64 / workers as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_all_machines_exactly_once() {
+        for &(vms, workers) in &[(10usize, 3usize), (100, 7), (5, 8), (0, 4), (16, 16)] {
+            let ranges = partition_virtual_machines(vms, workers);
+            assert_eq!(ranges.len(), workers.max(1));
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, vms, "vms={vms} workers={workers}");
+            // Contiguity and order.
+            let mut expected_start = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expected_start);
+                expected_start = r.end;
+            }
+            // Balance within 1.
+            let max = ranges.iter().map(|r| r.len()).max().unwrap();
+            let min = ranges.iter().map(|r| r.len()).min().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_clamped() {
+        let ranges = partition_virtual_machines(4, 0);
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0], 0..4);
+    }
+
+    #[test]
+    fn slackness_factor_matches_ratio() {
+        assert!((slackness_factor(100, 4) - 25.0).abs() < 1e-9);
+        assert!((slackness_factor(5, 0) - 5.0).abs() < 1e-9);
+    }
+}

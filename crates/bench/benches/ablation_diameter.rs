@@ -1,0 +1,29 @@
+//! Experiment A.diameter — the diameter ablation.
+//!
+//! AMPC connectivity is diameter-independent; MPC label propagation pays
+//! Θ(D) rounds.  Path-of-cliques graphs keep density fixed while the
+//! diameter grows with the number of cliques.
+
+use ampc_algorithms::connectivity;
+use ampc_graph::generators;
+use ampc_mpc::label_propagation_connectivity;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_diameter_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_diameter");
+    group.sample_size(10);
+    for &cliques in &[32usize, 256] {
+        let graph = generators::path_of_cliques(16, cliques);
+        let label = format!("cliques{cliques}");
+        group.bench_with_input(BenchmarkId::new("ampc", &label), &graph, |b, g| {
+            b.iter(|| connectivity(g, 0.5, 3))
+        });
+        group.bench_with_input(BenchmarkId::new("mpc_label_propagation", &label), &graph, |b, g| {
+            b.iter(|| label_propagation_connectivity(g, 0.5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diameter_ablation);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Experiment A.rounds_vs_eps — the space-exponent ablation.
+//!
+//! The `O(1/ε)` trade-off: smaller per-machine space (smaller ε) means more
+//! Shrink iterations and more rounds, but less per-machine communication.
+//! This bench measures the wall-clock side of that trade-off for the
+//! 2-Cycle algorithm and for connectivity.
+
+use ampc_algorithms::{connectivity, two_cycle};
+use ampc_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_epsilon_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_epsilon");
+    group.sample_size(10);
+    let cycle = generators::two_cycle_instance(16_384, false, 5);
+    let graph = generators::planted_components(8_192, 8, 3 * 8_192 / 8, 5);
+    for &eps in &[0.3f64, 0.5, 0.7] {
+        group.bench_with_input(BenchmarkId::new("two_cycle", format!("eps{eps}")), &cycle, |b, g| {
+            b.iter(|| two_cycle(g, eps, 5))
+        });
+        group.bench_with_input(BenchmarkId::new("connectivity", format!("eps{eps}")), &graph, |b, g| {
+            b.iter(|| connectivity(g, eps, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epsilon_ablation);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Experiment F1.connectivity — Figure 1, row "Connectivity".
+//!
+//! AMPC connectivity (Section 6, `O(log log_{m/n} n)` rounds) against the
+//! two MPC baselines: Shiloach–Vishkin-style hooking (`O(log n)`) and label
+//! propagation (`O(D)`), on planted-component graphs with m/n ≈ 4.
+
+use ampc_algorithms::connectivity;
+use ampc_graph::generators;
+use ampc_mpc::{label_propagation_connectivity, pointer_doubling_connectivity};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connectivity");
+    group.sample_size(10);
+    for &n in &[4_096usize, 16_384] {
+        let graph = generators::planted_components(n, 8, 3 * n / 8, 9);
+        group.bench_with_input(BenchmarkId::new("ampc", n), &graph, |b, g| {
+            b.iter(|| connectivity(g, 0.5, 9))
+        });
+        group.bench_with_input(BenchmarkId::new("mpc_sv_hooking", n), &graph, |b, g| {
+            b.iter(|| pointer_doubling_connectivity(g, 128))
+        });
+        group.bench_with_input(BenchmarkId::new("mpc_label_propagation", n), &graph, |b, g| {
+            b.iter(|| label_propagation_connectivity(g, 0.5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_connectivity);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Experiment L2.1.contention — Lemma 2.1.
+//!
+//! Weighted balls-into-bins: the cost of distributing T key-value pairs
+//! across P DDS machines and the resulting maximum bin load.  The
+//! interesting output is the imbalance factor printed by the `summary`
+//! binary; this bench tracks the throughput of the simulation itself.
+
+use ampc_bench::contention_experiment;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention_lemma21");
+    group.sample_size(10);
+    for &pairs in &[65_536usize, 262_144] {
+        group.bench_with_input(BenchmarkId::new("balls_into_bins", pairs), &pairs, |b, &t| {
+            b.iter(|| contention_experiment(t, &[16, 64, 256], 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contention);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Experiment F1.forest_conn — Figure 1, row "Forest Connectivity".
+//!
+//! AMPC forest connectivity via Euler tours + cycle connectivity
+//! (Section 8, `O(1/ε)` rounds) against MPC pointer doubling.
+
+use ampc_algorithms::forest_connectivity;
+use ampc_graph::generators;
+use ampc_mpc::pointer_doubling_connectivity;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_connectivity");
+    group.sample_size(10);
+    for &n in &[4_096usize, 16_384] {
+        let graph = generators::random_forest(n, 16, 13);
+        group.bench_with_input(BenchmarkId::new("ampc_euler_tour", n), &graph, |b, g| {
+            b.iter(|| forest_connectivity(g, 0.5, 13))
+        });
+        group.bench_with_input(BenchmarkId::new("mpc_pointer_doubling", n), &graph, |b, g| {
+            b.iter(|| pointer_doubling_connectivity(g, 128))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Experiment T6.list_ranking — Theorem 6.
+//!
+//! AMPC list ranking (Algorithm 11, `O(1/ε)` rounds) against Wyllie's
+//! pointer-jumping list ranking (`Θ(log n)` rounds).
+
+use ampc_algorithms::list_ranking;
+use ampc_mpc::wyllie_list_ranking;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn shuffled_list(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+    let mut successor = vec![0u32; n];
+    for i in 0..n - 1 {
+        successor[order[i] as usize] = order[i + 1];
+    }
+    successor[order[n - 1] as usize] = order[n - 1];
+    successor
+}
+
+fn bench_list_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_ranking");
+    group.sample_size(10);
+    for &n in &[8_192usize, 65_536] {
+        let successor = shuffled_list(n, 21);
+        group.bench_with_input(BenchmarkId::new("ampc", n), &successor, |b, s| {
+            b.iter(|| list_ranking(s, 0.5, 21))
+        });
+        group.bench_with_input(BenchmarkId::new("mpc_wyllie", n), &successor, |b, s| {
+            b.iter(|| wyllie_list_ranking(s, 128))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_list_ranking);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Experiment F1.mis — Figure 1, row "Maximal independent set".
+//!
+//! AMPC LFMIS via truncated adaptive queries (Section 5, `O(1/ε)` rounds)
+//! against Luby's algorithm (`O(log n)` rounds) on G(n, 4n).
+
+use ampc_algorithms::maximal_independent_set;
+use ampc_graph::generators;
+use ampc_mpc::luby_mis;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis");
+    group.sample_size(10);
+    for &n in &[2_048usize, 8_192] {
+        let graph = generators::erdos_renyi_gnm(n, 4 * n, 5);
+        group.bench_with_input(BenchmarkId::new("ampc_lfmis", n), &graph, |b, g| {
+            b.iter(|| maximal_independent_set(g, 0.5, 5))
+        });
+        group.bench_with_input(BenchmarkId::new("mpc_luby", n), &graph, |b, g| {
+            b.iter(|| luby_mis(g, 128, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis);
+criterion_main!(benches);

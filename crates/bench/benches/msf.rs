@@ -1,0 +1,28 @@
+//! Experiment F1.msf — Figure 1, row "Minimum spanning tree".
+//!
+//! AMPC MSF via local Prim + contraction (Section 7) against Borůvka
+//! (`O(log n)` rounds) on weighted connected G(n, 3n).
+
+use ampc_algorithms::minimum_spanning_forest;
+use ampc_graph::generators;
+use ampc_mpc::boruvka_msf;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_msf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msf");
+    group.sample_size(10);
+    for &n in &[2_048usize, 8_192] {
+        let base = generators::connected_gnm(n, 3 * n, 11);
+        let graph = generators::with_random_weights(&base, 12);
+        group.bench_with_input(BenchmarkId::new("ampc_local_prim", n), &graph, |b, g| {
+            b.iter(|| minimum_spanning_forest(g, 0.5, 11))
+        });
+        group.bench_with_input(BenchmarkId::new("mpc_boruvka", n), &graph, |b, g| {
+            b.iter(|| boruvka_msf(g, 128))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_msf);
+criterion_main!(benches);

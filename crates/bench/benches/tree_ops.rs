@@ -1,0 +1,36 @@
+//! Experiment T7.tree_ops — Theorem 7 and Lemmas 8.7–8.9.
+//!
+//! Wall-clock cost of rooting a random forest (Euler tour + list ranking)
+//! and of building the subtree-min/max RMQ structure, the two tree
+//! toolboxes the 2-edge-connectivity algorithm relies on.
+
+use ampc_algorithms::{root_forest, SparseTableRmq};
+use ampc_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tree_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_ops");
+    group.sample_size(10);
+    for &n in &[4_096usize, 16_384] {
+        let forest = generators::random_forest(n, 8, 17);
+        group.bench_with_input(BenchmarkId::new("root_forest", n), &forest, |b, f| {
+            b.iter(|| root_forest(f, None, 0.5, 17))
+        });
+        let values: Vec<u64> = (0..n as u64).map(|x| (x * 2_654_435_761) % 1_000_003).collect();
+        group.bench_with_input(BenchmarkId::new("rmq_build_and_query", n), &values, |b, v| {
+            b.iter(|| {
+                let rmq = SparseTableRmq::new(v);
+                let mut acc = 0u64;
+                for i in (0..v.len()).step_by(64) {
+                    acc = acc.wrapping_add(rmq.query_min(i, v.len() - 1));
+                    acc = acc.wrapping_add(rmq.query_max(0, i));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_ops);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Experiment F1.two_cycle — Figure 1, row "2-Cycle".
+//!
+//! Wall-clock comparison of the AMPC `Shrink` algorithm (Section 4,
+//! `O(1/ε)` rounds) against the MPC pointer-doubling baseline (`Θ(log n)`
+//! rounds) on the same one-cycle / two-cycle instances.
+
+use ampc_algorithms::two_cycle;
+use ampc_graph::generators;
+use ampc_mpc::two_cycle_mpc;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_two_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_cycle");
+    group.sample_size(10);
+    for &n in &[4_096usize, 16_384] {
+        let graph = generators::two_cycle_instance(n, false, 7);
+        group.bench_with_input(BenchmarkId::new("ampc", n), &graph, |b, g| {
+            b.iter(|| two_cycle(g, 0.5, 7))
+        });
+        group.bench_with_input(BenchmarkId::new("mpc_pointer_doubling", n), &graph, |b, g| {
+            b.iter(|| two_cycle_mpc(g, 128))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_cycle);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Experiment F1.two_edge — Figure 1, row "2-edge connectivity".
+//!
+//! The AMPC BC-labeling pipeline (Section 9) on bridged block chains,
+//! compared with the sequential Hopcroft–Tarjan DFS it is verified against
+//! (there is no simple MPC-round baseline for 2-edge connectivity other than
+//! running MPC connectivity twice, which the connectivity bench covers).
+
+use ampc_algorithms::two_edge_connectivity;
+use ampc_graph::{generators, sequential};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_two_edge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_edge_connectivity");
+    group.sample_size(10);
+    for &blocks in &[16usize, 64] {
+        let graph = generators::bridged_blocks(32, blocks, 8, 3);
+        let n = graph.num_vertices();
+        group.bench_with_input(BenchmarkId::new("ampc_bc_labeling", n), &graph, |b, g| {
+            b.iter(|| two_edge_connectivity(g, 0.5, 3))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_dfs", n), &graph, |b, g| {
+            b.iter(|| (sequential::bridges(g), sequential::two_edge_connected_components(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_edge);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Print the full experimental reproduction as text tables.
+//!
+//! `cargo run -p ampc-bench --bin summary --release [-- --quick]`
+//!
+//! Regenerates, in order:
+//!   1. Figure 1 — AMPC vs MPC measured rounds for all six problems;
+//!   2. the rounds-vs-n scaling series per problem;
+//!   3. the rounds-vs-density series (the log log_{m/n} n term);
+//!   4. the rounds-vs-diameter series (the log D term MPC pays);
+//!   5. the rounds-vs-ε ablation;
+//!   6. the Lemma 2.1 contention experiment.
+//!
+//! The numbers printed by this binary are the source of EXPERIMENTS.md.
+
+use ampc_bench::{
+    contention_experiment, density_series, diameter_series, epsilon_series, figure1_table,
+    scaling_series,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed = 2019;
+
+    // ---------------------------------------------------------------- Figure 1
+    let n = if quick { 4_096 } else { 32_768 };
+    println!("== Figure 1: round complexities, measured at n = {n} ==\n");
+    println!(
+        "{:<26} {:>22} {:>28} {:>12} {:>12} {:>9}",
+        "problem", "paper AMPC bound", "paper MPC bound", "AMPC rounds", "MPC rounds", "verified"
+    );
+    for row in figure1_table(n, seed) {
+        println!(
+            "{:<26} {:>22} {:>28} {:>12} {:>12} {:>9}",
+            row.problem,
+            row.ampc_bound,
+            row.mpc_bound,
+            row.ampc_rounds,
+            row.mpc_rounds,
+            if row.verified { "yes" } else { "NO" }
+        );
+    }
+
+    // ------------------------------------------------------- rounds vs n series
+    let sizes: Vec<usize> = if quick {
+        vec![1_024, 4_096, 16_384]
+    } else {
+        vec![1_024, 4_096, 16_384, 65_536]
+    };
+    println!("\n== Rounds vs n (AMPC / MPC baseline) ==\n");
+    print!("{:<16}", "problem");
+    for &s in &sizes {
+        print!("{:>16}", s);
+    }
+    println!();
+    for problem in ["two_cycle", "connectivity", "mis", "msf", "forest", "list_ranking"] {
+        let series = scaling_series(problem, &sizes, seed);
+        print!("{:<16}", problem);
+        for point in &series {
+            print!("{:>16}", format!("{}/{}", point.ampc_rounds, point.mpc_rounds));
+        }
+        println!();
+    }
+
+    // -------------------------------------------------------- density series
+    let density_n = if quick { 8_192 } else { 32_768 };
+    let densities = [2usize, 4, 8, 16];
+    println!("\n== Connectivity rounds vs density m/n (n = {density_n}) ==\n");
+    println!("{:>8} {:>14} {:>18}", "m/n", "AMPC rounds", "MPC log-n rounds");
+    for point in density_series(density_n, &densities, seed) {
+        println!("{:>8} {:>14} {:>18}", point.x, point.ampc_rounds, point.mpc_rounds);
+    }
+
+    // ------------------------------------------------------- diameter series
+    let clique_counts: Vec<usize> = if quick { vec![8, 32, 128] } else { vec![8, 32, 128, 512] };
+    println!("\n== Connectivity rounds vs diameter (path of 16-cliques) ==\n");
+    println!("{:>10} {:>14} {:>20}", "diameter", "AMPC rounds", "MPC O(D) rounds");
+    for point in diameter_series(16, &clique_counts, seed) {
+        println!("{:>10} {:>14} {:>20}", point.x, point.ampc_rounds, point.mpc_rounds);
+    }
+
+    // -------------------------------------------------------- epsilon ablation
+    let eps_n = if quick { 8_192 } else { 65_536 };
+    let epsilons = [0.25, 0.4, 0.5, 0.65, 0.8];
+    println!("\n== 2-Cycle rounds vs space exponent ε (n = {eps_n}) ==\n");
+    println!("{:>8} {:>14} {:>30}", "ε", "AMPC rounds", "max per-machine communication");
+    for point in epsilon_series(eps_n, &epsilons, seed) {
+        println!(
+            "{:>8} {:>14} {:>30}",
+            point.x, point.ampc_rounds, point.ampc_max_machine_communication
+        );
+    }
+
+    // ----------------------------------------------------- contention (L. 2.1)
+    let pairs = if quick { 65_536 } else { 262_144 };
+    let machines = [16usize, 64, 256, 1024];
+    println!("\n== Lemma 2.1: weighted balls-into-bins contention (T = {pairs}) ==\n");
+    println!("{:>8} {:>10} {:>14} {:>12}", "P", "S = T/P", "max bin load", "imbalance");
+    for report in contention_experiment(pairs, &machines, seed) {
+        println!(
+            "{:>8} {:>10} {:>14} {:>12.3}",
+            report.bins, report.mean_load as u64, report.max_load, report.imbalance
+        );
+    }
+
+    println!("\nAll verified rows compare against sequential reference algorithms.");
+}

@@ -1,0 +1,44 @@
+//! The Lemma 2.1 contention experiment.
+//!
+//! Lemma 2.1 states that throwing `T` weighted balls (key-value pairs, with
+//! query multiplicities as weights) into `P` bins (DDS machines) uniformly
+//! at random puts only `O(S) = O(T/P)` weight in every bin w.h.p., provided
+//! `P = O(S^{1-Ω(1)})`.  [`contention_experiment`] measures the max-bin load
+//! across a sweep of machine counts so the summary can report the measured
+//! imbalance factor next to the analytical `O(1)` expectation.
+
+use ampc_dds::contention::{lemma21_weights, simulate_balls_into_bins, BallsInBinsReport};
+
+/// Run the weighted balls-into-bins experiment of Lemma 2.1 for several
+/// machine counts `P`, with `T = pairs` key-value pairs.
+pub fn contention_experiment(pairs: usize, machine_counts: &[usize], seed: u64) -> Vec<BallsInBinsReport> {
+    machine_counts
+        .iter()
+        .map(|&p| {
+            let weights = lemma21_weights(pairs, p as u64, seed);
+            simulate_balls_into_bins(&weights, p, seed.wrapping_add(p as u64))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_stays_constant_while_p_obeys_the_lemma() {
+        // S = T/P ranges from 4096 down to 256; P ≤ S^{1-δ} throughout.
+        let reports = contention_experiment(65_536, &[16, 64, 256], 7);
+        for report in &reports {
+            assert!(report.imbalance < 2.0, "imbalance {} too high for P={}", report.imbalance, report.bins);
+        }
+    }
+
+    #[test]
+    fn total_weight_is_preserved() {
+        for report in contention_experiment(10_000, &[8, 32], 3) {
+            assert_eq!(report.total_weight, 10_000);
+            assert_eq!(report.balls, 10_000);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # ampc-bench — the experiment harness behind every table and figure
+//!
+//! The paper's evaluation artefact is **Figure 1**: a table of round
+//! complexities comparing the new AMPC algorithms with the best known MPC
+//! algorithms for six problems, plus the per-theorem bounds on rounds and
+//! communication.  This crate regenerates those results:
+//!
+//! * [`figure1`] — one function per row of Figure 1 that runs the AMPC
+//!   algorithm and the MPC baseline on the same generated instance and
+//!   reports measured round counts and communication;
+//! * [`series`] — the scaling "figures": round counts as a function of `n`,
+//!   of the density `m/n` (the `log log_{m/n} n` term), of the diameter `D`
+//!   (the `log D` term the MPC baselines pay), and of the space exponent ε
+//!   (the ablation);
+//! * [`contention`] — the Lemma 2.1 balls-into-bins experiment;
+//! * the Criterion benches under `benches/` measure wall-clock time of the
+//!   same code paths, one bench file per experiment id in DESIGN.md;
+//! * the `summary` binary (`cargo run -p ampc-bench --bin summary --release`)
+//!   prints the whole reproduction as text tables and records them for
+//!   EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod contention;
+pub mod figure1;
+pub mod series;
+
+pub use contention::contention_experiment;
+pub use figure1::{figure1_table, Figure1Row};
+pub use series::{
+    diameter_series, density_series, epsilon_series, scaling_series, SeriesPoint,
+};

@@ -1,0 +1,347 @@
+//! Section 6: undirected connectivity in `O(log log_{m/n} n)` AMPC rounds.
+//!
+//! The algorithm follows Andoni et al. [FOCS 2018] phase structure —
+//! repeatedly raise every vertex's degree to the current budget `d`, sample
+//! leaders, contract non-leaders onto leaders, and grow the budget to
+//! `d^{1.4}` — with the key AMPC improvement of the paper: the degree-raising
+//! step (`IncreaseDegrees`, Algorithm 6) runs a *bounded BFS from every
+//! vertex inside a single round*, using adaptive reads, instead of the
+//! `O(log D)` rounds of squaring MPC needs.
+//!
+//! Driver-side steps (leader sampling, contraction bookkeeping with a
+//! union-find, rebuilding the contracted edge list) correspond to the parts
+//! the paper implements "using standard MPC primitives".  Two documented
+//! substitutions (see DESIGN.md):
+//!
+//! * the sparse-graph preprocessing of Lemma 6.2 (an external manuscript) is
+//!   replaced by capping the leader probability at 1/2 and hooking every
+//!   vertex onto the minimum id in its BFS ball when leaders are too dense
+//!   to help;
+//! * the budget cap is `n^{ε/2}` so a vertex's `d²` BFS queries never exceed
+//!   its machine's `O(n^ε)` space, as prescribed in Section 6.
+
+use crate::common::{adjacency_key, degree_key, round_robin_assign, AlgorithmResult};
+use ampc_dds::{FxHashMap, FxHashSet, Key, Value};
+use ampc_graph::{canonicalize_labels, Graph, UnionFind};
+use ampc_runtime::{AmpcConfig, AmpcRuntime, MachineContext};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A contracted graph kept by the driver between phases: live vertex ids
+/// (a subset of the original ids) and the edges between them.
+struct ContractedGraph {
+    vertices: Vec<u32>,
+    edges: Vec<(u32, u32)>,
+}
+
+impl ContractedGraph {
+    fn adjacency(&self) -> FxHashMap<u32, Vec<u32>> {
+        let mut adj: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for &v in &self.vertices {
+            adj.entry(v).or_default();
+        }
+        for &(u, v) in &self.edges {
+            adj.entry(u).or_default().push(v);
+            adj.entry(v).or_default().push(u);
+        }
+        adj
+    }
+}
+
+/// Publish the adjacency of a contracted graph to the DDS (one scatter round).
+fn publish_adjacency(runtime: &mut AmpcRuntime, adjacency: &FxHashMap<u32, Vec<u32>>) {
+    let mut pairs: Vec<(Key, Value)> = Vec::new();
+    for (&v, nbrs) in adjacency {
+        pairs.push((degree_key(v), Value::scalar(nbrs.len() as u64)));
+        for (i, &u) in nbrs.iter().enumerate() {
+            pairs.push((adjacency_key(v, i), Value::scalar(u as u64)));
+        }
+    }
+    runtime.scatter(pairs);
+}
+
+/// Algorithm 6 (`IncreaseDegrees`) for a single vertex: a BFS from `v` by
+/// adaptive reads that stops after visiting `d` vertices (or the whole
+/// component) and at most `query_cap` reads.
+fn bounded_bfs(ctx: &mut MachineContext, v: u32, d: usize, query_cap: u64) -> Vec<u32> {
+    let mut visited: FxHashSet<u32> = FxHashSet::default();
+    let mut order: Vec<u32> = Vec::with_capacity(d);
+    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    visited.insert(v);
+    order.push(v);
+    queue.push_back(v);
+    let start_queries = ctx.queries_issued();
+    'outer: while let Some(x) = queue.pop_front() {
+        if order.len() >= d {
+            break;
+        }
+        let deg = match ctx.read(degree_key(x)) {
+            Some(value) => value.x as usize,
+            None => continue,
+        };
+        for i in 0..deg {
+            if ctx.queries_issued() - start_queries >= query_cap {
+                break 'outer;
+            }
+            let Some(entry) = ctx.read(adjacency_key(x, i)) else { continue };
+            let u = entry.x as u32;
+            if visited.insert(u) {
+                order.push(u);
+                queue.push_back(u);
+                if order.len() >= d {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Connected components in the AMPC model (Algorithm 7 / Theorem 3).
+///
+/// Returns canonical component labels (`labels[v]` = smallest original
+/// vertex id in `v`'s component) together with the run statistics.
+pub fn connectivity(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResult<Vec<u32>> {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    let config = AmpcConfig::for_graph(n.max(1), m, epsilon).with_seed(seed);
+    let mut runtime = AmpcRuntime::new(config);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1234_5678);
+
+    if n == 0 {
+        return AlgorithmResult::new(Vec::new(), runtime.into_stats());
+    }
+
+    // Current contracted graph and the original-vertex labelling.
+    let mut current = ContractedGraph {
+        vertices: (0..n as u32).collect(),
+        edges: graph.edges().iter().map(|e| (e.u, e.v)).collect(),
+    };
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+
+    // Initial budget d = sqrt(T / n) = sqrt((n + m) / n), capped so that the
+    // d² BFS queries of one vertex fit inside one machine's space.
+    let space = runtime.config().space_per_machine();
+    let d_cap = ((n.max(2) as f64).powf(epsilon / 2.0).ceil() as usize).max(2);
+    let mut d = (((n + m) as f64 / n as f64).sqrt().ceil() as usize).clamp(2, d_cap);
+
+    let max_phases = 4 * ((n.max(4) as f64).ln().ln().ceil() as usize + 2) + (4.0 / epsilon).ceil() as usize;
+    for _phase in 0..max_phases {
+        if current.edges.is_empty() {
+            break;
+        }
+        let adjacency = current.adjacency();
+
+        // Round 1 of the phase: publish the current graph.
+        publish_adjacency(&mut runtime, &adjacency);
+
+        // Round 2: IncreaseDegrees — bounded BFS from every live vertex.
+        let machines = runtime.config().num_machines();
+        let assignments = round_robin_assign(&current.vertices, machines);
+        let query_cap = (space as u64).max((d * d) as u64);
+        let balls: Vec<Vec<(u32, Vec<u32>)>> = runtime
+            .run_round(machines, |ctx| {
+                let mut out = Vec::new();
+                for &v in &assignments[ctx.machine_id()] {
+                    out.push((v, bounded_bfs(ctx, v, d, query_cap)));
+                }
+                out
+            })
+            .expect("IncreaseDegrees round failed");
+
+        // Driver: leader sampling and contraction (standard MPC primitives).
+        let live_count = current.vertices.len();
+        let leader_probability = (2.0 * (n.max(2) as f64).ln() / d as f64).min(1.0);
+        let use_leaders = leader_probability <= 0.5;
+        let mut is_leader: FxHashSet<u32> = FxHashSet::default();
+        if use_leaders {
+            for &v in &current.vertices {
+                if rng.gen_bool(leader_probability) {
+                    is_leader.insert(v);
+                }
+            }
+        }
+
+        let mut uf_index: FxHashMap<u32, u32> = FxHashMap::default();
+        for (i, &v) in current.vertices.iter().enumerate() {
+            uf_index.insert(v, i as u32);
+        }
+        let mut uf = UnionFind::new(live_count);
+
+        for ball in balls.iter().flatten() {
+            let (v, visited) = (ball.0, &ball.1);
+            if visited.len() <= 1 {
+                continue; // isolated vertex
+            }
+            let target = if use_leaders {
+                if is_leader.contains(&v) {
+                    continue; // leaders stay put
+                }
+                match visited.iter().copied().filter(|u| is_leader.contains(u)).min() {
+                    Some(leader) => Some(leader),
+                    // No leader in the ball: if the whole component was
+                    // explored (|ball| < d) hook onto its minimum, otherwise
+                    // stay put for this phase (w.h.p. rare).
+                    None if visited.len() < d => visited.iter().copied().min(),
+                    None => None,
+                }
+            } else {
+                // Dense-leader regime (small d): hook everything onto the
+                // minimum of its ball; vertex count at least halves.
+                visited.iter().copied().min()
+            };
+            if let Some(t) = target {
+                if t != v {
+                    uf.union(uf_index[&v], uf_index[&t]);
+                }
+            }
+        }
+
+        // New super-vertex of every live vertex = minimum original id in its
+        // union-find group.
+        let mut group_min: FxHashMap<u32, u32> = FxHashMap::default();
+        for &v in &current.vertices {
+            let root = uf.find(uf_index[&v]);
+            let entry = group_min.entry(root).or_insert(v);
+            if v < *entry {
+                *entry = v;
+            }
+        }
+        let mut super_of: FxHashMap<u32, u32> = FxHashMap::default();
+        for &v in &current.vertices {
+            super_of.insert(v, group_min[&uf.find(uf_index[&v])]);
+        }
+
+        // Contract the edge list (including the edges discovered by the BFS,
+        // as the paper's step (a) adds them to G).
+        let mut new_edges: FxHashSet<(u32, u32)> = FxHashSet::default();
+        for &(u, v) in &current.edges {
+            let (su, sv) = (super_of[&u], super_of[&v]);
+            if su != sv {
+                new_edges.insert((su.min(sv), su.max(sv)));
+            }
+        }
+        for ball in balls.iter().flatten() {
+            let sv = super_of[&ball.0];
+            for &u in &ball.1 {
+                let su = super_of[&u];
+                if su != sv {
+                    new_edges.insert((su.min(sv), su.max(sv)));
+                }
+            }
+        }
+
+        let mut new_vertices: Vec<u32> = super_of.values().copied().collect::<FxHashSet<_>>().into_iter().collect();
+        new_vertices.sort_unstable();
+
+        // Update the original-vertex labels through this contraction.
+        for label in labels.iter_mut() {
+            if let Some(&s) = super_of.get(label) {
+                *label = s;
+            }
+        }
+
+        current = ContractedGraph { vertices: new_vertices, edges: new_edges.into_iter().collect() };
+
+        // Grow the budget double-exponentially, capped at n^{ε/2}.
+        d = ((d as f64).powf(1.4).ceil() as usize).clamp(2, d_cap);
+    }
+
+    // Anything still carrying edges at this point (only possible if the
+    // phase cap was hit) is finished off on the driver, mirroring the final
+    // "fits in one machine" step of the paper.
+    if !current.edges.is_empty() {
+        let mut uf_index: FxHashMap<u32, u32> = FxHashMap::default();
+        for (i, &v) in current.vertices.iter().enumerate() {
+            uf_index.insert(v, i as u32);
+        }
+        let mut uf = UnionFind::new(current.vertices.len());
+        for &(u, v) in &current.edges {
+            uf.union(uf_index[&u], uf_index[&v]);
+        }
+        let mut group_min: FxHashMap<u32, u32> = FxHashMap::default();
+        for &v in &current.vertices {
+            let root = uf.find(uf_index[&v]);
+            let entry = group_min.entry(root).or_insert(v);
+            if v < *entry {
+                *entry = v;
+            }
+        }
+        for label in labels.iter_mut() {
+            if let Some(&idx) = uf_index.get(label) {
+                let root = uf.find(idx);
+                *label = group_min[&root];
+            }
+        }
+    }
+
+    AlgorithmResult::new(canonicalize_labels(&labels), runtime.into_stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_graph::{generators, sequential};
+
+    #[test]
+    fn matches_sequential_on_planted_components() {
+        for seed in 0..3 {
+            let g = generators::planted_components(400, 7, 3, seed);
+            let result = connectivity(&g, 0.5, seed);
+            assert_eq!(result.output, sequential::connected_components(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_dense_connected_graph() {
+        let g = generators::connected_gnm(500, 3000, 2);
+        let result = connectivity(&g, 0.5, 2);
+        assert_eq!(result.output, sequential::connected_components(&g));
+        let distinct: std::collections::HashSet<u32> = result.output.iter().copied().collect();
+        assert_eq!(distinct.len(), 1);
+    }
+
+    #[test]
+    fn matches_sequential_on_sparse_forest() {
+        let g = generators::random_forest(300, 12, 4);
+        let result = connectivity(&g, 0.5, 4);
+        assert_eq!(result.output, sequential::connected_components(&g));
+    }
+
+    #[test]
+    fn handles_isolated_vertices_and_empty_graph() {
+        let empty = Graph::from_edges(0, &[]);
+        assert!(connectivity(&empty, 0.5, 0).output.is_empty());
+
+        let isolated = Graph::from_edges(5, &[ampc_graph::Edge::new(1, 3)]);
+        let result = connectivity(&isolated, 0.5, 0);
+        assert_eq!(result.output, vec![0, 1, 2, 1, 4]);
+    }
+
+    #[test]
+    fn round_count_is_doubly_logarithmic_not_diameter_bound() {
+        // High-diameter dense graph: path of cliques.  MPC label propagation
+        // needs Θ(D) rounds; the AMPC algorithm should stay in single digits
+        // of phases regardless of D.
+        let g = generators::path_of_cliques(16, 64); // D ≈ 128
+        let result = connectivity(&g, 0.5, 3);
+        assert_eq!(result.output, sequential::connected_components(&g));
+        assert!(result.rounds() <= 30, "rounds = {}", result.rounds());
+    }
+
+    #[test]
+    fn works_on_cycles_too() {
+        let g = generators::two_cycles(600);
+        let result = connectivity(&g, 0.5, 9);
+        assert_eq!(result.output, sequential::connected_components(&g));
+    }
+
+    #[test]
+    fn larger_epsilon_means_fewer_rounds() {
+        let g = generators::connected_gnm(2000, 6000, 5);
+        let coarse = connectivity(&g, 0.7, 5);
+        let fine = connectivity(&g, 0.3, 5);
+        assert_eq!(coarse.output, fine.output);
+        assert!(coarse.rounds() <= fine.rounds() + 2, "coarse {} fine {}", coarse.rounds(), fine.rounds());
+    }
+}

@@ -1,0 +1,56 @@
+//! # ampc-algorithms — the AMPC graph algorithms of the paper
+//!
+//! Implementation of every algorithm from *"Massively Parallel Computation
+//! via Remote Memory Access"* (Behnezhad, Dhulipala, Esfandiari, Łącki,
+//! Schudy, Mirrokni — SPAA 2019), running on the [`ampc_runtime`] executor:
+//!
+//! | Paper section | Module | Round complexity |
+//! |---|---|---|
+//! | §4 2-Cycle | [`shrink`] | `O(1/ε)` |
+//! | §5 Maximal independent set | [`mis`] | `O(1/ε)` |
+//! | §6 Connectivity | [`connectivity`] | `O(log log_{m/n} n + 1/ε)` |
+//! | §7 Minimum spanning forest | [`msf`] | `O(log log_{m/n} n + 1/ε)` |
+//! | §8 Forest connectivity / list ranking / tree ops | [`forest`], [`listrank`], [`euler`] | `O(1/ε)` |
+//! | §9 2-edge connectivity | [`two_edge`] | `O(log log_{m/n} n)` |
+//!
+//! Every public entry point returns an [`AlgorithmResult`] bundling the
+//! answer with [`ampc_runtime::RunStats`], so callers (tests, benches, the
+//! experiment harness) can assert and report both correctness and the round
+//! / communication complexities the paper's theorems are about.
+//!
+//! ```
+//! use ampc_algorithms::{connectivity, maximal_independent_set};
+//! use ampc_graph::{generators, sequential};
+//!
+//! let graph = generators::planted_components(200, 4, 3, 7);
+//! let result = connectivity(&graph, 0.5, 7);
+//! assert_eq!(result.output, sequential::connected_components(&graph));
+//!
+//! let mis = maximal_independent_set(&graph, 0.5, 7);
+//! assert!(sequential::is_maximal_independent_set(&graph, &mis.output));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod connectivity;
+pub mod euler;
+pub mod forest;
+pub mod listrank;
+pub mod mis;
+pub mod msf;
+pub mod shrink;
+pub mod two_edge;
+
+pub use common::AlgorithmResult;
+pub use connectivity::connectivity;
+pub use euler::{
+    euler_tour, preorder_numbers, root_forest, subtree_sizes, EulerTour, RootedForest,
+    SparseTableRmq,
+};
+pub use forest::forest_connectivity;
+pub use listrank::{list_ranking, list_ranking_weighted};
+pub use mis::maximal_independent_set;
+pub use msf::{minimum_spanning_forest, spanning_forest, MsfOutput};
+pub use shrink::{cycle_connectivity, two_cycle, TwoCycleAnswer};
+pub use two_edge::{two_edge_connectivity, BcLabeling};

@@ -1,0 +1,340 @@
+//! Section 8.1, Algorithm 11: list ranking in `O(1/ε)` AMPC rounds.
+//!
+//! Given successor pointers forming one or more linked lists (each list's
+//! terminal element points at itself), compute for every element its
+//! weighted distance to the terminal of its list.  The algorithm repeatedly
+//! contracts the lists onto a random sample of elements — every sample walks
+//! forward by adaptive reads, accumulating the weights of the elements it
+//! skips, until the next sample — then solves the `O(N^ε)`-sized remainder
+//! on one machine and finally *expands*: level by level, the skipped
+//! elements recover their ranks from the sample that covered them, again by
+//! a single adaptive walk per sample.
+//!
+//! Generalisations over the paper's presentation (both used by the Euler
+//! tour machinery of Section 8): multiple lists are ranked simultaneously,
+//! and every element may carry an arbitrary non-negative weight, which is
+//! what turns list ranking into the prefix-sum engine behind preorder
+//! numbering and subtree sizes.
+
+use crate::common::{round_robin_assign, AlgorithmResult};
+use ampc_dds::{FxHashMap, FxHashSet, Key, KeyTag, Value};
+use ampc_runtime::{AmpcConfig, AmpcRuntime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn successor_key(v: u32) -> Key {
+    Key::of(KeyTag::Successor, v as u64)
+}
+
+fn weight_key(v: u32) -> Key {
+    Key::of(KeyTag::Weight, v as u64)
+}
+
+fn sampled_key(v: u32) -> Key {
+    Key::of(KeyTag::Sampled, v as u64)
+}
+
+fn rank_key(v: u32) -> Key {
+    Key::of(KeyTag::Scalar, v as u64)
+}
+
+/// One contraction level retained by the driver for the expansion phase.
+struct Level {
+    /// Elements alive at this level.
+    alive: Vec<u32>,
+    /// Successor pointers at this level.
+    succ: FxHashMap<u32, u32>,
+    /// Element weights at this level.
+    weight: FxHashMap<u32, u64>,
+    /// The elements sampled at this level (= alive at the next level).
+    samples: Vec<u32>,
+}
+
+/// Rank a collection of linked lists: `successor[v]` is the next element
+/// (terminals point at themselves) and `weights[v]` is the weight of the
+/// link leaving `v`.  Returns `ranks[v]` = sum of weights on the path from
+/// `v` (inclusive) to its terminal (exclusive).
+pub fn list_ranking_weighted(
+    successor: &[u32],
+    weights: &[u64],
+    epsilon: f64,
+    seed: u64,
+) -> AlgorithmResult<Vec<u64>> {
+    let n = successor.len();
+    assert_eq!(weights.len(), n, "one weight per element required");
+    for (v, &s) in successor.iter().enumerate() {
+        assert!((s as usize) < n, "successor of {v} out of range");
+    }
+    let config = AmpcConfig::for_graph(n.max(1), n, epsilon).with_seed(seed);
+    let mut runtime = AmpcRuntime::new(config);
+    if n == 0 {
+        return AlgorithmResult::new(Vec::new(), runtime.into_stats());
+    }
+
+    // Heads (no predecessor) and terminals (self successor) are always kept
+    // alive so that every skipped element is covered by some sample's walk.
+    let mut indegree = vec![0u32; n];
+    for (v, &s) in successor.iter().enumerate() {
+        if s as usize != v {
+            indegree[s as usize] += 1;
+        }
+    }
+    let forced: FxHashSet<u32> = (0..n as u32)
+        .filter(|&v| indegree[v as usize] == 0 || successor[v as usize] == v)
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x11_57);
+    let sample_probability = (n.max(2) as f64).powf(-epsilon / 2.0);
+    let target = ((n.max(2) as f64).powf(epsilon).ceil() as usize).max(4);
+    let max_levels = (4.0 / epsilon).ceil() as usize + 4;
+
+    let mut alive: Vec<u32> = (0..n as u32).collect();
+    let mut succ: FxHashMap<u32, u32> = (0..n as u32).map(|v| (v, successor[v as usize])).collect();
+    let mut weight: FxHashMap<u32, u64> = (0..n as u32).map(|v| (v, weights[v as usize])).collect();
+    let mut levels: Vec<Level> = Vec::new();
+
+    // ---- Contraction phase -------------------------------------------------
+    while alive.len() > target && levels.len() < max_levels {
+        let samples: Vec<u32> = alive
+            .iter()
+            .copied()
+            .filter(|v| forced.contains(v) || rng.gen_bool(sample_probability))
+            .collect();
+        if samples.len() == alive.len() {
+            break; // contraction would be a no-op
+        }
+
+        // Publish the current level (scatter) and run the sampling walks.
+        let mut pairs: Vec<(Key, Value)> = Vec::with_capacity(3 * alive.len());
+        for &v in &alive {
+            pairs.push((successor_key(v), Value::scalar(succ[&v] as u64)));
+            pairs.push((weight_key(v), Value::scalar(weight[&v])));
+        }
+        for &v in &samples {
+            pairs.push((sampled_key(v), Value::scalar(1)));
+        }
+        runtime.scatter(pairs);
+
+        let machines = runtime.config().num_machines();
+        let assignments = round_robin_assign(&samples, machines);
+        let limit = alive.len() + 2;
+        let walks: Vec<Vec<(u32, u32, u64)>> = runtime
+            .run_round(machines, |ctx| {
+                let mut out = Vec::new();
+                for &v in &assignments[ctx.machine_id()] {
+                    let own_succ = ctx.read(successor_key(v)).expect("successor missing").x as u32;
+                    if own_succ == v {
+                        out.push((v, v, 0)); // terminal
+                        continue;
+                    }
+                    let mut acc = ctx.read(weight_key(v)).expect("weight missing").x;
+                    let mut cur = own_succ;
+                    for _ in 0..limit {
+                        if ctx.read(sampled_key(cur)).is_some() {
+                            break;
+                        }
+                        acc += ctx.read(weight_key(cur)).expect("weight missing").x;
+                        let next = ctx.read(successor_key(cur)).expect("successor missing").x as u32;
+                        if next == cur {
+                            break; // safety: ran into an unsampled terminal
+                        }
+                        cur = next;
+                    }
+                    out.push((v, cur, acc));
+                }
+                out
+            })
+            .expect("list-ranking contraction round failed");
+
+        // Driver: build the next level.
+        let mut new_succ: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut new_weight: FxHashMap<u32, u64> = FxHashMap::default();
+        for (v, end, acc) in walks.into_iter().flatten() {
+            new_succ.insert(v, end);
+            new_weight.insert(v, acc);
+        }
+        levels.push(Level {
+            alive: alive.clone(),
+            succ: std::mem::take(&mut succ),
+            weight: std::mem::take(&mut weight),
+            samples: samples.clone(),
+        });
+        alive = samples;
+        succ = new_succ;
+        weight = new_weight;
+    }
+
+    // ---- Base solve on a single machine ------------------------------------
+    let mut rank: FxHashMap<u32, u64> = FxHashMap::default();
+    {
+        fn solve(v: u32, succ: &FxHashMap<u32, u32>, weight: &FxHashMap<u32, u64>, rank: &mut FxHashMap<u32, u64>) -> u64 {
+            if let Some(&r) = rank.get(&v) {
+                return r;
+            }
+            let s = succ[&v];
+            let r = if s == v { 0 } else { weight[&v] + solve(s, succ, weight, rank) };
+            rank.insert(v, r);
+            r
+        }
+        for &v in &alive {
+            solve(v, &succ, &weight, &mut rank);
+        }
+    }
+
+    // ---- Expansion phase ----------------------------------------------------
+    for level in levels.iter().rev() {
+        // Publish the level's pointers/weights plus the ranks known so far
+        // (the ranks of this level's samples), then each sample walks its
+        // segment once more, assigning ranks to the elements it covered.
+        let mut pairs: Vec<(Key, Value)> = Vec::with_capacity(3 * level.alive.len());
+        for &v in &level.alive {
+            pairs.push((successor_key(v), Value::scalar(level.succ[&v] as u64)));
+            pairs.push((weight_key(v), Value::scalar(level.weight[&v])));
+        }
+        for &v in &level.samples {
+            pairs.push((sampled_key(v), Value::scalar(1)));
+            pairs.push((rank_key(v), Value::scalar(rank[&v])));
+        }
+        runtime.scatter(pairs);
+
+        let machines = runtime.config().num_machines();
+        let assignments = round_robin_assign(&level.samples, machines);
+        let limit = level.alive.len() + 2;
+        let recovered: Vec<Vec<(u32, u64)>> = runtime
+            .run_round(machines, |ctx| {
+                let mut out = Vec::new();
+                for &v in &assignments[ctx.machine_id()] {
+                    let own_succ = ctx.read(successor_key(v)).expect("successor missing").x as u32;
+                    if own_succ == v {
+                        continue; // terminal covers nobody
+                    }
+                    // Collect the covered segment.
+                    let mut segment: Vec<(u32, u64)> = Vec::new();
+                    let mut cur = own_succ;
+                    let mut end = own_succ;
+                    for _ in 0..limit {
+                        if ctx.read(sampled_key(cur)).is_some() {
+                            end = cur;
+                            break;
+                        }
+                        let w = ctx.read(weight_key(cur)).expect("weight missing").x;
+                        segment.push((cur, w));
+                        let next = ctx.read(successor_key(cur)).expect("successor missing").x as u32;
+                        if next == cur {
+                            end = cur;
+                            break;
+                        }
+                        cur = next;
+                    }
+                    let mut acc = ctx.read(rank_key(end)).map(|r| r.x).unwrap_or(0);
+                    for &(u, w) in segment.iter().rev() {
+                        acc += w;
+                        out.push((u, acc));
+                    }
+                }
+                out
+            })
+            .expect("list-ranking expansion round failed");
+        for (v, r) in recovered.into_iter().flatten() {
+            rank.insert(v, r);
+        }
+    }
+
+    let ranks: Vec<u64> = (0..n as u32).map(|v| *rank.get(&v).unwrap_or(&0)).collect();
+    AlgorithmResult::new(ranks, runtime.into_stats())
+}
+
+/// Unweighted list ranking (Theorem 6): every link has weight 1, so the rank
+/// of an element is its distance to the terminal of its list.
+pub fn list_ranking(successor: &[u32], epsilon: f64, seed: u64) -> AlgorithmResult<Vec<u64>> {
+    let weights: Vec<u64> = successor
+        .iter()
+        .enumerate()
+        .map(|(v, &s)| u64::from(s as usize != v))
+        .collect();
+    list_ranking_weighted(successor, &weights, epsilon, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_graph::sequential;
+    use rand::seq::SliceRandom;
+
+    fn shuffled_list(n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(&mut rng);
+        let mut successor = vec![0u32; n];
+        for i in 0..n - 1 {
+            successor[order[i] as usize] = order[i + 1];
+        }
+        successor[order[n - 1] as usize] = order[n - 1];
+        successor
+    }
+
+    #[test]
+    fn matches_sequential_ranks_on_identity_list() {
+        let n = 500;
+        let successor: Vec<u32> = (0..n as u32).map(|v| if (v as usize) + 1 < n { v + 1 } else { v }).collect();
+        let result = list_ranking(&successor, 0.5, 1);
+        assert_eq!(result.output, sequential::sequential_list_ranks(&successor));
+    }
+
+    #[test]
+    fn matches_sequential_ranks_on_shuffled_lists() {
+        for seed in 0..3 {
+            let successor = shuffled_list(800, seed);
+            let result = list_ranking(&successor, 0.5, seed);
+            assert_eq!(result.output, sequential::sequential_list_ranks(&successor), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn handles_multiple_lists_at_once() {
+        // Two independent lists: 0→1→2→2 and 3→4→4, plus a singleton 5.
+        let successor = vec![1, 2, 2, 4, 4, 5];
+        let result = list_ranking(&successor, 0.5, 3);
+        assert_eq!(result.output, vec![2, 1, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn weighted_ranking_computes_weighted_suffix_sums() {
+        // 0 →(5) 1 →(3) 2 →(7) 3, terminal 3.
+        let successor = vec![1, 2, 3, 3];
+        let weights = vec![5, 3, 7, 0];
+        let result = list_ranking_weighted(&successor, &weights, 0.5, 4);
+        assert_eq!(result.output, vec![15, 10, 7, 0]);
+    }
+
+    #[test]
+    fn zero_weights_are_allowed() {
+        let successor = vec![1, 2, 3, 3];
+        let weights = vec![0, 1, 0, 0];
+        let result = list_ranking_weighted(&successor, &weights, 0.5, 4);
+        assert_eq!(result.output, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn round_count_is_constant_in_list_length() {
+        let small = shuffled_list(200, 1);
+        let large = shuffled_list(5000, 1);
+        let small_rounds = list_ranking(&small, 0.5, 1).rounds();
+        let large_rounds = list_ranking(&large, 0.5, 1).rounds();
+        let cap = 4 * ((4.0 / 0.5) as usize + 5);
+        assert!(small_rounds <= cap, "small rounds {small_rounds}");
+        assert!(large_rounds <= cap, "large rounds {large_rounds}");
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(list_ranking(&[], 0.5, 0).output.is_empty());
+        assert_eq!(list_ranking(&[0], 0.5, 0).output, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_successor_rejected() {
+        let _ = list_ranking(&[5], 0.5, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # ampc-dds — Distributed Data Store substrate for the AMPC model
+//!
+//! The AMPC model (Behnezhad et al., SPAA 2019) extends MPC by writing every
+//! message produced in round *i* into a **distributed data store** `D_i`.
+//! In round *i + 1* all machines get random *read* access to `D_i`, and the
+//! keys a machine reads may depend on the values returned by its earlier
+//! reads in the same round ("adaptivity").
+//!
+//! This crate implements the data-store side of that model as an in-process,
+//! sharded, epoch-versioned key-value store:
+//!
+//! * [`Key`] / [`Value`] — constant-size key-value pairs, exactly as the model
+//!   requires (both consist of a constant number of machine words).
+//! * [`ShardedStore`] — the *writable* store for the current round.  Writes
+//!   are hashed to one of `P` shards; every shard tracks how many reads and
+//!   writes it served so that the contention analysis of the paper
+//!   (Lemma 2.1) can be validated empirically.
+//! * [`Snapshot`] — an immutable, read-only view of a completed round.
+//!   Machines in round *i* read from the snapshot of `D_{i-1}`; the snapshot
+//!   never changes while a round is in flight, which is exactly the property
+//!   the paper's fault-tolerance argument relies on.
+//! * [`DdsChain`] — the sequence `D_0, D_1, …` of stores produced by a run.
+//! * [`contention`] — the weighted balls-into-bins experiment behind
+//!   Lemma 2.1 of the paper.
+//!
+//! The paper's deployment target is an RDMA/Bigtable-style distributed hash
+//! table.  We substitute a laptop-scale simulation with identical semantics:
+//! key-value lookups with per-shard load accounting and a hard read-only
+//! boundary between rounds.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod contention;
+pub mod epoch;
+pub mod hashing;
+pub mod key;
+pub mod snapshot;
+pub mod stats;
+pub mod store;
+
+pub use codec::{decode_value, encode_value};
+pub use contention::{simulate_balls_into_bins, BallsInBinsReport};
+pub use epoch::DdsChain;
+pub use hashing::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use key::{Key, KeyTag, Value};
+pub use snapshot::Snapshot;
+pub use stats::{ShardLoad, StoreStats};
+pub use store::ShardedStore;

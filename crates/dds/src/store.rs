@@ -1,0 +1,257 @@
+//! The writable, sharded store for the *current* round.
+//!
+//! In round *i* every machine may issue up to `O(S)` writes; each write is a
+//! constant-size key-value pair destined for `D_i`.  The paper assumes the
+//! DDS is "handled by P machines, each having O(S) space" with key-value
+//! pairs "randomly and independently assigned to the machines handling the
+//! DDS" (Section 2.1).  [`ShardedStore`] models those DDS machines as
+//! `num_shards` hash-addressed shards, each protected by its own lock and
+//! each counting the traffic it served, so the load-balance claims of
+//! Lemma 2.1 can be measured rather than assumed.
+
+use crate::hashing::{hash_words, FxHashMap};
+use crate::key::{Key, Value};
+use crate::snapshot::Snapshot;
+use crate::stats::{ShardLoad, StoreStats};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One shard of the distributed store: a map from keys to (multi-)values.
+#[derive(Default)]
+struct Shard {
+    entries: FxHashMap<Key, Vec<Value>>,
+}
+
+/// The writable key-value store backing one AMPC round.
+///
+/// Multi-value semantics follow Section 2 of the paper: if `k > 1` pairs are
+/// written under the same key `x`, the individual values are addressable as
+/// `(x, 1), …, (x, k)` — here via [`ShardedStore::get_indexed`] /
+/// [`Snapshot::get_indexed`] — with the indices assigned in commit order.
+pub struct ShardedStore {
+    shards: Vec<Mutex<Shard>>,
+    write_counts: Vec<AtomicU64>,
+    num_shards: usize,
+}
+
+impl ShardedStore {
+    /// Create a store with `num_shards` shards (at least 1).
+    pub fn new(num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        ShardedStore {
+            shards: (0..num_shards).map(|_| Mutex::new(Shard::default())).collect(),
+            write_counts: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+            num_shards,
+        }
+    }
+
+    /// Number of shards ("DDS machines").
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &Key) -> usize {
+        (hash_words(key.tag.code(), key.a, key.b) % self.num_shards as u64) as usize
+    }
+
+    /// Append `value` under `key`.
+    ///
+    /// Writing the same key repeatedly builds up the multi-value list; the
+    /// commit order of a single writer is preserved.
+    pub fn write(&self, key: Key, value: Value) {
+        let shard_idx = self.shard_of(&key);
+        self.write_counts[shard_idx].fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shards[shard_idx].lock();
+        shard.entries.entry(key).or_default().push(value);
+    }
+
+    /// Write a batch of pairs, preserving their order.
+    pub fn write_batch(&self, pairs: impl IntoIterator<Item = (Key, Value)>) {
+        for (k, v) in pairs {
+            self.write(k, v);
+        }
+    }
+
+    /// First value stored under `key`, if any.
+    pub fn get(&self, key: &Key) -> Option<Value> {
+        let shard = self.shards[self.shard_of(key)].lock();
+        shard.entries.get(key).and_then(|vs| vs.first().copied())
+    }
+
+    /// The `index`-th value stored under `key` (zero-based), if present.
+    pub fn get_indexed(&self, key: &Key, index: usize) -> Option<Value> {
+        let shard = self.shards[self.shard_of(key)].lock();
+        shard.entries.get(key).and_then(|vs| vs.get(index).copied())
+    }
+
+    /// How many values are stored under `key`.
+    pub fn multiplicity(&self, key: &Key) -> usize {
+        let shard = self.shards[self.shard_of(key)].lock();
+        shard.entries.get(key).map_or(0, |vs| vs.len())
+    }
+
+    /// Total number of distinct keys across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// `true` if no key has been written.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().entries.is_empty())
+    }
+
+    /// Total number of writes accepted so far.
+    pub fn total_writes(&self) -> u64 {
+        self.write_counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Per-shard write load so far.
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardLoad {
+                shard: i,
+                keys: s.lock().entries.len() as u64,
+                writes: self.write_counts[i].load(Ordering::Relaxed),
+                reads: 0,
+            })
+            .collect()
+    }
+
+    /// Freeze the store into an immutable [`Snapshot`] readable by the next
+    /// round, consuming the writable store.
+    pub fn freeze(self) -> Snapshot {
+        let num_shards = self.num_shards;
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut writes = Vec::with_capacity(num_shards);
+        for (shard, count) in self.shards.into_iter().zip(self.write_counts) {
+            shards.push(shard.into_inner().entries);
+            writes.push(count.into_inner());
+        }
+        Snapshot::from_parts(shards, writes)
+    }
+
+    /// Snapshot-style statistics of the writable store (reads are always 0).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats::from_loads(self.shard_loads())
+    }
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("num_shards", &self.num_shards)
+            .field("keys", &self.len())
+            .field("total_writes", &self.total_writes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyTag;
+
+    fn k(a: u64) -> Key {
+        Key::of(KeyTag::Scalar, a)
+    }
+
+    #[test]
+    fn write_then_read_single_value() {
+        let store = ShardedStore::new(8);
+        store.write(k(1), Value::scalar(42));
+        assert_eq!(store.get(&k(1)), Some(Value::scalar(42)));
+        assert_eq!(store.get(&k(2)), None);
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn multi_value_keys_are_index_addressable() {
+        let store = ShardedStore::new(4);
+        for i in 0..5u64 {
+            store.write(k(7), Value::scalar(i * 10));
+        }
+        assert_eq!(store.multiplicity(&k(7)), 5);
+        for i in 0..5usize {
+            assert_eq!(store.get_indexed(&k(7), i), Some(Value::scalar(i as u64 * 10)));
+        }
+        assert_eq!(store.get_indexed(&k(7), 5), None);
+        // `get` returns the first value, matching the model's (x, 1) query.
+        assert_eq!(store.get(&k(7)), Some(Value::scalar(0)));
+    }
+
+    #[test]
+    fn querying_missing_key_returns_empty_response() {
+        let store = ShardedStore::new(2);
+        assert_eq!(store.get(&k(999)), None);
+        assert_eq!(store.multiplicity(&k(999)), 0);
+        assert_eq!(store.get_indexed(&k(999), 0), None);
+    }
+
+    #[test]
+    fn write_counts_are_tracked_per_shard() {
+        let store = ShardedStore::new(4);
+        for i in 0..100u64 {
+            store.write(k(i), Value::scalar(i));
+        }
+        assert_eq!(store.total_writes(), 100);
+        let loads = store.shard_loads();
+        assert_eq!(loads.len(), 4);
+        assert_eq!(loads.iter().map(|l| l.writes).sum::<u64>(), 100);
+        assert!(loads.iter().all(|l| l.reads == 0));
+    }
+
+    #[test]
+    fn freeze_preserves_contents() {
+        let store = ShardedStore::new(3);
+        store.write(k(1), Value::scalar(10));
+        store.write(k(1), Value::scalar(11));
+        store.write(k(2), Value::pair(3, 4));
+        let snap = store.freeze();
+        assert_eq!(snap.get(&k(1)), Some(Value::scalar(10)));
+        assert_eq!(snap.get_indexed(&k(1), 1), Some(Value::scalar(11)));
+        assert_eq!(snap.get(&k(2)), Some(Value::pair(3, 4)));
+        assert_eq!(snap.get(&k(3)), None);
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn batch_write_preserves_order() {
+        let store = ShardedStore::new(2);
+        store.write_batch((0..10u64).map(|i| (k(5), Value::scalar(i))));
+        for i in 0..10usize {
+            assert_eq!(store.get_indexed(&k(5), i), Some(Value::scalar(i as u64)));
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_clamped_to_one() {
+        let store = ShardedStore::new(0);
+        assert_eq!(store.num_shards(), 1);
+        store.write(k(1), Value::scalar(1));
+        assert_eq!(store.get(&k(1)), Some(Value::scalar(1)));
+    }
+
+    #[test]
+    fn concurrent_writes_from_many_threads_all_land() {
+        let store = std::sync::Arc::new(ShardedStore::new(16));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        store.write(k(t * 10_000 + i), Value::scalar(i));
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(store.total_writes(), 8000);
+        assert_eq!(store.len(), 8000);
+    }
+}

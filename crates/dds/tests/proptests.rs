@@ -1,0 +1,107 @@
+//! Property tests for the DDS substrate: the store behaves like a
+//! multi-map with stable per-key ordering, snapshots are faithful frozen
+//! copies, the codec round-trips every key/value, and the epoch chain keeps
+//! rounds isolated under arbitrary interleavings of writes and advances.
+
+use ampc_dds::codec::{decode_pair, encode_pair, ENCODED_PAIR_BYTES};
+use ampc_dds::{DdsChain, Key, KeyTag, ShardedStore, Value};
+use proptest::prelude::*;
+
+fn arbitrary_key() -> impl Strategy<Value = Key> {
+    (0u32..6, any::<u64>(), 0u64..1_000).prop_map(|(tag, a, b)| Key {
+        tag: KeyTag::from_code(tag),
+        a,
+        b,
+    })
+}
+
+fn arbitrary_value() -> impl Strategy<Value = Value> {
+    (any::<u64>(), any::<u64>()).prop_map(|(x, y)| Value::pair(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn codec_round_trips_arbitrary_pairs(key in arbitrary_key(), value in arbitrary_value()) {
+        let bytes = encode_pair(&key, &value);
+        prop_assert_eq!(bytes.len(), ENCODED_PAIR_BYTES);
+        prop_assert_eq!(decode_pair(&bytes), Some((key, value)));
+    }
+
+    #[test]
+    fn store_is_a_multimap_with_insertion_order(
+        writes in proptest::collection::vec((0u64..50, any::<u64>()), 1..200),
+        shards in 1usize..17
+    ) {
+        let store = ShardedStore::new(shards);
+        let mut expected: std::collections::BTreeMap<u64, Vec<u64>> = std::collections::BTreeMap::new();
+        for &(k, v) in &writes {
+            store.write(Key::of(KeyTag::Scalar, k), Value::scalar(v));
+            expected.entry(k).or_default().push(v);
+        }
+        prop_assert_eq!(store.len(), expected.len());
+        prop_assert_eq!(store.total_writes(), writes.len() as u64);
+        for (k, values) in &expected {
+            let key = Key::of(KeyTag::Scalar, *k);
+            prop_assert_eq!(store.multiplicity(&key), values.len());
+            prop_assert_eq!(store.get(&key), Some(Value::scalar(values[0])));
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(store.get_indexed(&key, i), Some(Value::scalar(v)));
+            }
+            prop_assert_eq!(store.get_indexed(&key, values.len()), None);
+        }
+        // Freezing preserves everything exactly.
+        let snapshot = store.freeze();
+        for (k, values) in &expected {
+            let key = Key::of(KeyTag::Scalar, *k);
+            prop_assert_eq!(snapshot.get_all(&key), values.iter().map(|&v| Value::scalar(v)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn chain_epochs_are_isolated(
+        rounds in proptest::collection::vec(proptest::collection::vec((0u64..40, any::<u64>()), 0..40), 1..6),
+        shards in 1usize..9
+    ) {
+        let mut chain = DdsChain::new(shards);
+        for pairs in &rounds {
+            for &(k, v) in pairs {
+                chain.write(Key::of(KeyTag::Scalar, k), Value::scalar(v));
+            }
+            chain.advance();
+        }
+        prop_assert_eq!(chain.completed_epochs(), rounds.len());
+        // Every epoch's snapshot contains exactly the keys written in that
+        // epoch (with the right multiplicities) and nothing from any other.
+        for (epoch, pairs) in rounds.iter().enumerate() {
+            let snapshot = chain.snapshot(epoch).unwrap();
+            let mut expected: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+            for &(k, _) in pairs {
+                *expected.entry(k).or_default() += 1;
+            }
+            prop_assert_eq!(snapshot.len(), expected.len());
+            for (k, count) in expected {
+                prop_assert_eq!(snapshot.multiplicity(&Key::of(KeyTag::Scalar, k)), count);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_semantics(
+        writes in proptest::collection::vec((0u64..80, any::<u64>()), 1..120)
+    ) {
+        let one = ShardedStore::new(1);
+        let many = ShardedStore::new(64);
+        for &(k, v) in &writes {
+            one.write(Key::of(KeyTag::Scalar, k), Value::scalar(v));
+            many.write(Key::of(KeyTag::Scalar, k), Value::scalar(v));
+        }
+        for &(k, _) in &writes {
+            let key = Key::of(KeyTag::Scalar, k);
+            prop_assert_eq!(one.get(&key), many.get(&key));
+            prop_assert_eq!(one.multiplicity(&key), many.multiplicity(&key));
+        }
+        prop_assert_eq!(one.len(), many.len());
+    }
+}

@@ -1,0 +1,522 @@
+//! Synthetic workload generators.
+//!
+//! The paper's experiments target cluster-scale graphs (up to trillions of
+//! edges); we substitute parameterised synthetic families whose *structure*
+//! controls exactly the quantities the paper's round bounds depend on:
+//! the number of vertices `n`, the density `m/n` (which drives the
+//! `log log_{m/n} n` terms), and the diameter `D` (which drives the MPC
+//! baselines the paper compares against).  Every generator takes an explicit
+//! seed so workloads are reproducible across runs and across benches.
+
+use crate::graph::{Edge, EdgeList, Graph};
+use crate::unionfind::UnionFind;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A simple cycle on `n ≥ 3` vertices: `0 — 1 — … — (n-1) — 0`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut el = EdgeList::new(n);
+    for v in 0..n as u32 {
+        el.push(v, ((v as usize + 1) % n) as u32);
+    }
+    el.build()
+}
+
+/// Two disjoint cycles of `n / 2` vertices each (`n` must be even and ≥ 6).
+pub fn two_cycles(n: usize) -> Graph {
+    assert!(n >= 6 && n % 2 == 0, "need an even n ≥ 6");
+    let half = n / 2;
+    let mut el = EdgeList::new(n);
+    for v in 0..half as u32 {
+        el.push(v, ((v as usize + 1) % half) as u32);
+    }
+    for v in 0..half as u32 {
+        let a = half as u32 + v;
+        let b = half as u32 + ((v as usize + 1) % half) as u32;
+        el.push(a, b);
+    }
+    el.build()
+}
+
+/// An instance of the 2-Cycle problem: one `n`-cycle if `two == false`,
+/// otherwise two `n/2`-cycles, with the vertex ids randomly permuted so the
+/// structure is not visible from the ids.
+pub fn two_cycle_instance(n: usize, two: bool, seed: u64) -> Graph {
+    let base = if two { two_cycles(n) } else { cycle(n) };
+    relabel(&base, seed)
+}
+
+/// A path on `n ≥ 1` vertices: `0 — 1 — … — (n-1)`.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut el = EdgeList::new(n);
+    for v in 0..(n.saturating_sub(1)) as u32 {
+        el.push(v, v + 1);
+    }
+    el.build()
+}
+
+/// A star: vertex 0 connected to every other vertex.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut el = EdgeList::new(n);
+    for v in 1..n as u32 {
+        el.push(0, v);
+    }
+    el.build()
+}
+
+/// The complete graph on `n` vertices.
+pub fn complete(n: usize) -> Graph {
+    let mut el = EdgeList::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            el.push(u, v);
+        }
+    }
+    el.build()
+}
+
+/// A `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut el = EdgeList::new(n);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                el.push(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                el.push(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    el.build()
+}
+
+/// A complete binary tree on `n` vertices (vertex `v` has children `2v+1`,
+/// `2v+2`).
+pub fn binary_tree(n: usize) -> Graph {
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push(v as u32, ((v - 1) / 2) as u32);
+    }
+    el.build()
+}
+
+/// A uniformly random recursive tree on `n` vertices: vertex `v` attaches to
+/// a uniformly random earlier vertex.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    for v in 1..n as u32 {
+        let parent = rng.gen_range(0..v);
+        el.push(v, parent);
+    }
+    el.build()
+}
+
+/// A random forest with `trees` components over `n` vertices.
+///
+/// Vertices are split into `trees` contiguous groups of (nearly) equal size,
+/// each group forming an independent random tree, and the whole vertex set
+/// is then relabelled randomly.
+pub fn random_forest(n: usize, trees: usize, seed: u64) -> Graph {
+    assert!(trees >= 1 && trees <= n.max(1), "need 1 ≤ trees ≤ n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    let base = n / trees;
+    let extra = n % trees;
+    let mut start = 0usize;
+    for t in 0..trees {
+        let size = base + usize::from(t < extra);
+        for i in 1..size {
+            let v = (start + i) as u32;
+            let parent = start as u32 + rng.gen_range(0..i as u32);
+            el.push(v, parent);
+        }
+        start += size;
+    }
+    relabel(&el.build(), seed.wrapping_add(1))
+}
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct edges sampled uniformly at random.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_edges, "cannot fit {m} edges into a simple graph on {n} vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut el = EdgeList::new(n);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            el.push(key.0, key.1);
+        }
+    }
+    el.build()
+}
+
+/// A connected Erdős–Rényi-style graph: a random spanning tree plus
+/// `extra_edges` additional random edges, with vertex ids shuffled so ids
+/// carry no structural information (in particular, no "my tree parent has a
+/// smaller id" artefact).
+pub fn connected_gnm(n: usize, extra_edges: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut el = EdgeList::new(n);
+    for v in 1..n as u32 {
+        let parent = rng.gen_range(0..v);
+        el.push(v, parent);
+        seen.insert((parent.min(v), parent.max(v)));
+    }
+    let max_edges = n * n.saturating_sub(1) / 2;
+    let target = (n.saturating_sub(1) + extra_edges).min(max_edges);
+    while seen.len() < target {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            el.push(key.0, key.1);
+        }
+    }
+    relabel(&el.build(), seed.wrapping_add(0x5eed))
+}
+
+/// A graph with exactly `k` planted connected components.
+///
+/// Each component is an independent connected G(n_i, n_i - 1 + extra) graph;
+/// vertex ids are shuffled afterwards so components are not contiguous.
+pub fn planted_components(n: usize, k: usize, extra_edges_per_component: usize, seed: u64) -> Graph {
+    assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    let base = n / k;
+    let extra = n % k;
+    let mut start = 0usize;
+    let mut seen = std::collections::HashSet::new();
+    for c in 0..k {
+        let size = base + usize::from(c < extra);
+        // Spanning tree of the component.
+        for i in 1..size {
+            let v = (start + i) as u32;
+            let parent = start as u32 + rng.gen_range(0..i as u32);
+            el.push(v, parent);
+            seen.insert((parent.min(v), parent.max(v)));
+        }
+        // Extra intra-component edges.
+        if size >= 3 {
+            let mut added = 0usize;
+            let mut attempts = 0usize;
+            while added < extra_edges_per_component && attempts < extra_edges_per_component * 20 {
+                attempts += 1;
+                let u = start as u32 + rng.gen_range(0..size as u32);
+                let v = start as u32 + rng.gen_range(0..size as u32);
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if seen.insert(key) {
+                    el.push(key.0, key.1);
+                    added += 1;
+                }
+            }
+        }
+        start += size;
+    }
+    relabel(&el.build(), seed.wrapping_add(97))
+}
+
+/// A "path of cliques": `num_cliques` cliques of `clique_size` vertices each,
+/// consecutive cliques joined by a single bridge edge.
+///
+/// This family has a large diameter (`Θ(num_cliques)`) while staying dense
+/// (`m/n ≈ clique_size/2`), which is exactly the regime where the
+/// `O(log D · …)` MPC connectivity baselines suffer and the AMPC algorithm
+/// does not — the ablation benchmark sweeps `num_cliques`.
+pub fn path_of_cliques(clique_size: usize, num_cliques: usize) -> Graph {
+    assert!(clique_size >= 2 && num_cliques >= 1);
+    let n = clique_size * num_cliques;
+    let mut el = EdgeList::new(n);
+    for c in 0..num_cliques {
+        let base = (c * clique_size) as u32;
+        for i in 0..clique_size as u32 {
+            for j in (i + 1)..clique_size as u32 {
+                el.push(base + i, base + j);
+            }
+        }
+        if c + 1 < num_cliques {
+            // Bridge from the last vertex of this clique to the first of the next.
+            el.push(base + clique_size as u32 - 1, base + clique_size as u32);
+        }
+    }
+    el.build()
+}
+
+/// A graph guaranteed to contain bridges: `blocks` biconnected blocks
+/// (cycles with chords) chained together by single bridge edges, plus
+/// pendant trees hanging off some blocks.
+///
+/// Used by the 2-edge-connectivity experiments: the bridges are exactly the
+/// chaining edges plus every pendant tree edge.
+pub fn bridged_blocks(block_size: usize, blocks: usize, pendant: usize, seed: u64) -> Graph {
+    assert!(block_size >= 3 && blocks >= 1);
+    let n = block_size * blocks + pendant * blocks;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    for b in 0..blocks {
+        let base = (b * block_size) as u32;
+        // A cycle (2-edge-connected) …
+        for i in 0..block_size as u32 {
+            el.push(base + i, base + (i + 1) % block_size as u32);
+        }
+        // … with a couple of random chords to vary the structure.
+        for _ in 0..(block_size / 4) {
+            let i = rng.gen_range(0..block_size as u32);
+            let j = rng.gen_range(0..block_size as u32);
+            if i != j {
+                el.push(base + i, base + j);
+            }
+        }
+        if b + 1 < blocks {
+            el.push(base + block_size as u32 - 1, base + block_size as u32);
+        }
+    }
+    // Pendant paths (every edge of which is a bridge).
+    let tree_base = block_size * blocks;
+    for b in 0..blocks {
+        let attach = (b * block_size) as u32;
+        let mut prev = attach;
+        for p in 0..pendant {
+            let v = (tree_base + b * pendant + p) as u32;
+            el.push(prev, v);
+            prev = v;
+        }
+    }
+    el.build()
+}
+
+/// Assign uniformly random *distinct* weights to the edges of `graph`.
+///
+/// Weights are a random permutation of `1..=m`, so the MSF is unique.
+pub fn with_random_weights(graph: &Graph, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = graph.num_edges();
+    let mut weights: Vec<u64> = (1..=m as u64).collect();
+    weights.shuffle(&mut rng);
+    let weighted: Vec<(u32, u32, u64)> = graph
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(id, e)| (e.u, e.v, weights[id]))
+        .collect();
+    Graph::from_weighted_edges(graph.num_vertices(), &weighted)
+}
+
+/// Randomly permute the vertex ids of `graph` (preserving weights if any).
+pub fn relabel(graph: &Graph, seed: u64) -> Graph {
+    let n = graph.num_vertices();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.shuffle(&mut rng);
+    if graph.is_weighted() {
+        let edges: Vec<(u32, u32, u64)> = graph
+            .weighted_edges()
+            .iter()
+            .map(|e| (perm[e.u as usize], perm[e.v as usize], e.weight))
+            .collect();
+        Graph::from_weighted_edges(n, &edges)
+    } else {
+        let edges: Vec<Edge> = graph
+            .edges()
+            .iter()
+            .map(|e| Edge::new(perm[e.u as usize], perm[e.v as usize]))
+            .collect();
+        Graph::from_edges(n, &edges)
+    }
+}
+
+/// Number of connected components of a generated graph (convenience used by
+/// generator tests; algorithms use `sequential::connected_components`).
+pub fn component_count(graph: &Graph) -> usize {
+    let mut uf = UnionFind::new(graph.num_vertices());
+    for e in graph.edges() {
+        uf.union(e.u, e.v);
+    }
+    uf.num_components()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_has_n_edges_and_degree_two() {
+        let g = cycle(10);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 10);
+        assert!((0..10u32).all(|v| g.degree(v) == 2));
+        assert_eq!(component_count(&g), 1);
+    }
+
+    #[test]
+    fn two_cycles_has_two_components() {
+        let g = two_cycles(20);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 20);
+        assert_eq!(component_count(&g), 2);
+        assert!((0..20u32).all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn two_cycle_instance_hides_structure_but_keeps_components() {
+        let one = two_cycle_instance(100, false, 5);
+        let two = two_cycle_instance(100, true, 5);
+        assert_eq!(component_count(&one), 1);
+        assert_eq!(component_count(&two), 2);
+        assert!((0..100u32).all(|v| one.degree(v) == 2 && two.degree(v) == 2));
+    }
+
+    #[test]
+    fn path_and_star_shapes() {
+        let p = path(5);
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+        let s = star(6);
+        assert_eq!(s.num_edges(), 5);
+        assert_eq!(s.degree(0), 5);
+        assert!((1..6u32).all(|v| s.degree(v) == 1));
+        let single = path(1);
+        assert_eq!(single.num_edges(), 0);
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!((0..6u32).all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(component_count(&g), 1);
+    }
+
+    #[test]
+    fn trees_have_n_minus_one_edges() {
+        for seed in 0..3 {
+            let t = random_tree(50, seed);
+            assert_eq!(t.num_edges(), 49);
+            assert_eq!(component_count(&t), 1);
+        }
+        let b = binary_tree(31);
+        assert_eq!(b.num_edges(), 30);
+        assert_eq!(component_count(&b), 1);
+    }
+
+    #[test]
+    fn random_forest_has_exact_component_count() {
+        for &(n, k) in &[(30usize, 3usize), (100, 7), (12, 12), (50, 1)] {
+            let f = random_forest(n, k, 9);
+            assert_eq!(component_count(&f), k, "n={n} k={k}");
+            assert_eq!(f.num_edges(), n - k);
+        }
+    }
+
+    #[test]
+    fn gnm_has_requested_edge_count() {
+        let g = erdos_renyi_gnm(100, 250, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 250);
+    }
+
+    #[test]
+    fn connected_gnm_is_connected() {
+        for seed in 0..3 {
+            let g = connected_gnm(200, 300, seed);
+            assert_eq!(component_count(&g), 1);
+            assert!(g.num_edges() >= 199);
+        }
+    }
+
+    #[test]
+    fn planted_components_have_exact_count() {
+        for &(n, k) in &[(60usize, 4usize), (100, 10), (40, 1)] {
+            let g = planted_components(n, k, 2, 13);
+            assert_eq!(component_count(&g), k, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn path_of_cliques_is_connected_and_dense() {
+        let g = path_of_cliques(8, 10);
+        assert_eq!(g.num_vertices(), 80);
+        assert_eq!(component_count(&g), 1);
+        // Each clique contributes 28 edges, plus 9 bridges.
+        assert_eq!(g.num_edges(), 10 * 28 + 9);
+    }
+
+    #[test]
+    fn bridged_blocks_connected() {
+        let g = bridged_blocks(6, 5, 3, 2);
+        assert_eq!(component_count(&g), 1);
+        assert!(g.num_edges() >= 5 * 6 + 4 + 15);
+    }
+
+    #[test]
+    fn random_weights_are_distinct_permutation() {
+        let g = with_random_weights(&cycle(20), 3);
+        assert!(g.is_weighted());
+        let mut ws: Vec<u64> = g.weighted_edges().iter().map(|e| e.weight).collect();
+        ws.sort_unstable();
+        assert_eq!(ws, (1..=20u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = cycle(15);
+        let r = relabel(&g, 8);
+        assert_eq!(r.num_vertices(), 15);
+        assert_eq!(r.num_edges(), 15);
+        assert!((0..15u32).all(|v| r.degree(v) == 2));
+        assert_eq!(component_count(&r), 1);
+    }
+
+    #[test]
+    fn relabel_preserves_weights() {
+        let g = with_random_weights(&cycle(10), 4);
+        let r = relabel(&g, 5);
+        let mut a: Vec<u64> = g.weighted_edges().iter().map(|e| e.weight).collect();
+        let mut b: Vec<u64> = r.weighted_edges().iter().map(|e| e.weight).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_rejected() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn overfull_gnm_rejected() {
+        let _ = erdos_renyi_gnm(4, 100, 0);
+    }
+}

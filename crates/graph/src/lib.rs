@@ -1,0 +1,25 @@
+//! # ampc-graph — graph substrate for the AMPC reproduction
+//!
+//! Graph storage ([`Graph`], [`EdgeList`]), synthetic workload generators
+//! ([`generators`]), sequential reference algorithms used as ground truth
+//! ([`sequential`]), union-find ([`UnionFind`]) and random permutations
+//! ([`permutation`]).
+//!
+//! The paper evaluates on cluster-scale graphs; this crate supplies
+//! parameterised synthetic families (cycles, forests, G(n, m), paths of
+//! cliques, bridged block chains) whose structure controls exactly the
+//! quantities the paper's round bounds depend on — `n`, `m/n` and the
+//! diameter `D` — so the *shape* of every result is reproducible at
+//! laptop scale.
+
+#![warn(missing_docs)]
+
+pub mod generators;
+#[allow(clippy::module_inception)]
+mod graph;
+pub mod permutation;
+pub mod sequential;
+pub mod unionfind;
+
+pub use graph::{dedup_edges, Edge, EdgeList, Graph, WeightedEdge};
+pub use unionfind::{canonicalize_labels, UnionFind};

@@ -1,0 +1,102 @@
+//! Random permutations and priorities.
+//!
+//! The MIS algorithm (Section 5) and cycle connectivity (Section 8) both fix
+//! a uniformly random permutation π over the vertices; the paper samples it
+//! by "each vertex v picking a random real ρ_v ∈ [0, 1]".  We use random
+//! distinct `u64` priorities, which induce the same uniform permutation and
+//! avoid any floating-point tie handling.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Distinct random priorities for `n` vertices: lower value = earlier in π.
+///
+/// Priorities are guaranteed distinct (re-drawn on collision), so they induce
+/// a well-defined permutation.
+pub fn random_priorities(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut priorities = vec![0u64; n];
+    let mut seen = std::collections::HashSet::with_capacity(n * 2);
+    for p in priorities.iter_mut() {
+        loop {
+            let candidate: u64 = rng.gen();
+            if seen.insert(candidate) {
+                *p = candidate;
+                break;
+            }
+        }
+    }
+    priorities
+}
+
+/// A uniformly random permutation of `0..n` (as a mapping `perm[v] = rank`).
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+    // order[rank] = vertex; invert to perm[vertex] = rank.
+    let mut perm = vec![0u32; n];
+    for (rank, &v) in order.iter().enumerate() {
+        perm[v as usize] = rank as u32;
+    }
+    perm
+}
+
+/// The permutation induced by priorities: `rank[v]` is the position of `v`
+/// when vertices are sorted by `(priority, id)`.
+pub fn ranks_from_priorities(priorities: &[u64]) -> Vec<u32> {
+    let n = priorities.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&v| (priorities[v as usize], v));
+    let mut rank = vec![0u32; n];
+    for (r, &v) in order.iter().enumerate() {
+        rank[v as usize] = r as u32;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priorities_are_distinct_and_deterministic() {
+        let a = random_priorities(1000, 42);
+        let b = random_priorities(1000, 42);
+        assert_eq!(a, b);
+        let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
+        assert_eq!(distinct.len(), 1000);
+        let c = random_priorities(1000, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let perm = random_permutation(500, 7);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..500u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranks_follow_priorities() {
+        let priorities = vec![50, 10, 30, 20, 40];
+        let ranks = ranks_from_priorities(&priorities);
+        assert_eq!(ranks, vec![4, 0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn ranks_break_ties_by_id() {
+        let priorities = vec![5, 5, 1];
+        let ranks = ranks_from_priorities(&priorities);
+        assert_eq!(ranks, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        assert!(random_priorities(0, 1).is_empty());
+        assert!(random_permutation(0, 1).is_empty());
+        assert!(ranks_from_priorities(&[]).is_empty());
+    }
+}

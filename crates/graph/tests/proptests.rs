@@ -1,0 +1,144 @@
+//! Property tests for the graph substrate: CSR construction invariants,
+//! generator guarantees (edge counts, component counts, degree profiles)
+//! and agreement between independent sequential reference algorithms.
+
+use ampc_graph::{generators, sequential, Edge, Graph, UnionFind};
+use proptest::prelude::*;
+
+fn arbitrary_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..80).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..200),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, .. ProptestConfig::default() })]
+
+    #[test]
+    fn csr_degrees_sum_to_twice_edge_count((n, pairs) in arbitrary_edges()) {
+        let edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let degree_sum: usize = (0..n as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        // Adjacency is symmetric and self-loop free.
+        for v in 0..n as u32 {
+            for &u in g.neighbors(v) {
+                prop_assert_ne!(u, v);
+                prop_assert!(g.neighbors(u).contains(&v));
+            }
+        }
+        // No duplicate undirected edges survive.
+        let mut seen = std::collections::HashSet::new();
+        for e in g.edges() {
+            prop_assert!(seen.insert((e.u.min(e.v), e.u.max(e.v))));
+        }
+    }
+
+    #[test]
+    fn bridges_are_exactly_the_component_increasing_edges((n, pairs) in arbitrary_edges()) {
+        let edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let bridges: std::collections::HashSet<Edge> = sequential::bridges(&g).into_iter().collect();
+        let base_components = sequential::count_components(&g);
+        for e in g.edges() {
+            let without: Vec<Edge> = g.edges().iter().filter(|&&x| x != *e).copied().collect();
+            let stripped = Graph::from_edges(n, &without);
+            let increased = sequential::count_components(&stripped) > base_components;
+            prop_assert_eq!(
+                bridges.contains(&e.normalized()),
+                increased,
+                "edge {:?} misclassified", e
+            );
+        }
+    }
+
+    #[test]
+    fn lfmis_is_maximal_and_respects_priorities((n, pairs) in arbitrary_edges(), seed in 0u64..500) {
+        let edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let priorities = ampc_graph::permutation::random_priorities(n, seed);
+        let mis = sequential::lexicographically_first_mis(&g, &priorities);
+        prop_assert!(sequential::is_maximal_independent_set(&g, &mis));
+        // Greedy property: a vertex outside the MIS has an in-MIS neighbour
+        // with smaller priority.
+        for v in 0..n as u32 {
+            if !mis[v as usize] {
+                let has_earlier_in_mis_neighbor = g
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| mis[u as usize] && (priorities[u as usize], u) < (priorities[v as usize], v));
+                prop_assert!(has_earlier_in_mis_neighbor, "vertex {} blocked without cause", v);
+            }
+        }
+    }
+
+    #[test]
+    fn kruskal_weight_is_minimal_among_random_spanning_forests(
+        (n, pairs) in arbitrary_edges(),
+        seed in 0u64..500
+    ) {
+        let edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+        let base = Graph::from_edges(n, &edges);
+        let g = generators::with_random_weights(&base, seed);
+        let (forest, total) = sequential::kruskal_msf(&g);
+        // The forest spans: same number of components as the graph.
+        let mut uf = UnionFind::new(n);
+        for e in &forest {
+            prop_assert!(uf.union(e.u, e.v), "Kruskal output contains a cycle");
+        }
+        prop_assert_eq!(uf.num_components(), sequential::count_components(&g));
+        // Any other spanning forest (built greedily in random order) weighs
+        // at least as much.
+        if g.num_edges() > 0 {
+            let mut other = UnionFind::new(n);
+            let mut other_total = 0u64;
+            let mut shuffled = g.weighted_edges();
+            // Deterministic pseudo-shuffle keyed by the seed.
+            shuffled.sort_unstable_by_key(|e| (e.weight.wrapping_mul(seed | 1)) ^ e.id as u64);
+            for e in shuffled {
+                if other.union(e.u, e.v) {
+                    other_total += e.weight;
+                }
+            }
+            prop_assert!(total <= other_total);
+        }
+    }
+
+    #[test]
+    fn generators_meet_their_contracts(n in 6usize..200, k in 1usize..8, seed in 0u64..500) {
+        let n = n - (n % 2); // even for two_cycles
+        let k = k.min(n);
+
+        let forest = generators::random_forest(n, k, seed);
+        prop_assert_eq!(forest.num_edges(), n - k);
+        prop_assert_eq!(generators::component_count(&forest), k);
+
+        let planted = generators::planted_components(n, k, 2, seed);
+        prop_assert_eq!(generators::component_count(&planted), k);
+
+        let connected = generators::connected_gnm(n, n / 2, seed);
+        prop_assert_eq!(generators::component_count(&connected), 1);
+
+        let cycles = generators::two_cycle_instance(n.max(6), seed % 2 == 0, seed);
+        prop_assert!((0..cycles.num_vertices() as u32).all(|v| cycles.degree(v) == 2));
+    }
+
+    #[test]
+    fn diameter_estimate_is_a_valid_eccentricity((n, pairs) in arbitrary_edges()) {
+        let edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let estimate = sequential::diameter_estimate(&g);
+        // The estimate is achieved by some BFS, so it is at most the number
+        // of vertices and at least the eccentricity lower bound from vertex 0.
+        let from_zero = sequential::bfs_distances(&g, 0)
+            .into_iter()
+            .filter(|&d| d != usize::MAX)
+            .max()
+            .unwrap_or(0);
+        prop_assert!(estimate >= from_zero);
+        prop_assert!(estimate < n.max(1));
+    }
+}

@@ -1,0 +1,86 @@
+//! Connectivity by label propagation: the `O(D)`-round MPC baseline.
+//!
+//! Every vertex repeatedly adopts the minimum label in its closed
+//! neighbourhood and tells its neighbours when its label improves.  The
+//! number of supersteps is `Θ(D)` (the graph diameter) — exactly the
+//! dependence the paper's AMPC connectivity algorithm removes, and the
+//! quantity the diameter-ablation benchmark sweeps.
+
+use crate::runtime::{MpcRuntime, VertexProgram};
+use crate::stats::MpcRunStats;
+use ampc_graph::Graph;
+
+struct LabelPropagation;
+
+impl VertexProgram for LabelPropagation {
+    type State = u32;
+    type Message = u32;
+
+    fn init(&self, v: u32, _graph: &Graph) -> u32 {
+        v
+    }
+
+    fn step(
+        &self,
+        v: u32,
+        graph: &Graph,
+        state: &mut u32,
+        messages: &[u32],
+        superstep: usize,
+    ) -> Vec<(u32, u32)> {
+        let best_incoming = messages.iter().copied().min().unwrap_or(u32::MAX);
+        let improved = best_incoming < *state;
+        if improved {
+            *state = best_incoming;
+        }
+        if superstep == 0 || improved {
+            graph.neighbors(v).iter().map(|&u| (u, *state)).collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Connected components by min-label propagation.
+///
+/// Returns `(labels, stats)` where `labels[v]` is the smallest vertex id in
+/// `v`'s component and `stats.num_rounds()` is `Θ(D)`.
+pub fn label_propagation_connectivity(graph: &Graph, epsilon: f64) -> (Vec<u32>, MpcRunStats) {
+    let runtime = MpcRuntime::for_graph(graph, epsilon);
+    // Label propagation needs up to D + 2 supersteps; D can approach n.
+    let runtime = MpcRuntime::new(runtime.machines, graph.num_vertices() + 2);
+    runtime.run(graph, &LabelPropagation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_graph::{generators, sequential};
+
+    #[test]
+    fn matches_sequential_connectivity_on_random_graphs() {
+        for seed in 0..3 {
+            let g = generators::planted_components(200, 5, 3, seed);
+            let (labels, _) = label_propagation_connectivity(&g, 0.5);
+            assert_eq!(labels, sequential::connected_components(&g));
+        }
+    }
+
+    #[test]
+    fn round_count_scales_with_diameter() {
+        let short = generators::star(1000); // D = 2
+        let long = generators::path(1000); // D = 999
+        let (_, short_stats) = label_propagation_connectivity(&short, 0.5);
+        let (_, long_stats) = label_propagation_connectivity(&long, 0.5);
+        assert!(short_stats.num_rounds() <= 5);
+        assert!(long_stats.num_rounds() >= 999);
+        assert!(long_stats.num_rounds() > 50 * short_stats.num_rounds());
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_own_label() {
+        let g = ampc_graph::Graph::from_edges(5, &[ampc_graph::Edge::new(0, 1)]);
+        let (labels, _) = label_propagation_connectivity(&g, 0.5);
+        assert_eq!(labels, vec![0, 0, 2, 3, 4]);
+    }
+}

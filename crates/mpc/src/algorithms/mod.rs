@@ -1,0 +1,27 @@
+//! Baseline MPC graph algorithms — the right-hand column of Figure 1.
+//!
+//! Each baseline is the textbook MPC/PRAM-style algorithm the paper compares
+//! against, executed round by round with explicit superstep accounting so
+//! the benchmark harness can print "AMPC rounds vs MPC rounds" for every
+//! problem:
+//!
+//! | Problem           | Baseline here                         | Rounds      |
+//! |-------------------|---------------------------------------|-------------|
+//! | Connectivity      | [`label_propagation`]                 | `O(D)`      |
+//! | Connectivity      | [`pointer_doubling::connectivity`]    | `O(log n)`  |
+//! | 2-Cycle           | [`two_cycle`]                         | `O(log n)`  |
+//! | MIS               | [`luby_mis`]                          | `O(log n)`  |
+//! | MSF                | [`boruvka`]                           | `O(log n)`  |
+//! | List ranking      | [`pointer_doubling::list_ranking`]    | `O(log n)`  |
+
+pub mod boruvka;
+pub mod label_propagation;
+pub mod luby_mis;
+pub mod pointer_doubling;
+pub mod two_cycle;
+
+pub use boruvka::boruvka_msf;
+pub use label_propagation::label_propagation_connectivity;
+pub use luby_mis::luby_mis;
+pub use pointer_doubling::{pointer_doubling_connectivity, wyllie_list_ranking};
+pub use two_cycle::two_cycle_mpc;

@@ -1,0 +1,98 @@
+//! Statistics of an MPC (non-adaptive) execution.
+//!
+//! The MPC baselines are compared against the AMPC algorithms on *round
+//! counts* — the paper's Figure 1 — so the statistics mirror the AMPC
+//! [`ampc_runtime::RunStats`] shape: supersteps (rounds), total messages
+//! and the largest per-machine message load.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one MPC superstep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuperstepStats {
+    /// Superstep index (0-based).
+    pub superstep: usize,
+    /// Vertices that executed in this superstep.
+    pub active_vertices: usize,
+    /// Messages produced in this superstep.
+    pub messages: u64,
+    /// Maximum messages received by any single machine in the *next*
+    /// superstep (machine = `vertex % P`).
+    pub max_messages_per_machine: u64,
+}
+
+/// Statistics of a whole MPC execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MpcRunStats {
+    /// Per-superstep statistics.
+    pub supersteps: Vec<SuperstepStats>,
+}
+
+impl MpcRunStats {
+    /// Record a superstep.
+    pub fn push(&mut self, stats: SuperstepStats) {
+        self.supersteps.push(stats);
+    }
+
+    /// Number of supersteps (MPC rounds).
+    pub fn num_rounds(&self) -> usize {
+        self.supersteps.len()
+    }
+
+    /// Total messages over the run.
+    pub fn total_messages(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.messages).sum()
+    }
+
+    /// Largest per-machine message load seen in any superstep.
+    pub fn max_machine_load(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.max_messages_per_machine).max().unwrap_or(0)
+    }
+
+    /// Append the rounds of another run (for algorithms with phases).
+    pub fn absorb(&mut self, other: MpcRunStats) {
+        let offset = self.supersteps.len();
+        for (i, mut s) in other.supersteps.into_iter().enumerate() {
+            s.superstep = offset + i;
+            self.supersteps.push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(messages: u64, max: u64) -> SuperstepStats {
+        SuperstepStats { superstep: 0, active_vertices: 10, messages, max_messages_per_machine: max }
+    }
+
+    #[test]
+    fn aggregation() {
+        let mut run = MpcRunStats::default();
+        run.push(step(100, 10));
+        run.push(step(50, 25));
+        assert_eq!(run.num_rounds(), 2);
+        assert_eq!(run.total_messages(), 150);
+        assert_eq!(run.max_machine_load(), 25);
+    }
+
+    #[test]
+    fn absorb_renumbers() {
+        let mut a = MpcRunStats::default();
+        a.push(step(1, 1));
+        let mut b = MpcRunStats::default();
+        b.push(step(2, 2));
+        a.absorb(b);
+        assert_eq!(a.num_rounds(), 2);
+        assert_eq!(a.supersteps[1].superstep, 1);
+    }
+
+    #[test]
+    fn empty_run() {
+        let run = MpcRunStats::default();
+        assert_eq!(run.num_rounds(), 0);
+        assert_eq!(run.total_messages(), 0);
+        assert_eq!(run.max_machine_load(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Cross-crate integration tests: every AMPC algorithm, exercised through
+//! the public `ampc_suite` API on non-trivial workloads and checked against
+//! the sequential reference implementations and the MPC baselines.
+
+use ampc_suite::prelude::*;
+use ampc_suite::runtime::FaultPlan;
+
+const EPSILON: f64 = 0.5;
+
+#[test]
+fn two_cycle_agrees_with_mpc_baseline_on_both_instances() {
+    for &(n, two) in &[(1_000usize, false), (1_000, true), (4_096, false), (4_096, true)] {
+        let graph = generators::two_cycle_instance(n, two, 21);
+        let ampc = two_cycle(&graph, EPSILON, 21);
+        let (mpc_answer, mpc_stats) = ampc_suite::mpc::two_cycle_mpc(&graph, 64);
+        let expected_two = matches!(ampc.output, TwoCycleAnswer::TwoCycles);
+        assert_eq!(expected_two, two);
+        assert_eq!(
+            matches!(mpc_answer, ampc_suite::mpc::TwoCycleAnswer::TwoCycles),
+            two
+        );
+        // The AMPC/MPC round-count gap that refutes the 2-Cycle conjecture.
+        assert!(ampc.rounds() < mpc_stats.num_rounds() + 10);
+    }
+}
+
+#[test]
+fn connectivity_stack_agrees_across_models_and_references() {
+    let graph = generators::planted_components(3_000, 9, 400, 33);
+    let reference = sequential::connected_components(&graph);
+
+    let ampc = connectivity(&graph, EPSILON, 33);
+    assert_eq!(ampc.output, reference);
+
+    let (sv, _) = ampc_suite::mpc::pointer_doubling_connectivity(&graph, 64);
+    assert_eq!(sv, reference);
+
+    let (lp, _) = ampc_suite::mpc::label_propagation_connectivity(&graph, EPSILON);
+    assert_eq!(lp, reference);
+}
+
+#[test]
+fn msf_weight_matches_kruskal_and_boruvka() {
+    let base = generators::connected_gnm(2_000, 7_000, 5);
+    let graph = generators::with_random_weights(&base, 6);
+    let ampc = minimum_spanning_forest(&graph, EPSILON, 5);
+    let (_, kruskal_weight) = sequential::kruskal_msf(&graph);
+    let (_, boruvka_weight, _) = ampc_suite::mpc::boruvka_msf(&graph, 64);
+    assert_eq!(ampc.output.total_weight, kruskal_weight);
+    assert_eq!(boruvka_weight, kruskal_weight);
+    assert_eq!(ampc.output.edges.len(), 1_999);
+}
+
+#[test]
+fn mis_is_the_lfmis_of_its_priorities_and_luby_is_also_valid() {
+    let graph = generators::erdos_renyi_gnm(1_500, 6_000, 9);
+    let ampc = maximal_independent_set(&graph, EPSILON, 9);
+    assert!(sequential::is_maximal_independent_set(&graph, &ampc.output));
+
+    let (luby, luby_stats) = ampc_suite::mpc::luby_mis(&graph, 64, 9);
+    assert!(sequential::is_maximal_independent_set(&graph, &luby));
+    // Luby needs Θ(log n) rounds, the AMPC algorithm O(1/ε) iterations.
+    assert!(luby_stats.num_rounds() >= 2);
+}
+
+#[test]
+fn forest_connectivity_and_tree_operations_compose() {
+    let forest = generators::random_forest(4_000, 16, 13);
+    let reference = sequential::connected_components(&forest);
+
+    assert_eq!(forest_connectivity(&forest, EPSILON, 13).output, reference);
+
+    let rooted = root_forest(&forest, None, EPSILON, 13).output;
+    // Parent pointers stay within components and point strictly "up" in
+    // preorder.
+    for v in 0..4_000u32 {
+        let p = rooted.parent[v as usize];
+        assert_eq!(reference[v as usize], reference[p as usize]);
+        if p != v {
+            assert!(rooted.preorder[p as usize] < rooted.preorder[v as usize]);
+        }
+    }
+    // Subtree sizes of roots add up to n.
+    let total: u64 = (0..4_000u32)
+        .filter(|&v| rooted.parent[v as usize] == v)
+        .map(|v| rooted.subtree_size[v as usize])
+        .sum();
+    assert_eq!(total, 4_000);
+}
+
+#[test]
+fn two_edge_connectivity_matches_dfs_on_structured_and_random_graphs() {
+    let structured = generators::bridged_blocks(8, 6, 4, 3);
+    let bc = two_edge_connectivity(&structured, EPSILON, 3);
+    assert_eq!(bc.output.bridges, sequential::bridges(&structured));
+    assert_eq!(
+        bc.output.two_edge_components,
+        sequential::two_edge_connected_components(&structured)
+    );
+
+    let random = generators::erdos_renyi_gnm(800, 1_000, 17);
+    let bc = two_edge_connectivity(&random, EPSILON, 17);
+    assert_eq!(bc.output.bridges, sequential::bridges(&random));
+}
+
+#[test]
+fn list_ranking_matches_wyllie_and_sequential() {
+    let n = 6_000usize;
+    let successor: Vec<u32> = {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(&mut rng);
+        let mut succ = vec![0u32; n];
+        for i in 0..n - 1 {
+            succ[order[i] as usize] = order[i + 1];
+        }
+        succ[order[n - 1] as usize] = order[n - 1];
+        succ
+    };
+    let expected = sequential::sequential_list_ranks(&successor);
+    assert_eq!(list_ranking(&successor, EPSILON, 4).output, expected);
+    let (wyllie, wyllie_stats) = ampc_suite::mpc::wyllie_list_ranking(&successor, 64);
+    assert_eq!(wyllie, expected);
+    assert!(wyllie_stats.num_rounds() >= 10); // Θ(log n)
+}
+
+#[test]
+fn fault_injection_does_not_change_any_algorithm_output() {
+    // The fault plan applies to the runtime the algorithm builds internally,
+    // so here we exercise the runtime directly (as the examples do) and the
+    // deterministic seeds guarantee algorithm-level reproducibility.
+    let config = AmpcConfig::for_graph(10_000, 10_000, EPSILON).with_seed(7);
+    let machines = config.num_machines();
+    let run = |plan: FaultPlan| {
+        let mut rt = AmpcRuntime::new(config.clone()).with_fault_plan(plan);
+        rt.load_input((0..1_000u64).map(|x| {
+            (
+                ampc_suite::dds::Key::of(ampc_suite::dds::KeyTag::Successor, x),
+                ampc_suite::dds::Value::scalar((x * 7 + 3) % 1_000),
+            )
+        }));
+        rt.run_round(machines.min(32), |ctx| {
+            let mut x = ctx.machine_id() as u64;
+            for _ in 0..20 {
+                x = ctx
+                    .read(ampc_suite::dds::Key::of(ampc_suite::dds::KeyTag::Successor, x % 1_000))
+                    .map(|v| v.x)
+                    .unwrap_or(x);
+            }
+            x
+        })
+        .unwrap()
+    };
+    let clean = run(FaultPlan::none());
+    let faulty = run(FaultPlan::none().fail(0, 0).fail(0, 5).fail(0, 11));
+    assert_eq!(clean, faulty);
+}
+
+#[test]
+fn deterministic_given_the_same_seed() {
+    let graph = generators::erdos_renyi_gnm(1_000, 3_000, 55);
+    let a = maximal_independent_set(&graph, EPSILON, 55).output;
+    let b = maximal_independent_set(&graph, EPSILON, 55).output;
+    assert_eq!(a, b);
+
+    let c = connectivity(&graph, EPSILON, 55).output;
+    let d = connectivity(&graph, EPSILON, 55).output;
+    assert_eq!(c, d);
+}
+
+#[test]
+fn round_complexity_shapes_match_figure_one() {
+    // Figure 1's qualitative claim: AMPC round counts are (near-)constant in
+    // n while the MPC baselines grow with log n or D.
+    let small = generators::two_cycle_instance(512, false, 2);
+    let large = generators::two_cycle_instance(32_768, false, 2);
+
+    let ampc_small = two_cycle(&small, EPSILON, 2).rounds();
+    let ampc_large = two_cycle(&large, EPSILON, 2).rounds();
+    let (_, mpc_small) = ampc_suite::mpc::two_cycle_mpc(&small, 64);
+    let (_, mpc_large) = ampc_suite::mpc::two_cycle_mpc(&large, 64);
+
+    // AMPC: grows by at most a couple of iterations over a 64x size increase.
+    assert!(ampc_large <= ampc_small + 6, "ampc {ampc_small} -> {ampc_large}");
+    // MPC: strictly grows with log n.
+    assert!(mpc_large.num_rounds() > mpc_small.num_rounds());
+}

@@ -1,0 +1,162 @@
+//! Property-based tests (proptest): the AMPC algorithms agree with the
+//! sequential references on randomly generated workloads, and the core data
+//! structures maintain their invariants under arbitrary operation sequences.
+
+use ampc_suite::dds::{Key, KeyTag, ShardedStore, Value};
+use ampc_suite::prelude::*;
+use proptest::prelude::*;
+
+const EPSILON: f64 = 0.5;
+
+/// Strategy: an arbitrary small undirected graph given as (n, edge pairs).
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (2usize..60).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_edges.min(150)).prop_map(
+            move |pairs| {
+                let edges: Vec<Edge> = pairs.into_iter().map(|(u, v)| Edge::new(u, v)).collect();
+                Graph::from_edges(n, &edges)
+            },
+        )
+    })
+}
+
+/// Strategy: a random forest described by (n, number of trees, seed).
+fn arbitrary_forest() -> impl Strategy<Value = Graph> {
+    (2usize..80, 1usize..6, 0u64..1000).prop_map(|(n, trees, seed)| {
+        let trees = trees.min(n);
+        generators::random_forest(n, trees, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn ampc_connectivity_equals_union_find(graph in arbitrary_graph(), seed in 0u64..1000) {
+        let result = connectivity(&graph, EPSILON, seed);
+        prop_assert_eq!(result.output, sequential::connected_components(&graph));
+    }
+
+    #[test]
+    fn ampc_mis_is_maximal_and_independent(graph in arbitrary_graph(), seed in 0u64..1000) {
+        let result = maximal_independent_set(&graph, EPSILON, seed);
+        prop_assert!(sequential::is_maximal_independent_set(&graph, &result.output));
+    }
+
+    #[test]
+    fn ampc_spanning_forest_weight_is_minimal(graph in arbitrary_graph(), seed in 0u64..1000) {
+        let weighted = generators::with_random_weights(&graph, seed);
+        let result = minimum_spanning_forest(&weighted, EPSILON, seed);
+        let (_, kruskal_weight) = sequential::kruskal_msf(&weighted);
+        prop_assert_eq!(result.output.total_weight, kruskal_weight);
+        // The returned edge set is acyclic and spans every component.
+        let mut uf = ampc_suite::graph::UnionFind::new(weighted.num_vertices());
+        for e in &result.output.edges {
+            prop_assert!(uf.union(e.u, e.v));
+        }
+        prop_assert_eq!(uf.num_components(), sequential::count_components(&weighted));
+    }
+
+    #[test]
+    fn ampc_bridges_equal_dfs_bridges(graph in arbitrary_graph(), seed in 0u64..1000) {
+        let result = two_edge_connectivity(&graph, EPSILON, seed);
+        prop_assert_eq!(result.output.bridges, sequential::bridges(&graph));
+        prop_assert_eq!(
+            result.output.two_edge_components,
+            sequential::two_edge_connected_components(&graph)
+        );
+    }
+
+    #[test]
+    fn forest_connectivity_equals_union_find(forest in arbitrary_forest(), seed in 0u64..1000) {
+        let result = forest_connectivity(&forest, EPSILON, seed);
+        prop_assert_eq!(result.output, sequential::connected_components(&forest));
+    }
+
+    #[test]
+    fn rooted_forest_invariants(forest in arbitrary_forest(), seed in 0u64..1000) {
+        let n = forest.num_vertices();
+        let rooted = root_forest(&forest, None, EPSILON, seed).output;
+        let components = sequential::connected_components(&forest);
+        // Preorder is a permutation of 0..n.
+        let mut sorted = rooted.preorder.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as u64).collect::<Vec<_>>());
+        // Parents stay in the component, roots are the component minima, and
+        // subtree sizes are consistent with the parent structure.
+        let mut child_size_sum = vec![0u64; n];
+        for v in 0..n as u32 {
+            let p = rooted.parent[v as usize];
+            prop_assert_eq!(components[v as usize], components[p as usize]);
+            if p == v {
+                prop_assert_eq!(v, components[v as usize]);
+            } else {
+                prop_assert!(rooted.preorder[p as usize] < rooted.preorder[v as usize]);
+                child_size_sum[p as usize] += rooted.subtree_size[v as usize];
+            }
+        }
+        for v in 0..n {
+            prop_assert_eq!(rooted.subtree_size[v], child_size_sum[v] + 1);
+        }
+    }
+
+    #[test]
+    fn list_ranking_equals_position(perm_seed in 0u64..10_000, len in 2usize..400, seed in 0u64..1000) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        let mut order: Vec<u32> = (0..len as u32).collect();
+        order.shuffle(&mut rng);
+        let mut successor = vec![0u32; len];
+        for i in 0..len - 1 {
+            successor[order[i] as usize] = order[i + 1];
+        }
+        successor[order[len - 1] as usize] = order[len - 1];
+        let result = list_ranking(&successor, EPSILON, seed);
+        prop_assert_eq!(result.output, sequential::sequential_list_ranks(&successor));
+    }
+
+    #[test]
+    fn two_cycle_never_misclassifies(n in 4usize..400, two in any::<bool>(), seed in 0u64..1000) {
+        let n = (n / 2) * 2 + 6; // even, ≥ 6 so both instances exist
+        let graph = generators::two_cycle_instance(n, two, seed);
+        let result = two_cycle(&graph, EPSILON, seed);
+        prop_assert_eq!(matches!(result.output, TwoCycleAnswer::TwoCycles), two);
+    }
+
+    #[test]
+    fn dds_store_preserves_all_writes(
+        writes in proptest::collection::vec((0u64..500, 0u64..1_000_000), 1..300),
+        shards in 1usize..32
+    ) {
+        let store = ShardedStore::new(shards);
+        for &(k, v) in &writes {
+            store.write(Key::of(KeyTag::Scalar, k), Value::scalar(v));
+        }
+        let snapshot = store.freeze();
+        // Every key holds exactly the values written to it, in write order.
+        let mut expected: std::collections::HashMap<u64, Vec<u64>> = std::collections::HashMap::new();
+        for &(k, v) in &writes {
+            expected.entry(k).or_default().push(v);
+        }
+        for (k, values) in expected {
+            let key = Key::of(KeyTag::Scalar, k);
+            prop_assert_eq!(snapshot.multiplicity(&key), values.len());
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(snapshot.get_indexed(&key, i), Some(Value::scalar(v)));
+            }
+        }
+        prop_assert_eq!(snapshot.stats().total_writes, writes.len() as u64);
+    }
+
+    #[test]
+    fn canonical_labels_are_invariant_under_renaming(
+        labels in proptest::collection::vec(0u32..20, 1..100),
+        offset in 1u32..1000
+    ) {
+        use ampc_suite::graph::canonicalize_labels;
+        let renamed: Vec<u32> = labels.iter().map(|&l| l * 7 + offset).collect();
+        prop_assert_eq!(canonicalize_labels(&labels), canonicalize_labels(&renamed));
+    }
+}
