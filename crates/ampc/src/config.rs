@@ -52,7 +52,10 @@ impl AmpcConfig {
     /// Configuration for an input of size `input_size` (for graphs,
     /// `N = n + m`) using `size_parameter` (for graphs, `n`) and exponent ε.
     pub fn new(size_parameter: usize, input_size: usize, epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1), got {epsilon}");
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must lie in (0, 1), got {epsilon}"
+        );
         AmpcConfig {
             size_parameter: size_parameter.max(1),
             epsilon,
@@ -126,7 +129,7 @@ impl AmpcConfig {
     /// Worker threads to use, resolving `0` to the number of CPUs.
     pub fn effective_threads(&self) -> usize {
         if self.threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            ampc_dds::default_parallelism()
         } else {
             self.threads
         }

@@ -5,9 +5,15 @@
 //!
 //! * adaptive **reads** against the snapshot of the previous round's store
 //!   (`D_{i-1}`) — each read may depend on the values returned by earlier
-//!   reads, which is the defining "adaptive" capability of AMPC;
+//!   reads, which is the defining "adaptive" capability of AMPC.  Reads of
+//!   *independent* keys can be batched into one flight with
+//!   [`MachineContext::read_many`]; a batch of `k` keys is accounted as
+//!   exactly `k` queries, so batching never changes budget semantics, only
+//!   wall-clock cost;
 //! * buffered **writes** destined for the current round's store (`D_i`) —
-//!   they become visible only after the round completes;
+//!   they become visible only after the round completes, committed by the
+//!   runtime shard-parallel in deterministic (machine id, write order)
+//!   order;
 //! * per-machine randomness and the query/write accounting the model's
 //!   `O(S)` budgets are stated in.
 
@@ -30,7 +36,12 @@ pub struct MachineContext {
 impl MachineContext {
     /// Create the context for `machine_id` in `round`, reading from
     /// `snapshot` (the frozen `D_{round-1}`).
-    pub(crate) fn new(machine_id: usize, round: usize, snapshot: Snapshot, config: &AmpcConfig) -> Self {
+    pub(crate) fn new(
+        machine_id: usize,
+        round: usize,
+        snapshot: Snapshot,
+        config: &AmpcConfig,
+    ) -> Self {
         // Derive a per-(round, machine) RNG stream from the run seed so that
         // re-executing a failed machine reproduces its random choices — the
         // property the paper's fault-tolerance argument needs.
@@ -77,7 +88,8 @@ impl MachineContext {
 
     /// Remaining budget before this machine exceeds `O(S)` communication.
     pub fn remaining_budget(&self) -> u64 {
-        self.budget.saturating_sub(self.queries + self.writes_issued())
+        self.budget
+            .saturating_sub(self.queries + self.writes_issued())
     }
 
     /// `true` once the machine has used up its communication budget.
@@ -89,6 +101,41 @@ impl MachineContext {
     pub fn read(&mut self, key: Key) -> Option<Value> {
         self.queries += 1;
         self.snapshot.get(&key)
+    }
+
+    /// Batched adaptive read: look up every key of `keys` in `D_{round-1}`,
+    /// returning one `Option<Value>` per key, in order.
+    ///
+    /// Counts as `keys.len()` queries — budget semantics are *identical* to
+    /// issuing [`MachineContext::read`] once per key.  The batch models a
+    /// real deployment pipelining independent lookups over the network in
+    /// one flight; adaptivity is unaffected because the next batch may
+    /// depend on this batch's results.
+    pub fn read_many(&mut self, keys: &[Key]) -> Vec<Option<Value>> {
+        self.queries += keys.len() as u64;
+        let mut out = Vec::new();
+        self.snapshot.get_many(keys, &mut out);
+        out
+    }
+
+    /// [`MachineContext::read_many`] writing into a caller-provided buffer,
+    /// for hot loops that batch reads every iteration.  `out` is cleared
+    /// first.  Counts as `keys.len()` queries.
+    pub fn read_many_into(&mut self, keys: &[Key], out: &mut Vec<Option<Value>>) {
+        self.queries += keys.len() as u64;
+        self.snapshot.get_many(keys, out);
+    }
+
+    /// [`MachineContext::read_many`] into a caller-provided slice (`out[i]`
+    /// receives the result for `keys[i]`), for hot loops that batch into
+    /// fixed-size stack buffers without heap allocation.  Counts as
+    /// `keys.len()` queries.
+    ///
+    /// # Panics
+    /// If `out` is shorter than `keys`.
+    pub fn read_many_slice(&mut self, keys: &[Key], out: &mut [Option<Value>]) {
+        self.queries += keys.len() as u64;
+        self.snapshot.get_many_slice(keys, out);
     }
 
     /// Adaptive read of the `index`-th value stored under `key` (zero-based),
@@ -150,7 +197,10 @@ mod tests {
         let snap = snapshot_with(&[(1, 10), (2, 20)]);
         let cfg = test_config();
         let mut ctx = MachineContext::new(0, 1, snap, &cfg);
-        assert_eq!(ctx.read(Key::of(KeyTag::Scalar, 1)), Some(Value::scalar(10)));
+        assert_eq!(
+            ctx.read(Key::of(KeyTag::Scalar, 1)),
+            Some(Value::scalar(10))
+        );
         assert_eq!(ctx.read(Key::of(KeyTag::Scalar, 3)), None);
         assert_eq!(ctx.queries_issued(), 2);
     }
@@ -196,6 +246,39 @@ mod tests {
         assert_eq!(draw(3, 2), draw(3, 2));
         assert_ne!(draw(3, 2), draw(4, 2));
         assert_ne!(draw(3, 2), draw(3, 3));
+    }
+
+    #[test]
+    fn read_many_budget_accounting_matches_single_reads_exactly() {
+        let pairs: Vec<(u64, u64)> = (0..40).map(|i| (i, i * 2)).collect();
+        let cfg = test_config();
+        let keys: Vec<Key> = (0..60u64).map(|i| Key::of(KeyTag::Scalar, i)).collect();
+
+        // One context issues 60 single reads, the other one batched read.
+        let mut singles = MachineContext::new(0, 1, snapshot_with(&pairs), &cfg);
+        let single_results: Vec<Option<Value>> = keys.iter().map(|&k| singles.read(k)).collect();
+
+        let mut batched = MachineContext::new(0, 1, snapshot_with(&pairs), &cfg);
+        let batch_results = batched.read_many(&keys);
+
+        assert_eq!(single_results, batch_results);
+        assert_eq!(singles.queries_issued(), 60);
+        assert_eq!(batched.queries_issued(), singles.queries_issued());
+        assert_eq!(batched.remaining_budget(), singles.remaining_budget());
+        assert_eq!(batched.budget_exhausted(), singles.budget_exhausted());
+    }
+
+    #[test]
+    fn read_many_into_reuses_buffer_and_counts_queries() {
+        let snap = snapshot_with(&[(1, 10), (2, 20)]);
+        let cfg = test_config();
+        let mut ctx = MachineContext::new(0, 1, snap, &cfg);
+        let mut buf = vec![Some(Value::scalar(999))]; // stale contents must go
+        ctx.read_many_into(&[Key::of(KeyTag::Scalar, 2)], &mut buf);
+        assert_eq!(buf, vec![Some(Value::scalar(20))]);
+        ctx.read_many_into(&[], &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(ctx.queries_issued(), 1);
     }
 
     #[test]

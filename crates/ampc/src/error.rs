@@ -54,13 +54,22 @@ mod tests {
 
     #[test]
     fn errors_format_readably() {
-        let e = AmpcError::BudgetExceeded { round: 2, machine: 7, queries: 100, writes: 5, budget: 64 };
+        let e = AmpcError::BudgetExceeded {
+            round: 2,
+            machine: 7,
+            queries: 100,
+            writes: 5,
+            budget: 64,
+        };
         let text = e.to_string();
         assert!(text.contains("machine 7"));
         assert!(text.contains("round 2"));
         assert!(text.contains("> 64"));
 
-        let e = AmpcError::TooManyMachines { requested: 10, available: 4 };
+        let e = AmpcError::TooManyMachines {
+            requested: 10,
+            available: 4,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("4"));
 

@@ -16,6 +16,28 @@
 //! * [`FaultPlan`] schedules machine failures to exercise the model's
 //!   restart-from-snapshot fault-tolerance story.
 //!
+//! # Round lifecycle
+//!
+//! Each call to [`AmpcRuntime::run_round`] drives one epoch through the
+//! pipeline implemented by `ampc_dds`:
+//!
+//! 1. **Execute** — virtual machines are multiplexed onto worker threads;
+//!    every machine reads the frozen snapshot of `D_{i-1}` (single keys via
+//!    [`MachineContext::read`], pipelined batches via
+//!    [`MachineContext::read_many`] — a batch of `k` keys costs exactly `k`
+//!    queries, so budget semantics never depend on batching) and buffers
+//!    its writes locally.
+//! 2. **Commit** — when all machines finish, their write buffers are
+//!    concatenated in (machine id, write order) order, partitioned by
+//!    destination shard, and committed with one lock acquisition per shard,
+//!    distinct shards in parallel.  Per-key multi-value indices are
+//!    reproducible because a key lives on exactly one shard.
+//! 3. **Freeze** — the store is frozen shard-parallel into the compact
+//!    read-only snapshot (`D_i`) the next round will read.
+//!
+//! [`AmpcRuntime::scatter`] and [`AmpcRuntime::load_input`] push
+//! driver-assembled pairs through the same commit path.
+//!
 //! ```
 //! use ampc_runtime::{AmpcConfig, AmpcRuntime};
 //! use ampc_dds::{Key, KeyTag, Value};

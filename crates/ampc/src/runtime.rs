@@ -83,13 +83,20 @@ impl AmpcRuntime {
         self.snapshot.clone()
     }
 
+    /// Worker threads used for end-of-round shard-parallel commits.
+    fn commit_threads(&self) -> usize {
+        self.config.effective_threads()
+    }
+
     /// Load the algorithm's *input* into `D_0`.
     ///
     /// The model places the input in the data store before the computation
-    /// starts, so this does not count as a round.
+    /// starts, so this does not count as a round.  The writes are committed
+    /// through the shard-parallel path like any round's writes.
     pub fn load_input(&mut self, pairs: impl IntoIterator<Item = (Key, Value)>) {
-        self.chain.write_batch(pairs);
-        self.snapshot = self.chain.advance();
+        let threads = self.commit_threads();
+        self.chain.commit_round(std::iter::once(pairs), threads);
+        self.snapshot = self.chain.advance_with_threads(threads);
     }
 
     /// Scatter driver-assembled key-value pairs into the next store.
@@ -102,8 +109,9 @@ impl AmpcRuntime {
         let started = Instant::now();
         let num_machines = self.config.num_machines();
         let total_writes = pairs.len() as u64;
-        self.chain.write_batch(pairs);
-        self.snapshot = self.chain.advance();
+        let threads = self.commit_threads();
+        self.chain.commit_round(std::iter::once(pairs), threads);
+        self.snapshot = self.chain.advance_with_threads(threads);
         let max_writes = total_writes.div_ceil(num_machines.max(1) as u64);
         let budget = self.config.round_budget();
         self.stats.push(RoundStats {
@@ -156,9 +164,9 @@ impl AmpcRuntime {
         let fault_plan = &self.fault_plan;
         let work = &work;
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     let mut local: Vec<MachineOutcome<R>> = Vec::new();
                     loop {
                         let machine = cursor.fetch_add(1, Ordering::Relaxed);
@@ -170,7 +178,8 @@ impl AmpcRuntime {
                             // Simulated failure: the machine runs, crashes and
                             // its writes are discarded; it is then re-executed
                             // from scratch against the same immutable snapshot.
-                            let mut doomed = MachineContext::new(machine, round, snapshot.clone(), config);
+                            let mut doomed =
+                                MachineContext::new(machine, round, snapshot.clone(), config);
                             let _ = work(&mut doomed);
                             drop(doomed);
                             restarted = true;
@@ -179,13 +188,18 @@ impl AmpcRuntime {
                         let result = work(&mut ctx);
                         let queries = ctx.queries_issued();
                         let (writes, _) = ctx.into_parts();
-                        local.push(MachineOutcome { machine, result, writes, queries, restarted });
+                        local.push(MachineOutcome {
+                            machine,
+                            result,
+                            writes,
+                            queries,
+                            restarted,
+                        });
                     }
                     outcomes.lock().append(&mut local);
                 });
             }
-        })
-        .expect("AMPC worker thread panicked");
+        });
 
         let mut outcomes = outcomes.into_inner();
         outcomes.sort_by_key(|o| o.machine);
@@ -216,18 +230,29 @@ impl AmpcRuntime {
 
         if self.config.budget_mode == BudgetMode::Strict {
             if let Some((machine, queries, writes)) = first_violation {
-                return Err(AmpcError::BudgetExceeded { round, machine, queries, writes, budget });
+                return Err(AmpcError::BudgetExceeded {
+                    round,
+                    machine,
+                    queries,
+                    writes,
+                    budget,
+                });
             }
         }
 
         // Commit writes in deterministic (machine id, write order) order so
-        // multi-value indices are reproducible, then advance the epoch.
+        // multi-value indices are reproducible — a key lives on exactly one
+        // shard, so per-shard order preserves per-key order even though
+        // distinct shards commit in parallel — then advance the epoch.
         let mut results = Vec::with_capacity(outcomes.len());
+        let mut batches = Vec::with_capacity(outcomes.len());
         for o in outcomes {
-            self.chain.write_batch(o.writes);
+            batches.push(o.writes);
             results.push(o.result);
         }
-        self.snapshot = self.chain.advance();
+        let commit_threads = self.commit_threads();
+        self.chain.commit_round(batches, commit_threads);
+        self.snapshot = self.chain.advance_with_threads(commit_threads);
 
         self.stats.push(RoundStats {
             round,
@@ -367,6 +392,68 @@ mod tests {
     }
 
     #[test]
+    fn read_many_in_a_round_matches_single_reads_and_costs_the_same() {
+        let run = |batched: bool| {
+            let mut rt = AmpcRuntime::new(config(1_000));
+            rt.load_input((0..100u64).map(|i| (key(i), Value::scalar(i * 5))));
+            let results = rt
+                .run_round(4, move |ctx| {
+                    let keys: Vec<Key> = (0..25u64)
+                        .map(|i| key(ctx.machine_id() as u64 * 25 + i))
+                        .collect();
+                    if batched {
+                        ctx.read_many(&keys)
+                            .into_iter()
+                            .map(|v| v.unwrap().x)
+                            .sum::<u64>()
+                    } else {
+                        keys.iter().map(|&k| ctx.read(k).unwrap().x).sum::<u64>()
+                    }
+                })
+                .unwrap();
+            (results, rt.stats().rounds[0].clone())
+        };
+        let (single_results, single_round) = run(false);
+        let (batched_results, batched_round) = run(true);
+        assert_eq!(single_results, batched_results);
+        assert_eq!(single_round.total_queries, batched_round.total_queries);
+        assert_eq!(
+            single_round.max_queries_per_machine,
+            batched_round.max_queries_per_machine
+        );
+        assert_eq!(
+            single_round.budget_violations,
+            batched_round.budget_violations
+        );
+    }
+
+    #[test]
+    fn parallel_commit_is_deterministic_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut rt = AmpcRuntime::new(config(10_000).with_threads(threads));
+            rt.load_input(std::iter::empty());
+            rt.run_round(64, |ctx| {
+                // Heavy multi-value contention: 64 machines, 16 shared keys.
+                for i in 0..8u64 {
+                    ctx.write(
+                        key(i % 16),
+                        Value::scalar(ctx.machine_id() as u64 * 100 + i),
+                    );
+                }
+            })
+            .unwrap();
+            let snap = rt.snapshot();
+            (0..16u64)
+                .map(|i| snap.get_all(&key(i)))
+                .collect::<Vec<_>>()
+        };
+        let single = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(single, run(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn strict_budget_mode_errors_on_violation() {
         let cfg = AmpcConfig::for_graph(100, 100, 0.5)
             .with_budget_factor(1.0) // budget = 10
@@ -382,7 +469,9 @@ mod tests {
             })
             .unwrap_err();
         match err {
-            AmpcError::BudgetExceeded { budget, queries, .. } => {
+            AmpcError::BudgetExceeded {
+                budget, queries, ..
+            } => {
                 assert_eq!(budget, 10);
                 assert_eq!(queries, 50);
             }

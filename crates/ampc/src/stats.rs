@@ -82,7 +82,11 @@ impl RunStats {
     /// The largest per-machine communication seen in any round — the
     /// quantity the `O(S)`-per-round bounds are about.
     pub fn max_machine_communication(&self) -> u64 {
-        self.rounds.iter().map(|r| r.max_machine_communication()).max().unwrap_or(0)
+        self.rounds
+            .iter()
+            .map(|r| r.max_machine_communication())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total budget violations across all rounds.

@@ -18,9 +18,11 @@ fn bench_diameter_ablation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ampc", &label), &graph, |b, g| {
             b.iter(|| connectivity(g, 0.5, 3))
         });
-        group.bench_with_input(BenchmarkId::new("mpc_label_propagation", &label), &graph, |b, g| {
-            b.iter(|| label_propagation_connectivity(g, 0.5))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mpc_label_propagation", &label),
+            &graph,
+            |b, g| b.iter(|| label_propagation_connectivity(g, 0.5)),
+        );
     }
     group.finish();
 }

@@ -15,12 +15,16 @@ fn bench_epsilon_ablation(c: &mut Criterion) {
     let cycle = generators::two_cycle_instance(16_384, false, 5);
     let graph = generators::planted_components(8_192, 8, 3 * 8_192 / 8, 5);
     for &eps in &[0.3f64, 0.5, 0.7] {
-        group.bench_with_input(BenchmarkId::new("two_cycle", format!("eps{eps}")), &cycle, |b, g| {
-            b.iter(|| two_cycle(g, eps, 5))
-        });
-        group.bench_with_input(BenchmarkId::new("connectivity", format!("eps{eps}")), &graph, |b, g| {
-            b.iter(|| connectivity(g, eps, 5))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("two_cycle", format!("eps{eps}")),
+            &cycle,
+            |b, g| b.iter(|| two_cycle(g, eps, 5)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("connectivity", format!("eps{eps}")),
+            &graph,
+            |b, g| b.iter(|| connectivity(g, eps, 5)),
+        );
     }
     group.finish();
 }

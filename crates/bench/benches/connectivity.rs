@@ -20,9 +20,11 @@ fn bench_connectivity(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("mpc_sv_hooking", n), &graph, |b, g| {
             b.iter(|| pointer_doubling_connectivity(g, 128))
         });
-        group.bench_with_input(BenchmarkId::new("mpc_label_propagation", n), &graph, |b, g| {
-            b.iter(|| label_propagation_connectivity(g, 0.5))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mpc_label_propagation", n),
+            &graph,
+            |b, g| b.iter(|| label_propagation_connectivity(g, 0.5)),
+        );
     }
     group.finish();
 }

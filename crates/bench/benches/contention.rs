@@ -1,23 +1,60 @@
-//! Experiment L2.1.contention — Lemma 2.1.
+//! Experiment L2.1.contention — Lemma 2.1, plus the DDS hot paths.
 //!
 //! Weighted balls-into-bins: the cost of distributing T key-value pairs
 //! across P DDS machines and the resulting maximum bin load.  The
 //! interesting output is the imbalance factor printed by the `summary`
 //! binary; this bench tracks the throughput of the simulation itself.
+//!
+//! The `commit_path` and `read_latency` groups time the epoch pipeline's
+//! two hot paths — end-of-round commit throughput (per-write locking vs
+//! shard-grouped vs shard-parallel) and frozen-snapshot point reads
+//! (compact slots vs the legacy `Vec`-per-key layout) — the same series
+//! `summary` records into `BENCH_commit.json`.
 
-use ampc_bench::contention_experiment;
+use ampc_bench::{commit_throughput, contention_experiment, read_latency};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_contention(c: &mut Criterion) {
     let mut group = c.benchmark_group("contention_lemma21");
     group.sample_size(10);
     for &pairs in &[65_536usize, 262_144] {
-        group.bench_with_input(BenchmarkId::new("balls_into_bins", pairs), &pairs, |b, &t| {
-            b.iter(|| contention_experiment(t, &[16, 64, 256], 7))
+        group.bench_with_input(
+            BenchmarkId::new("balls_into_bins", pairs),
+            &pairs,
+            |b, &t| b.iter(|| contention_experiment(t, &[16, 64, 256], 7)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_commit_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_path");
+    group.sample_size(10);
+    for &shards in &[8usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("throughput", shards), &shards, |b, &s| {
+            b.iter(|| commit_throughput(131_072, &[s], 0, 7))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_contention);
+fn bench_read_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_latency");
+    group.sample_size(10);
+    for &keys in &[65_536usize, 262_144] {
+        group.bench_with_input(
+            BenchmarkId::new("compact_vs_legacy", keys),
+            &keys,
+            |b, &k| b.iter(|| read_latency(k, k, 256, 7)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_contention,
+    bench_commit_path,
+    bench_read_latency
+);
 criterion_main!(benches);

@@ -16,9 +16,11 @@ fn bench_forest(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ampc_euler_tour", n), &graph, |b, g| {
             b.iter(|| forest_connectivity(g, 0.5, 13))
         });
-        group.bench_with_input(BenchmarkId::new("mpc_pointer_doubling", n), &graph, |b, g| {
-            b.iter(|| pointer_doubling_connectivity(g, 128))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mpc_pointer_doubling", n),
+            &graph,
+            |b, g| b.iter(|| pointer_doubling_connectivity(g, 128)),
+        );
     }
     group.finish();
 }

@@ -16,18 +16,24 @@ fn bench_tree_ops(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("root_forest", n), &forest, |b, f| {
             b.iter(|| root_forest(f, None, 0.5, 17))
         });
-        let values: Vec<u64> = (0..n as u64).map(|x| (x * 2_654_435_761) % 1_000_003).collect();
-        group.bench_with_input(BenchmarkId::new("rmq_build_and_query", n), &values, |b, v| {
-            b.iter(|| {
-                let rmq = SparseTableRmq::new(v);
-                let mut acc = 0u64;
-                for i in (0..v.len()).step_by(64) {
-                    acc = acc.wrapping_add(rmq.query_min(i, v.len() - 1));
-                    acc = acc.wrapping_add(rmq.query_max(0, i));
-                }
-                acc
-            })
-        });
+        let values: Vec<u64> = (0..n as u64)
+            .map(|x| (x * 2_654_435_761) % 1_000_003)
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("rmq_build_and_query", n),
+            &values,
+            |b, v| {
+                b.iter(|| {
+                    let rmq = SparseTableRmq::new(v);
+                    let mut acc = 0u64;
+                    for i in (0..v.len()).step_by(64) {
+                        acc = acc.wrapping_add(rmq.query_min(i, v.len() - 1));
+                        acc = acc.wrapping_add(rmq.query_max(0, i));
+                    }
+                    acc
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -17,9 +17,11 @@ fn bench_two_cycle(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ampc", n), &graph, |b, g| {
             b.iter(|| two_cycle(g, 0.5, 7))
         });
-        group.bench_with_input(BenchmarkId::new("mpc_pointer_doubling", n), &graph, |b, g| {
-            b.iter(|| two_cycle_mpc(g, 128))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mpc_pointer_doubling", n),
+            &graph,
+            |b, g| b.iter(|| two_cycle_mpc(g, 128)),
+        );
     }
     group.finish();
 }

@@ -19,7 +19,12 @@ fn bench_two_edge(c: &mut Criterion) {
             b.iter(|| two_edge_connectivity(g, 0.5, 3))
         });
         group.bench_with_input(BenchmarkId::new("sequential_dfs", n), &graph, |b, g| {
-            b.iter(|| (sequential::bridges(g), sequential::two_edge_connected_components(g)))
+            b.iter(|| {
+                (
+                    sequential::bridges(g),
+                    sequential::two_edge_connected_components(g),
+                )
+            })
         });
     }
     group.finish();

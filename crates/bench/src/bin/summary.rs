@@ -8,14 +8,17 @@
 //!   3. the rounds-vs-density series (the log log_{m/n} n term);
 //!   4. the rounds-vs-diameter series (the log D term MPC pays);
 //!   5. the rounds-vs-ε ablation;
-//!   6. the Lemma 2.1 contention experiment.
+//!   6. the Lemma 2.1 contention experiment;
+//!   7. the commit-throughput / read-latency series, also written to
+//!      `BENCH_commit.json` so future PRs have a perf trajectory.
 //!
 //! The numbers printed by this binary are the source of EXPERIMENTS.md.
 
 use ampc_bench::{
-    contention_experiment, density_series, diameter_series, epsilon_series, figure1_table,
-    scaling_series,
+    commit_throughput, contention_experiment, density_series, diameter_series, epsilon_series,
+    figure1_table, read_latency, scaling_series,
 };
+use std::fmt::Write as _;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -52,11 +55,21 @@ fn main() {
         print!("{:>16}", s);
     }
     println!();
-    for problem in ["two_cycle", "connectivity", "mis", "msf", "forest", "list_ranking"] {
+    for problem in [
+        "two_cycle",
+        "connectivity",
+        "mis",
+        "msf",
+        "forest",
+        "list_ranking",
+    ] {
         let series = scaling_series(problem, &sizes, seed);
         print!("{:<16}", problem);
         for point in &series {
-            print!("{:>16}", format!("{}/{}", point.ampc_rounds, point.mpc_rounds));
+            print!(
+                "{:>16}",
+                format!("{}/{}", point.ampc_rounds, point.mpc_rounds)
+            );
         }
         println!();
     }
@@ -65,24 +78,43 @@ fn main() {
     let density_n = if quick { 8_192 } else { 32_768 };
     let densities = [2usize, 4, 8, 16];
     println!("\n== Connectivity rounds vs density m/n (n = {density_n}) ==\n");
-    println!("{:>8} {:>14} {:>18}", "m/n", "AMPC rounds", "MPC log-n rounds");
+    println!(
+        "{:>8} {:>14} {:>18}",
+        "m/n", "AMPC rounds", "MPC log-n rounds"
+    );
     for point in density_series(density_n, &densities, seed) {
-        println!("{:>8} {:>14} {:>18}", point.x, point.ampc_rounds, point.mpc_rounds);
+        println!(
+            "{:>8} {:>14} {:>18}",
+            point.x, point.ampc_rounds, point.mpc_rounds
+        );
     }
 
     // ------------------------------------------------------- diameter series
-    let clique_counts: Vec<usize> = if quick { vec![8, 32, 128] } else { vec![8, 32, 128, 512] };
+    let clique_counts: Vec<usize> = if quick {
+        vec![8, 32, 128]
+    } else {
+        vec![8, 32, 128, 512]
+    };
     println!("\n== Connectivity rounds vs diameter (path of 16-cliques) ==\n");
-    println!("{:>10} {:>14} {:>20}", "diameter", "AMPC rounds", "MPC O(D) rounds");
+    println!(
+        "{:>10} {:>14} {:>20}",
+        "diameter", "AMPC rounds", "MPC O(D) rounds"
+    );
     for point in diameter_series(16, &clique_counts, seed) {
-        println!("{:>10} {:>14} {:>20}", point.x, point.ampc_rounds, point.mpc_rounds);
+        println!(
+            "{:>10} {:>14} {:>20}",
+            point.x, point.ampc_rounds, point.mpc_rounds
+        );
     }
 
     // -------------------------------------------------------- epsilon ablation
     let eps_n = if quick { 8_192 } else { 65_536 };
     let epsilons = [0.25, 0.4, 0.5, 0.65, 0.8];
     println!("\n== 2-Cycle rounds vs space exponent ε (n = {eps_n}) ==\n");
-    println!("{:>8} {:>14} {:>30}", "ε", "AMPC rounds", "max per-machine communication");
+    println!(
+        "{:>8} {:>14} {:>30}",
+        "ε", "AMPC rounds", "max per-machine communication"
+    );
     for point in epsilon_series(eps_n, &epsilons, seed) {
         println!(
             "{:>8} {:>14} {:>30}",
@@ -94,7 +126,10 @@ fn main() {
     let pairs = if quick { 65_536 } else { 262_144 };
     let machines = [16usize, 64, 256, 1024];
     println!("\n== Lemma 2.1: weighted balls-into-bins contention (T = {pairs}) ==\n");
-    println!("{:>8} {:>10} {:>14} {:>12}", "P", "S = T/P", "max bin load", "imbalance");
+    println!(
+        "{:>8} {:>10} {:>14} {:>12}",
+        "P", "S = T/P", "max bin load", "imbalance"
+    );
     for report in contention_experiment(pairs, &machines, seed) {
         println!(
             "{:>8} {:>10} {:>14} {:>12.3}",
@@ -102,5 +137,79 @@ fn main() {
         );
     }
 
-    println!("\nAll verified rows compare against sequential reference algorithms.");
+    // --------------------------------------- commit throughput / read latency
+    let commit_pairs = if quick { 262_144 } else { 1_048_576 };
+    let shard_counts = [1usize, 4, 8, 16, 64, 256];
+    println!(
+        "\n== Epoch commit path: per-write locking vs shard-parallel (T = {commit_pairs}) ==\n"
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>10} {:>14}",
+        "shards", "serial ms", "batched ms", "parallel ms", "speedup", "Mwrites/s"
+    );
+    let commit_points = commit_throughput(commit_pairs, &shard_counts, 0, seed);
+    for point in &commit_points {
+        println!(
+            "{:>8} {:>14.2} {:>14.2} {:>14.2} {:>9.2}x {:>14.1}",
+            point.shards,
+            point.serial_ns as f64 / 1e6,
+            point.batched_ns as f64 / 1e6,
+            point.parallel_ns as f64 / 1e6,
+            point.speedup_parallel_over_serial(),
+            point.parallel_mwrites_per_sec(),
+        );
+    }
+
+    let read_keys = if quick { 262_144 } else { 1_048_576 };
+    let read_probes = read_keys * 4;
+    let latency = read_latency(read_keys, read_probes, 256, seed);
+    println!("\n== Snapshot read latency: compact slots vs legacy Vec-per-key ==\n");
+    println!(
+        "{:>12} {:>12} {:>16} {:>16}",
+        "keys", "reads", "compact ns/read", "legacy ns/read"
+    );
+    println!(
+        "{:>12} {:>12} {:>16.1} {:>16.1}",
+        latency.keys, latency.reads, latency.compact_ns_per_read, latency.legacy_ns_per_read
+    );
+
+    write_bench_commit_json(&commit_points, &latency);
+    println!("\nCommit/read series recorded in BENCH_commit.json.");
+    println!("All verified rows compare against sequential reference algorithms.");
+}
+
+/// Serialise the commit-throughput and read-latency series as JSON
+/// (hand-rolled: the workspace intentionally carries no serde-json
+/// dependency).
+fn write_bench_commit_json(
+    commits: &[ampc_bench::CommitThroughputPoint],
+    latency: &ampc_bench::ReadLatencyPoint,
+) {
+    let mut json = String::from("{\n  \"commit_throughput\": [\n");
+    for (i, p) in commits.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {}, \"pairs\": {}, \"threads\": {}, \"serial_ns\": {}, \
+             \"batched_ns\": {}, \"parallel_ns\": {}, \"speedup_parallel_over_serial\": {:.3}, \
+             \"parallel_mwrites_per_sec\": {:.3}}}{}",
+            p.shards,
+            p.pairs,
+            p.threads,
+            p.serial_ns,
+            p.batched_ns,
+            p.parallel_ns,
+            p.speedup_parallel_over_serial(),
+            p.parallel_mwrites_per_sec(),
+            if i + 1 < commits.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"read_latency\": {{\"keys\": {}, \"reads\": {}, \"compact_ns_per_read\": {:.3}, \
+         \"legacy_ns_per_read\": {:.3}}}\n}}\n",
+        latency.keys, latency.reads, latency.compact_ns_per_read, latency.legacy_ns_per_read,
+    );
+    if let Err(err) = std::fs::write("BENCH_commit.json", json) {
+        eprintln!("could not write BENCH_commit.json: {err}");
+    }
 }

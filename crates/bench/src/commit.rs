@@ -1,0 +1,226 @@
+//! Commit-path throughput and read-latency experiments.
+//!
+//! The epoch-pipeline refactor changed two hot paths, and this module
+//! measures both so the win is recorded rather than asserted:
+//!
+//! * **Commit throughput** — the end-of-round commit used to replay every
+//!   buffered write through a per-write shard-lock acquisition (kept
+//!   measurable here as the `serial` series); the store now groups a batch
+//!   by shard and locks each shard once (`batched`), and the runtime
+//!   commits distinct shards in parallel (`parallel`).
+//! * **Read latency** — adaptive reads used to chase a heap pointer into a
+//!   `Vec<Value>` for every key; the compact snapshot layout keeps
+//!   singleton values inline.  The pre-refactor layout survives as
+//!   [`ampc_dds::legacy::LegacyStore`] and is timed side by side.
+//!
+//! The `summary` binary serialises both series into `BENCH_commit.json` so
+//! future PRs have a trajectory to compare against.
+
+use ampc_dds::legacy::LegacyStore;
+use ampc_dds::{Key, KeyTag, ShardedStore, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// One commit-throughput measurement at a fixed shard count.
+#[derive(Clone, Debug)]
+pub struct CommitThroughputPoint {
+    /// Number of shards ("DDS machines").
+    pub shards: usize,
+    /// Key-value pairs committed.
+    pub pairs: usize,
+    /// Worker threads used by the parallel commit.
+    pub threads: usize,
+    /// Seed commit path: one shard-lock acquisition per write, nanoseconds.
+    pub serial_ns: u64,
+    /// Shard-grouped batch commit (one lock per shard), nanoseconds.
+    pub batched_ns: u64,
+    /// Shard-parallel partitioned commit, nanoseconds.
+    pub parallel_ns: u64,
+}
+
+impl CommitThroughputPoint {
+    /// Parallel-commit speedup over the seed per-write path.
+    pub fn speedup_parallel_over_serial(&self) -> f64 {
+        self.serial_ns as f64 / self.parallel_ns.max(1) as f64
+    }
+
+    /// Parallel-commit throughput in million writes per second.
+    pub fn parallel_mwrites_per_sec(&self) -> f64 {
+        self.pairs as f64 * 1e3 / self.parallel_ns.max(1) as f64
+    }
+}
+
+/// One read-latency measurement of frozen-snapshot point lookups.
+#[derive(Clone, Debug)]
+pub struct ReadLatencyPoint {
+    /// Distinct keys resident in the store.
+    pub keys: usize,
+    /// Point lookups timed.
+    pub reads: usize,
+    /// Mean latency of a compact-layout snapshot read, nanoseconds.
+    pub compact_ns_per_read: f64,
+    /// Mean latency of a legacy-layout (`Vec<Value>` per key) read,
+    /// nanoseconds.
+    pub legacy_ns_per_read: f64,
+    /// Checksum of the values read (anti-dead-code; equal across layouts).
+    pub checksum: u64,
+}
+
+fn workload(pairs: usize, seed: u64) -> Vec<(Key, Value)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..pairs)
+        .map(|i| {
+            // ~99% singleton keys with a small multi-value hot set, matching
+            // the key profile of the algorithm workloads.
+            let key = if i % 100 == 99 {
+                i as u64 % 97
+            } else {
+                i as u64
+            };
+            (Key::of(KeyTag::Scalar, key), Value::scalar(rng.gen()))
+        })
+        .collect()
+}
+
+/// Measure the three commit paths for each shard count in `shard_counts`.
+///
+/// `threads` caps the parallel-commit workers (0 = one per available CPU).
+pub fn commit_throughput(
+    pairs: usize,
+    shard_counts: &[usize],
+    threads: usize,
+    seed: u64,
+) -> Vec<CommitThroughputPoint> {
+    let threads = if threads == 0 {
+        ampc_dds::default_parallelism()
+    } else {
+        threads
+    };
+    let writes = workload(pairs, seed);
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            // Seed path: every write takes and releases the shard lock.
+            let store = ShardedStore::new(shards);
+            let started = Instant::now();
+            for &(key, value) in &writes {
+                store.write(key, value);
+            }
+            let serial_ns = started.elapsed().as_nanos() as u64;
+            drop(store);
+
+            // Batched path: one lock acquisition per shard per batch.
+            let store = ShardedStore::new(shards);
+            let started = Instant::now();
+            store.write_batch(writes.iter().copied());
+            let batched_ns = started.elapsed().as_nanos() as u64;
+            drop(store);
+
+            // Parallel path: pre-partitioned, shards committed concurrently.
+            let store = ShardedStore::new(shards);
+            let started = Instant::now();
+            let per_shard = store.partition_writes(std::iter::once(writes.iter().copied()));
+            store.commit_partitioned(per_shard, threads);
+            let parallel_ns = started.elapsed().as_nanos() as u64;
+            drop(store);
+
+            CommitThroughputPoint {
+                shards,
+                pairs,
+                threads,
+                serial_ns,
+                batched_ns,
+                parallel_ns,
+            }
+        })
+        .collect()
+}
+
+/// Time `reads` random point lookups against the compact snapshot layout
+/// and against the pre-refactor legacy layout holding the same data.
+pub fn read_latency(keys: usize, reads: usize, shards: usize, seed: u64) -> ReadLatencyPoint {
+    let pairs = workload(keys, seed);
+
+    let store = ShardedStore::new(shards);
+    store.write_batch(pairs.iter().copied());
+    let snapshot = store.freeze();
+
+    let mut legacy = LegacyStore::new(shards);
+    for &(key, value) in &pairs {
+        legacy.write(key, value);
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let probes: Vec<Key> = (0..reads)
+        .map(|_| Key::of(KeyTag::Scalar, rng.gen_range(0..keys as u64)))
+        .collect();
+
+    let started = Instant::now();
+    let mut compact_sum = 0u64;
+    for key in &probes {
+        if let Some(value) = snapshot.get(key) {
+            compact_sum = compact_sum.wrapping_add(value.x);
+        }
+    }
+    let compact_ns = started.elapsed().as_nanos() as f64 / reads.max(1) as f64;
+
+    let started = Instant::now();
+    let mut legacy_sum = 0u64;
+    for key in &probes {
+        if let Some(value) = legacy.get(key) {
+            legacy_sum = legacy_sum.wrapping_add(value.x);
+        }
+    }
+    let legacy_ns = started.elapsed().as_nanos() as f64 / reads.max(1) as f64;
+
+    assert_eq!(compact_sum, legacy_sum, "layouts must agree on every read");
+    ReadLatencyPoint {
+        keys,
+        reads,
+        compact_ns_per_read: compact_ns,
+        legacy_ns_per_read: legacy_ns,
+        checksum: compact_sum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_paths_store_identical_contents() {
+        let writes = workload(5_000, 3);
+        let serial = ShardedStore::new(8);
+        for &(key, value) in &writes {
+            serial.write(key, value);
+        }
+        let parallel = ShardedStore::new(8);
+        let per_shard = parallel.partition_writes(std::iter::once(writes.iter().copied()));
+        parallel.commit_partitioned(per_shard, 4);
+        assert_eq!(serial.total_writes(), parallel.total_writes());
+        assert_eq!(serial.len(), parallel.len());
+        for &(key, _) in &writes {
+            assert_eq!(serial.multiplicity(&key), parallel.multiplicity(&key));
+            assert_eq!(serial.get(&key), parallel.get(&key));
+        }
+    }
+
+    #[test]
+    fn throughput_experiment_reports_every_shard_count() {
+        let points = commit_throughput(20_000, &[1, 8], 4, 7);
+        assert_eq!(points.len(), 2);
+        for point in &points {
+            assert_eq!(point.pairs, 20_000);
+            assert!(point.serial_ns > 0 && point.batched_ns > 0 && point.parallel_ns > 0);
+            assert!(point.speedup_parallel_over_serial() > 0.0);
+        }
+    }
+
+    #[test]
+    fn read_latency_layouts_agree() {
+        let point = read_latency(10_000, 50_000, 16, 9);
+        assert!(point.compact_ns_per_read > 0.0);
+        assert!(point.legacy_ns_per_read > 0.0);
+    }
+}

@@ -11,7 +11,11 @@ use ampc_dds::contention::{lemma21_weights, simulate_balls_into_bins, BallsInBin
 
 /// Run the weighted balls-into-bins experiment of Lemma 2.1 for several
 /// machine counts `P`, with `T = pairs` key-value pairs.
-pub fn contention_experiment(pairs: usize, machine_counts: &[usize], seed: u64) -> Vec<BallsInBinsReport> {
+pub fn contention_experiment(
+    pairs: usize,
+    machine_counts: &[usize],
+    seed: u64,
+) -> Vec<BallsInBinsReport> {
     machine_counts
         .iter()
         .map(|&p| {
@@ -30,7 +34,12 @@ mod tests {
         // S = T/P ranges from 4096 down to 256; P ≤ S^{1-δ} throughout.
         let reports = contention_experiment(65_536, &[16, 64, 256], 7);
         for report in &reports {
-            assert!(report.imbalance < 2.0, "imbalance {} too high for P={}", report.imbalance, report.bins);
+            assert!(
+                report.imbalance < 2.0,
+                "imbalance {} too high for P={}",
+                report.imbalance,
+                report.bins
+            );
         }
     }
 

@@ -41,8 +41,8 @@ pub struct Figure1Row {
 
 /// Row "2-Cycle": AMPC `Shrink` vs MPC pointer doubling.
 pub fn row_two_cycle(n: usize, seed: u64) -> Figure1Row {
-    let graph = generators::two_cycle_instance(n, seed % 2 == 0, seed);
-    let expected_two = seed % 2 == 0;
+    let graph = generators::two_cycle_instance(n, seed.is_multiple_of(2), seed);
+    let expected_two = seed.is_multiple_of(2);
     let a = ampc::two_cycle(&graph, EPSILON, seed);
     let (m_answer, m_stats) = mpc::two_cycle_mpc(&graph, 128);
     let verified = matches!(a.output, ampc::TwoCycleAnswer::TwoCycles) == expected_two

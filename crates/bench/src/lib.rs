@@ -13,6 +13,9 @@
 //!   (the `log D` term the MPC baselines pay), and of the space exponent ε
 //!   (the ablation);
 //! * [`contention`] — the Lemma 2.1 balls-into-bins experiment;
+//! * [`commit`] — commit-path throughput (per-write locking vs shard-grouped
+//!   vs shard-parallel) and snapshot read latency (compact vs legacy
+//!   layout), the series behind `BENCH_commit.json`;
 //! * the Criterion benches under `benches/` measure wall-clock time of the
 //!   same code paths, one bench file per experiment id in DESIGN.md;
 //! * the `summary` binary (`cargo run -p ampc-bench --bin summary --release`)
@@ -21,12 +24,12 @@
 
 #![warn(missing_docs)]
 
+pub mod commit;
 pub mod contention;
 pub mod figure1;
 pub mod series;
 
+pub use commit::{commit_throughput, read_latency, CommitThroughputPoint, ReadLatencyPoint};
 pub use contention::contention_experiment;
 pub use figure1::{figure1_table, Figure1Row};
-pub use series::{
-    diameter_series, density_series, epsilon_series, scaling_series, SeriesPoint,
-};
+pub use series::{density_series, diameter_series, epsilon_series, scaling_series, SeriesPoint};

@@ -42,39 +42,64 @@ pub fn scaling_series(problem: &str, sizes: &[usize], seed: u64) -> Vec<SeriesPo
                     let g = generators::two_cycle_instance(n, false, seed);
                     let a = ampc::two_cycle(&g, EPSILON, seed);
                     let (_, m) = mpc::two_cycle_mpc(&g, 128);
-                    (a.rounds(), m.num_rounds(), a.stats.max_machine_communication())
+                    (
+                        a.rounds(),
+                        m.num_rounds(),
+                        a.stats.max_machine_communication(),
+                    )
                 }
                 "connectivity" => {
                     let g = generators::planted_components(n, 8, (3 * n / 8).max(1), seed);
                     let a = ampc::connectivity(&g, EPSILON, seed);
                     let (_, m) = mpc::pointer_doubling_connectivity(&g, 128);
-                    (a.rounds(), m.num_rounds(), a.stats.max_machine_communication())
+                    (
+                        a.rounds(),
+                        m.num_rounds(),
+                        a.stats.max_machine_communication(),
+                    )
                 }
                 "mis" => {
                     let g = generators::erdos_renyi_gnm(n, 4 * n, seed);
                     let a = ampc::maximal_independent_set(&g, EPSILON, seed);
                     let (_, m) = mpc::luby_mis(&g, 128, seed);
-                    (a.rounds(), m.num_rounds(), a.stats.max_machine_communication())
+                    (
+                        a.rounds(),
+                        m.num_rounds(),
+                        a.stats.max_machine_communication(),
+                    )
                 }
                 "msf" => {
                     let base = generators::connected_gnm(n, 3 * n, seed);
                     let g = generators::with_random_weights(&base, seed + 1);
                     let a = ampc::minimum_spanning_forest(&g, EPSILON, seed);
                     let (_, _, m) = mpc::boruvka_msf(&g, 128);
-                    (a.rounds(), m.num_rounds(), a.stats.max_machine_communication())
+                    (
+                        a.rounds(),
+                        m.num_rounds(),
+                        a.stats.max_machine_communication(),
+                    )
                 }
                 "forest" => {
                     let g = generators::random_forest(n, 16, seed);
                     let a = ampc::forest_connectivity(&g, EPSILON, seed);
                     let (_, m) = mpc::pointer_doubling_connectivity(&g, 128);
-                    (a.rounds(), m.num_rounds(), a.stats.max_machine_communication())
+                    (
+                        a.rounds(),
+                        m.num_rounds(),
+                        a.stats.max_machine_communication(),
+                    )
                 }
                 "list_ranking" => {
-                    let successor: Vec<u32> =
-                        (0..n as u32).map(|v| if (v as usize) + 1 < n { v + 1 } else { v }).collect();
+                    let successor: Vec<u32> = (0..n as u32)
+                        .map(|v| if (v as usize) + 1 < n { v + 1 } else { v })
+                        .collect();
                     let a = ampc::list_ranking(&successor, EPSILON, seed);
                     let (_, m) = mpc::wyllie_list_ranking(&successor, 128);
-                    (a.rounds(), m.num_rounds(), a.stats.max_machine_communication())
+                    (
+                        a.rounds(),
+                        m.num_rounds(),
+                        a.stats.max_machine_communication(),
+                    )
                 }
                 other => panic!("unknown problem {other}"),
             };

@@ -1,0 +1,139 @@
+//! In-tree shim for the `bytes` crate.
+//!
+//! Provides the little-endian get/put API the DDS wire codec uses, backed by
+//! plain `Vec<u8>`.  No refcounted buffer sharing — `freeze` simply moves the
+//! vector — which is all the workspace needs.
+
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+
+/// An immutable byte buffer (shim: an owned `Vec<u8>`).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+/// A growable byte buffer (shim: an owned `Vec<u8>`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with space reserved for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if no byte has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Read access to a byte cursor, little-endian integer helpers included.
+///
+/// Implemented for `&[u8]`, advancing the slice as values are consumed.
+pub trait Buf {
+    /// Consume and return one little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Consume and return one little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("4-byte split"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("8-byte split"))
+    }
+}
+
+/// Write access to a growable byte buffer, little-endian helpers included.
+pub trait BufMut {
+    /// Append one little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32);
+    /// Append one little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64);
+    /// Append a slice of raw bytes.
+    fn put_slice(&mut self, bytes: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32_le(&mut self, value: u32) {
+        self.data.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, value: u64) {
+        self.data.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_little_endian() {
+        let mut buf = BytesMut::with_capacity(12);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 12);
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64_le(), 0x0102_0304_0506_0708);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn put_slice_appends() {
+        let mut buf = BytesMut::with_capacity(4);
+        buf.put_slice(&[1, 2]);
+        buf.put_slice(&[3]);
+        assert_eq!(&*buf.freeze(), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,199 @@
+//! In-tree shim for the `criterion` crate.
+//!
+//! Implements the benchmark-definition API the bench files use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`criterion_group!`], [`criterion_main!`]) with a
+//! simple mean-of-samples timer instead of criterion's statistical engine.
+//! Results are printed one line per benchmark:
+//!
+//! ```text
+//! group/function/param ... mean 12.345 ms (10 samples)
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+/// Top-level benchmark driver (shim: holds the default sample count).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Run a benchmark that receives a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            runs: 0,
+        };
+        routine(&mut bencher, input);
+        bencher.report(&self.name, &id.text);
+        self
+    }
+
+    /// Run a benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            runs: 0,
+        };
+        routine(&mut bencher);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Finish the group (shim: no-op, timings were reported eagerly).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    runs: usize,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up run.
+        black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.total += started.elapsed();
+        self.runs += self.samples;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.runs == 0 {
+            println!("{group}/{id} ... no samples recorded");
+            return;
+        }
+        let mean = self.total / self.runs as u32;
+        println!("{group}/{id} ... mean {mean:?} ({} samples)", self.runs);
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs_routines() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::new("count", 1), &5usize, |b, &five| {
+            b.iter(|| {
+                calls += 1;
+                five * 2
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+}

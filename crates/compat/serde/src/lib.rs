@@ -1,0 +1,18 @@
+//! In-tree shim for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on stats/config types to
+//! keep them serialization-ready, but nothing actually serializes through
+//! serde (the bench JSON output is hand-rolled).  This shim therefore
+//! defines the two traits as markers and re-exports no-op derive macros, so
+//! the annotations compile unchanged and the real crate can be swapped back
+//! in once a registry is reachable.
+
+#![warn(missing_docs)]
+
+pub use serde_derive_shim::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

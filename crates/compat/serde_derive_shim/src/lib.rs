@@ -1,0 +1,45 @@
+//! In-tree shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its stats and config
+//! types but never serializes through serde (JSON output is hand-rolled), so
+//! these derives only need to produce marker-trait impls.  The macros parse
+//! just the type name from the item — none of the deriving types are
+//! generic — and emit empty `impl` blocks for the marker traits defined by
+//! the in-tree `serde` shim.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the identifier following the `struct`/`enum`/`union` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for token in input {
+        if let TokenTree::Ident(ident) = token {
+            let text = ident.to_string();
+            if saw_keyword {
+                return text;
+            }
+            if text == "struct" || text == "enum" || text == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive_shim: could not find a type name in the derive input");
+}
+
+/// No-op `#[derive(Serialize)]`: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// No-op `#[derive(Deserialize)]`: emits `impl serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

@@ -135,9 +135,15 @@ mod tests {
     #[test]
     fn weighted_neighbor_encoding_round_trips() {
         let value = encode_weighted_neighbor(123_456, 789, 42_000_000_000);
-        assert_eq!(decode_weighted_neighbor(value), (123_456, 789, 42_000_000_000));
+        assert_eq!(
+            decode_weighted_neighbor(value),
+            (123_456, 789, 42_000_000_000)
+        );
         let value = encode_weighted_neighbor(u32::MAX, u32::MAX, u64::MAX);
-        assert_eq!(decode_weighted_neighbor(value), (u32::MAX, u32::MAX, u64::MAX));
+        assert_eq!(
+            decode_weighted_neighbor(value),
+            (u32::MAX, u32::MAX, u64::MAX)
+        );
     }
 
     #[test]

@@ -60,13 +60,32 @@ fn publish_adjacency(runtime: &mut AmpcRuntime, adjacency: &FxHashMap<u32, Vec<u
     runtime.scatter(pairs);
 }
 
+/// Adjacency entries fetched per batched adaptive read during the BFS.
+///
+/// Large enough to amortize per-read accounting over a whole cache line of
+/// neighbour slots, small enough that an early exit (budget `d` reached
+/// mid-list) wastes at most a handful of prefetched entries.
+const BFS_READ_BATCH: usize = 32;
+
 /// Algorithm 6 (`IncreaseDegrees`) for a single vertex: a BFS from `v` by
 /// adaptive reads that stops after visiting `d` vertices (or the whole
 /// component) and at most `query_cap` reads.
+///
+/// The frontier expansion reads each vertex's adjacency list in batches of
+/// up to [`BFS_READ_BATCH`] slots via [`MachineContext::read_many_into`] —
+/// the slot keys are independent once the degree is known, so a real
+/// deployment pipelines them in one network flight.  Visiting order (and
+/// therefore the result) is identical to the slot-by-slot loop.  Query
+/// accounting is not quite identical: when the ball fills mid-batch, the
+/// remaining prefetched slots of that batch are still counted — a bounded
+/// over-read (each batch is clamped to the `d - order.len()` discoveries
+/// still acceptable, so the waste per BFS is less than one batch).
 fn bounded_bfs(ctx: &mut MachineContext, v: u32, d: usize, query_cap: u64) -> Vec<u32> {
     let mut visited: FxHashSet<u32> = FxHashSet::default();
     let mut order: Vec<u32> = Vec::with_capacity(d);
     let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    let mut keys: Vec<Key> = Vec::with_capacity(BFS_READ_BATCH);
+    let mut entries: Vec<Option<Value>> = Vec::with_capacity(BFS_READ_BATCH);
     visited.insert(v);
     order.push(v);
     queue.push_back(v);
@@ -75,23 +94,42 @@ fn bounded_bfs(ctx: &mut MachineContext, v: u32, d: usize, query_cap: u64) -> Ve
         if order.len() >= d {
             break;
         }
+        if ctx.queries_issued() - start_queries >= query_cap {
+            break;
+        }
         let deg = match ctx.read(degree_key(x)) {
             Some(value) => value.x as usize,
             None => continue,
         };
-        for i in 0..deg {
-            if ctx.queries_issued() - start_queries >= query_cap {
+        let mut next_slot = 0usize;
+        while next_slot < deg {
+            let remaining_budget = query_cap.saturating_sub(ctx.queries_issued() - start_queries);
+            if remaining_budget == 0 {
                 break 'outer;
             }
-            let Some(entry) = ctx.read(adjacency_key(x, i)) else { continue };
-            let u = entry.x as u32;
-            if visited.insert(u) {
-                order.push(u);
-                queue.push_back(u);
-                if order.len() >= d {
-                    break 'outer;
+            // Clamp the batch to the query cap and to the discoveries the
+            // ball can still accept, so an early exit wastes at most the
+            // tail of one small batch.
+            let remaining_ball = d.saturating_sub(order.len()).max(1);
+            let batch_cap = BFS_READ_BATCH
+                .min(remaining_budget as usize)
+                .min(remaining_ball);
+            let batch_end = deg.min(next_slot + batch_cap);
+            keys.clear();
+            keys.extend((next_slot..batch_end).map(|i| adjacency_key(x, i)));
+            ctx.read_many_into(&keys, &mut entries);
+            for entry in &entries {
+                let Some(entry) = entry else { continue };
+                let u = entry.x as u32;
+                if visited.insert(u) {
+                    order.push(u);
+                    queue.push_back(u);
+                    if order.len() >= d {
+                        break 'outer;
+                    }
                 }
             }
+            next_slot = batch_end;
         }
     }
     order
@@ -125,7 +163,8 @@ pub fn connectivity(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResult<V
     let d_cap = ((n.max(2) as f64).powf(epsilon / 2.0).ceil() as usize).max(2);
     let mut d = (((n + m) as f64 / n as f64).sqrt().ceil() as usize).clamp(2, d_cap);
 
-    let max_phases = 4 * ((n.max(4) as f64).ln().ln().ceil() as usize + 2) + (4.0 / epsilon).ceil() as usize;
+    let max_phases =
+        4 * ((n.max(4) as f64).ln().ln().ceil() as usize + 2) + (4.0 / epsilon).ceil() as usize;
     for _phase in 0..max_phases {
         if current.edges.is_empty() {
             break;
@@ -177,7 +216,12 @@ pub fn connectivity(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResult<V
                 if is_leader.contains(&v) {
                     continue; // leaders stay put
                 }
-                match visited.iter().copied().filter(|u| is_leader.contains(u)).min() {
+                match visited
+                    .iter()
+                    .copied()
+                    .filter(|u| is_leader.contains(u))
+                    .min()
+                {
                     Some(leader) => Some(leader),
                     // No leader in the ball: if the whole component was
                     // explored (|ball| < d) hook onto its minimum, otherwise
@@ -231,7 +275,12 @@ pub fn connectivity(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResult<V
             }
         }
 
-        let mut new_vertices: Vec<u32> = super_of.values().copied().collect::<FxHashSet<_>>().into_iter().collect();
+        let mut new_vertices: Vec<u32> = super_of
+            .values()
+            .copied()
+            .collect::<FxHashSet<_>>()
+            .into_iter()
+            .collect();
         new_vertices.sort_unstable();
 
         // Update the original-vertex labels through this contraction.
@@ -241,7 +290,10 @@ pub fn connectivity(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResult<V
             }
         }
 
-        current = ContractedGraph { vertices: new_vertices, edges: new_edges.into_iter().collect() };
+        current = ContractedGraph {
+            vertices: new_vertices,
+            edges: new_edges.into_iter().collect(),
+        };
 
         // Grow the budget double-exponentially, capped at n^{ε/2}.
         d = ((d as f64).powf(1.4).ceil() as usize).clamp(2, d_cap);
@@ -288,7 +340,11 @@ mod tests {
         for seed in 0..3 {
             let g = generators::planted_components(400, 7, 3, seed);
             let result = connectivity(&g, 0.5, seed);
-            assert_eq!(result.output, sequential::connected_components(&g), "seed {seed}");
+            assert_eq!(
+                result.output,
+                sequential::connected_components(&g),
+                "seed {seed}"
+            );
         }
     }
 
@@ -342,6 +398,11 @@ mod tests {
         let coarse = connectivity(&g, 0.7, 5);
         let fine = connectivity(&g, 0.3, 5);
         assert_eq!(coarse.output, fine.output);
-        assert!(coarse.rounds() <= fine.rounds() + 2, "coarse {} fine {}", coarse.rounds(), fine.rounds());
+        assert!(
+            coarse.rounds() <= fine.rounds() + 2,
+            "coarse {} fine {}",
+            coarse.rounds(),
+            fine.rounds()
+        );
     }
 }

@@ -6,8 +6,11 @@
 //! *list ranking* the arcs (Algorithm 11, [`crate::listrank`]) yields the
 //! position of every arc in the tour, from which parents, subtree sizes and
 //! preorder numbers all follow with O(1) extra work per vertex.  The list
-//! ranking is the only part that needs AMPC rounds — everything else is the
-//! per-key arithmetic the paper attributes to "standard MPC primitives".
+//! ranking is the only part that needs AMPC rounds — its walks issue one
+//! batched adaptive read per hop (`read_many`) — everything else is the
+//! per-key arithmetic the paper attributes to "standard MPC primitives",
+//! with the tour stitched driver-side by sorted-out-list binary search
+//! (no per-arc hash map).
 //!
 //! [`SparseTableRmq`] is the range-minimum/maximum structure of Lemma 8.9,
 //! used by the 2-edge-connectivity algorithm to aggregate `Low`/`High`
@@ -60,7 +63,10 @@ pub fn euler_tour(forest: &Graph) -> EulerTour {
     {
         let mut uf = UnionFind::new(n);
         for e in forest.edges() {
-            assert!(uf.union(e.u, e.v), "euler_tour expects a forest (found a cycle)");
+            assert!(
+                uf.union(e.u, e.v),
+                "euler_tour expects a forest (found a cycle)"
+            );
         }
     }
 
@@ -73,8 +79,12 @@ pub fn euler_tour(forest: &Graph) -> EulerTour {
         arc_head[2 * id + 1] = e.u;
     }
 
-    // out[v] = arcs leaving v, sorted by head vertex; pos_in_out[(v, u)] =
-    // index of arc v→u within out[v].
+    // out[v] = arcs leaving v, sorted by head vertex.  The successor of arc
+    // u→v is the arc leaving v towards the head that follows u in v's
+    // sorted out-list; since the forest has no parallel edges the heads in
+    // out[v] are distinct, so the position of v→u is found by binary search
+    // instead of a per-arc (v, u) → index hash map — the tour stitching is
+    // two cache-friendly passes over the arc arrays.
     let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
     for a in 0..2 * m as u32 {
         out[arc_tail[a as usize] as usize].push(a);
@@ -82,18 +92,14 @@ pub fn euler_tour(forest: &Graph) -> EulerTour {
     for list in out.iter_mut() {
         list.sort_unstable_by_key(|&a| arc_head[a as usize]);
     }
-    let mut position: FxHashMap<(u32, u32), usize> = FxHashMap::default();
-    for (v, list) in out.iter().enumerate() {
-        for (i, &a) in list.iter().enumerate() {
-            position.insert((v as u32, arc_head[a as usize]), i);
-        }
-    }
 
     let mut next = vec![0u32; 2 * m];
     for a in 0..2 * m {
         let (u, v) = (arc_tail[a], arc_head[a]);
         let list = &out[v as usize];
-        let idx = position[&(v, u)];
+        let idx = list
+            .binary_search_by_key(&u, |&arc| arc_head[arc as usize])
+            .expect("twin arc v->u must exist in v's out-list");
         next[a] = list[(idx + 1) % list.len()];
     }
     let mut prev = vec![0u32; 2 * m];
@@ -101,7 +107,12 @@ pub fn euler_tour(forest: &Graph) -> EulerTour {
         prev[next[a as usize] as usize] = a;
     }
 
-    EulerTour { arc_tail, arc_head, next, prev }
+    EulerTour {
+        arc_tail,
+        arc_head,
+        next,
+        prev,
+    }
 }
 
 /// A rooted forest with the per-vertex quantities the Section 8 lemmas
@@ -141,7 +152,12 @@ impl RootedForest {
 /// `roots` optionally fixes the root of each tree (one entry per vertex,
 /// only the entries of chosen roots are consulted); by default the smallest
 /// vertex id of each tree becomes its root.
-pub fn root_forest(forest: &Graph, roots: Option<&[u32]>, epsilon: f64, seed: u64) -> AlgorithmResult<RootedForest> {
+pub fn root_forest(
+    forest: &Graph,
+    roots: Option<&[u32]>,
+    epsilon: f64,
+    seed: u64,
+) -> AlgorithmResult<RootedForest> {
     let n = forest.num_vertices();
     let tour = euler_tour(forest);
     let num_arcs = tour.num_arcs();
@@ -157,15 +173,28 @@ pub fn root_forest(forest: &Graph, roots: Option<&[u32]>, epsilon: f64, seed: u6
         Some(r) => {
             let mut root_of_component: FxHashMap<u32, u32> = FxHashMap::default();
             for &candidate in r {
-                root_of_component.entry(component[candidate as usize]).or_insert(candidate);
+                root_of_component
+                    .entry(component[candidate as usize])
+                    .or_insert(candidate);
             }
-            (0..n as u32).map(|v| *root_of_component.get(&component[v as usize]).unwrap_or(&component[v as usize])).collect()
+            (0..n as u32)
+                .map(|v| {
+                    *root_of_component
+                        .get(&component[v as usize])
+                        .unwrap_or(&component[v as usize])
+                })
+                .collect()
         }
         None => component.clone(),
     };
 
     if n == 0 {
-        let empty = RootedForest { parent: vec![], root: vec![], preorder: vec![], subtree_size: vec![] };
+        let empty = RootedForest {
+            parent: vec![],
+            root: vec![],
+            preorder: vec![],
+            subtree_size: vec![],
+        };
         return AlgorithmResult::new(empty, stats);
     }
 
@@ -181,7 +210,7 @@ pub fn root_forest(forest: &Graph, roots: Option<&[u32]>, epsilon: f64, seed: u6
             }
         }
     }
-    for (_, &start) in &first_arc_of_root {
+    for &start in first_arc_of_root.values() {
         let terminal = tour.prev[start as usize];
         successor[terminal as usize] = terminal;
     }
@@ -200,7 +229,11 @@ pub fn root_forest(forest: &Graph, roots: Option<&[u32]>, epsilon: f64, seed: u6
     for edge_id in 0..num_arcs / 2 {
         let a = (2 * edge_id) as u32;
         let b = a + 1;
-        let (fw, bw) = if rank_unit[a as usize] > rank_unit[b as usize] { (a, b) } else { (b, a) };
+        let (fw, bw) = if rank_unit[a as usize] > rank_unit[b as usize] {
+            (a, b)
+        } else {
+            (b, a)
+        };
         let child = tour.arc_head[fw as usize];
         let par = tour.arc_tail[fw as usize];
         parent[child as usize] = par;
@@ -212,7 +245,8 @@ pub fn root_forest(forest: &Graph, roots: Option<&[u32]>, epsilon: f64, seed: u6
     let mut subtree_size = vec![1u64; n];
     for v in 0..n as u32 {
         if let (Some(fw), Some(bw)) = (forward_arc[v as usize], backward_arc[v as usize]) {
-            subtree_size[v as usize] = (rank_unit[fw as usize] - rank_unit[bw as usize] + 1) / 2;
+            subtree_size[v as usize] =
+                (rank_unit[fw as usize] - rank_unit[bw as usize]).div_ceil(2);
         }
     }
     // Roots span their whole component.
@@ -261,7 +295,12 @@ pub fn root_forest(forest: &Graph, roots: Option<&[u32]>, epsilon: f64, seed: u6
     }
 
     let root: Vec<u32> = (0..n as u32).map(|v| chosen_root[v as usize]).collect();
-    let forest_out = RootedForest { parent, root, preorder, subtree_size };
+    let forest_out = RootedForest {
+        parent,
+        root,
+        preorder,
+        subtree_size,
+    };
     AlgorithmResult::new(forest_out, stats)
 }
 
@@ -297,7 +336,11 @@ impl SparseTableRmq {
     /// Build the structure over `values`.
     pub fn new(values: &[u64]) -> Self {
         let len = values.len();
-        let levels = if len <= 1 { 1 } else { len.ilog2() as usize + 1 };
+        let levels = if len <= 1 {
+            1
+        } else {
+            len.ilog2() as usize + 1
+        };
         let mut mins: Vec<Vec<u64>> = Vec::with_capacity(levels);
         let mut maxs: Vec<Vec<u64>> = Vec::with_capacity(levels);
         mins.push(values.to_vec());
@@ -452,10 +495,13 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..120u64).collect::<Vec<_>>());
         // Subtree intervals of roots partition the range.
-        let mut roots: Vec<u32> = (0..120u32).filter(|&v| rooted.parent[v as usize] == v).collect();
+        let mut roots: Vec<u32> = (0..120u32)
+            .filter(|&v| rooted.parent[v as usize] == v)
+            .collect();
         roots.sort_unstable();
         assert_eq!(roots.len(), 4);
-        let mut intervals: Vec<(u64, u64)> = roots.iter().map(|&r| rooted.subtree_interval(r)).collect();
+        let mut intervals: Vec<(u64, u64)> =
+            roots.iter().map(|&r| rooted.subtree_interval(r)).collect();
         intervals.sort_unstable();
         let mut expected_start = 0;
         for (lo, hi) in intervals {

@@ -67,7 +67,11 @@ mod tests {
         for &(n, trees) in &[(200usize, 5usize), (500, 20), (100, 1), (64, 64)] {
             let g = generators::random_forest(n, trees, 3);
             let result = forest_connectivity(&g, 0.5, 3);
-            assert_eq!(result.output, sequential::connected_components(&g), "n={n} trees={trees}");
+            assert_eq!(
+                result.output,
+                sequential::connected_components(&g),
+                "n={n} trees={trees}"
+            );
         }
     }
 

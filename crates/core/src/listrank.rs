@@ -121,6 +121,7 @@ pub fn list_ranking_weighted(
         let walks: Vec<Vec<(u32, u32, u64)>> = runtime
             .run_round(machines, |ctx| {
                 let mut out = Vec::new();
+                let mut probe = [None; 3];
                 for &v in &assignments[ctx.machine_id()] {
                     let own_succ = ctx.read(successor_key(v)).expect("successor missing").x as u32;
                     if own_succ == v {
@@ -130,11 +131,21 @@ pub fn list_ranking_weighted(
                     let mut acc = ctx.read(weight_key(v)).expect("weight missing").x;
                     let mut cur = own_succ;
                     for _ in 0..limit {
-                        if ctx.read(sampled_key(cur)).is_some() {
-                            break;
+                        // One pipelined flight per hop: sample mark, weight
+                        // and successor of `cur` are independent keys.  On
+                        // the terminating hop (sample hit) the weight and
+                        // successor reads are discarded — a bounded
+                        // over-read of 2 queries per walk, the price of
+                        // batching the hop into one flight.
+                        ctx.read_many_slice(
+                            &[sampled_key(cur), weight_key(cur), successor_key(cur)],
+                            &mut probe,
+                        );
+                        if probe[0].is_some() {
+                            break; // reached the next sample
                         }
-                        acc += ctx.read(weight_key(cur)).expect("weight missing").x;
-                        let next = ctx.read(successor_key(cur)).expect("successor missing").x as u32;
+                        acc += probe[1].expect("weight missing").x;
+                        let next = probe[2].expect("successor missing").x as u32;
                         if next == cur {
                             break; // safety: ran into an unsampled terminal
                         }
@@ -167,12 +178,21 @@ pub fn list_ranking_weighted(
     // ---- Base solve on a single machine ------------------------------------
     let mut rank: FxHashMap<u32, u64> = FxHashMap::default();
     {
-        fn solve(v: u32, succ: &FxHashMap<u32, u32>, weight: &FxHashMap<u32, u64>, rank: &mut FxHashMap<u32, u64>) -> u64 {
+        fn solve(
+            v: u32,
+            succ: &FxHashMap<u32, u32>,
+            weight: &FxHashMap<u32, u64>,
+            rank: &mut FxHashMap<u32, u64>,
+        ) -> u64 {
             if let Some(&r) = rank.get(&v) {
                 return r;
             }
             let s = succ[&v];
-            let r = if s == v { 0 } else { weight[&v] + solve(s, succ, weight, rank) };
+            let r = if s == v {
+                0
+            } else {
+                weight[&v] + solve(s, succ, weight, rank)
+            };
             rank.insert(v, r);
             r
         }
@@ -203,23 +223,30 @@ pub fn list_ranking_weighted(
         let recovered: Vec<Vec<(u32, u64)>> = runtime
             .run_round(machines, |ctx| {
                 let mut out = Vec::new();
+                let mut probe = [None; 3];
                 for &v in &assignments[ctx.machine_id()] {
                     let own_succ = ctx.read(successor_key(v)).expect("successor missing").x as u32;
                     if own_succ == v {
                         continue; // terminal covers nobody
                     }
-                    // Collect the covered segment.
+                    // Collect the covered segment, one batched probe per hop
+                    // (bounded over-read of 2 queries on the terminating
+                    // hop, as in the contraction walk).
                     let mut segment: Vec<(u32, u64)> = Vec::new();
                     let mut cur = own_succ;
                     let mut end = own_succ;
                     for _ in 0..limit {
-                        if ctx.read(sampled_key(cur)).is_some() {
+                        ctx.read_many_slice(
+                            &[sampled_key(cur), weight_key(cur), successor_key(cur)],
+                            &mut probe,
+                        );
+                        if probe[0].is_some() {
                             end = cur;
                             break;
                         }
-                        let w = ctx.read(weight_key(cur)).expect("weight missing").x;
+                        let w = probe[1].expect("weight missing").x;
                         segment.push((cur, w));
-                        let next = ctx.read(successor_key(cur)).expect("successor missing").x as u32;
+                        let next = probe[2].expect("successor missing").x as u32;
                         if next == cur {
                             end = cur;
                             break;
@@ -276,7 +303,9 @@ mod tests {
     #[test]
     fn matches_sequential_ranks_on_identity_list() {
         let n = 500;
-        let successor: Vec<u32> = (0..n as u32).map(|v| if (v as usize) + 1 < n { v + 1 } else { v }).collect();
+        let successor: Vec<u32> = (0..n as u32)
+            .map(|v| if (v as usize) + 1 < n { v + 1 } else { v })
+            .collect();
         let result = list_ranking(&successor, 0.5, 1);
         assert_eq!(result.output, sequential::sequential_list_ranks(&successor));
     }
@@ -286,7 +315,11 @@ mod tests {
         for seed in 0..3 {
             let successor = shuffled_list(800, seed);
             let result = list_ranking(&successor, 0.5, seed);
-            assert_eq!(result.output, sequential::sequential_list_ranks(&successor), "seed {seed}");
+            assert_eq!(
+                result.output,
+                sequential::sequential_list_ranks(&successor),
+                "seed {seed}"
+            );
         }
     }
 

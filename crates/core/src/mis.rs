@@ -33,11 +33,28 @@ enum Probe {
     Unknown,
 }
 
+/// Adjacency entries prefetched per batched adaptive read while polling a
+/// vertex's neighbours.
+///
+/// The neighbour list is sorted by priority and the poll stops at the first
+/// neighbour with a larger priority, so a large batch would mostly fetch
+/// entries the probe never looks at.  A small batch keeps the expected waste
+/// below a constant handful of queries per probe, preserving the
+/// `O(m + n)` total-communication bound of Proposition 5.1.
+const MIS_READ_BATCH: usize = 4;
+
 /// Algorithm 5 (`TruncatedQuery`): decide membership of `v` in
 /// LFMIS(remaining graph, ρ) using at most `budget` recursive probes.
 ///
 /// `memo` caches per-machine results within the round (assumption 4 of
-/// Section 2.1 — machines may cache what they already queried).
+/// Section 2.1 — machines may cache what they already queried).  Neighbour
+/// slots are polled in batches of [`MIS_READ_BATCH`] via
+/// [`MachineContext::read_many_slice`]; the probe budget is debited only for
+/// entries the probe actually examines, so the decision sequence (and the
+/// truncation points) are identical to the slot-by-slot loop.  Prefetched
+/// slots the probe never reaches still count in the *machine-level* query
+/// statistics — that bounded over-read (< [`MIS_READ_BATCH`] per probe) is
+/// the price of the batch and is why the batch is small.
 fn truncated_query(
     ctx: &mut MachineContext,
     v: u32,
@@ -65,24 +82,42 @@ fn truncated_query(
 
     // Neighbours were published sorted by increasing priority, so we can
     // stop as soon as we reach one with a larger priority than ours.
-    for i in 0..degree {
+    // Fixed-size stack buffers keep the (deeply recursive) probe path free
+    // of per-call heap allocations.
+    let mut next_slot = 0usize;
+    while next_slot < degree {
         if *budget <= 0 {
             return Probe::Unknown;
         }
-        let Some(entry) = ctx.read(adjacency_key(v, i)) else { continue };
-        *budget -= 1;
-        let u = entry.x as u32;
-        let priority_u = entry.y;
-        if priority_u > priority_v {
-            break;
-        }
-        match truncated_query(ctx, u, budget, memo, depth + 1) {
-            Probe::InMis => {
-                memo.insert(v, Probe::NotInMis);
-                return Probe::NotInMis;
+        let batch_end = degree.min(next_slot + MIS_READ_BATCH.min(*budget as usize));
+        let keys: [Key; MIS_READ_BATCH] = std::array::from_fn(|j| adjacency_key(v, next_slot + j));
+        let mut entries: [Option<Value>; MIS_READ_BATCH] = [None; MIS_READ_BATCH];
+        let batch = batch_end - next_slot;
+        ctx.read_many_slice(&keys[..batch], &mut entries[..batch]);
+        next_slot = batch_end;
+        for entry in &entries[..batch] {
+            // Debit per examined entry (not per fetched entry) so budget
+            // exhaustion truncates the probe at exactly the same slot as
+            // the unbatched loop did.
+            if *budget <= 0 {
+                return Probe::Unknown;
             }
-            Probe::NotInMis => continue,
-            Probe::Unknown => return Probe::Unknown,
+            let Some(entry) = *entry else { continue };
+            *budget -= 1;
+            let u = entry.x as u32;
+            let priority_u = entry.y;
+            if priority_u > priority_v {
+                memo.insert(v, Probe::InMis);
+                return Probe::InMis;
+            }
+            match truncated_query(ctx, u, budget, memo, depth + 1) {
+                Probe::InMis => {
+                    memo.insert(v, Probe::NotInMis);
+                    return Probe::NotInMis;
+                }
+                Probe::NotInMis => continue,
+                Probe::Unknown => return Probe::Unknown,
+            }
         }
     }
     memo.insert(v, Probe::InMis);
@@ -93,7 +128,11 @@ fn truncated_query(
 ///
 /// Returns the membership bitmap of `LFMIS(G, ρ)` for the random priorities
 /// derived from `seed`.
-pub fn maximal_independent_set(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResult<Vec<bool>> {
+pub fn maximal_independent_set(
+    graph: &Graph,
+    epsilon: f64,
+    seed: u64,
+) -> AlgorithmResult<Vec<bool>> {
     let n = graph.num_vertices();
     let m = graph.num_edges();
     let config = AmpcConfig::for_graph(n.max(1), m, epsilon).with_seed(seed);
@@ -103,7 +142,7 @@ pub fn maximal_independent_set(graph: &Graph, epsilon: f64, seed: u64) -> Algori
         return AlgorithmResult::new(Vec::new(), runtime.into_stats());
     }
 
-    let priorities = permutation::random_priorities(n, seed ^ 0x4d49_53);
+    let priorities = permutation::random_priorities(n, seed ^ 0x4d_49_53);
     let mut in_mis = vec![false; n];
     let mut settled = vec![false; n];
     let mut remaining: Vec<u32> = (0..n as u32).collect();
@@ -133,7 +172,10 @@ pub fn maximal_independent_set(graph: &Graph, epsilon: f64, seed: u64) -> Algori
             pairs.push((priority_key(v), Value::scalar(priorities[v as usize])));
             pairs.push((degree_key(v), Value::scalar(nbrs.len() as u64)));
             for (i, &u) in nbrs.iter().enumerate() {
-                pairs.push((adjacency_key(v, i), Value::pair(u as u64, priorities[u as usize])));
+                pairs.push((
+                    adjacency_key(v, i),
+                    Value::pair(u as u64, priorities[u as usize]),
+                ));
             }
         }
         runtime.scatter(pairs);
@@ -217,10 +259,13 @@ mod tests {
 
     fn check_equals_lfmis(graph: &Graph, epsilon: f64, seed: u64) {
         let result = maximal_independent_set(graph, epsilon, seed);
-        let priorities = permutation::random_priorities(graph.num_vertices(), seed ^ 0x4d49_53);
+        let priorities = permutation::random_priorities(graph.num_vertices(), seed ^ 0x4d_49_53);
         let expected = sequential::lexicographically_first_mis(graph, &priorities);
         assert_eq!(result.output, expected);
-        assert!(sequential::is_maximal_independent_set(graph, &result.output));
+        assert!(sequential::is_maximal_independent_set(
+            graph,
+            &result.output
+        ));
     }
 
     #[test]

@@ -56,14 +56,23 @@ fn publish_weighted_adjacency(
         adjacency.entry(v).or_default();
     }
     for e in edges {
-        adjacency.entry(e.u).or_default().push((e.v, e.original, e.weight));
-        adjacency.entry(e.v).or_default().push((e.u, e.original, e.weight));
+        adjacency
+            .entry(e.u)
+            .or_default()
+            .push((e.v, e.original, e.weight));
+        adjacency
+            .entry(e.v)
+            .or_default()
+            .push((e.u, e.original, e.weight));
     }
     let mut pairs: Vec<(Key, Value)> = Vec::new();
     for (&v, nbrs) in &adjacency {
         pairs.push((degree_key(v), Value::scalar(nbrs.len() as u64)));
         for (i, &(u, id, w)) in nbrs.iter().enumerate() {
-            pairs.push((weighted_adjacency_key(v, i), encode_weighted_neighbor(u, id, w)));
+            pairs.push((
+                weighted_adjacency_key(v, i),
+                encode_weighted_neighbor(u, id, w),
+            ));
         }
     }
     runtime.scatter(pairs);
@@ -83,7 +92,9 @@ fn local_prim(ctx: &mut MachineContext, v: u32, d: usize, query_cap: u64) -> Vec
     let start_queries = ctx.queries_issued();
 
     let expand = |x: u32, ctx: &mut MachineContext, heap: &mut BinaryHeap<_>| {
-        let Some(deg) = ctx.read(degree_key(x)).map(|d| d.x as usize) else { return };
+        let Some(deg) = ctx.read(degree_key(x)).map(|d| d.x as usize) else {
+            return;
+        };
         for i in 0..deg {
             if ctx.queries_issued() - start_queries >= query_cap {
                 return;
@@ -102,7 +113,9 @@ fn local_prim(ctx: &mut MachineContext, v: u32, d: usize, query_cap: u64) -> Vec
         if ctx.queries_issued() - start_queries >= query_cap {
             break;
         }
-        let Some(std::cmp::Reverse((_, from, to, id))) = heap.pop() else { break };
+        let Some(std::cmp::Reverse((_, from, to, id))) = heap.pop() else {
+            break;
+        };
         if in_tree.contains(&to) {
             continue;
         }
@@ -117,12 +130,20 @@ fn local_prim(ctx: &mut MachineContext, v: u32, d: usize, query_cap: u64) -> Vec
 ///
 /// # Panics
 /// If the graph carries no edge weights.
-pub fn minimum_spanning_forest(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResult<MsfOutput> {
+pub fn minimum_spanning_forest(
+    graph: &Graph,
+    epsilon: f64,
+    seed: u64,
+) -> AlgorithmResult<MsfOutput> {
     assert!(
         graph.is_weighted() || graph.num_edges() == 0,
         "minimum_spanning_forest needs a weighted graph"
     );
-    let edges = if graph.num_edges() == 0 { Vec::new() } else { graph.weighted_edges() };
+    let edges = if graph.num_edges() == 0 {
+        Vec::new()
+    } else {
+        graph.weighted_edges()
+    };
     msf_impl(graph, &edges, epsilon, seed)
 }
 
@@ -133,26 +154,45 @@ pub fn spanning_forest(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResul
         .edges()
         .iter()
         .enumerate()
-        .map(|(id, e)| WeightedEdge { u: e.u, v: e.v, weight: id as u64 + 1, id: id as u32 })
+        .map(|(id, e)| WeightedEdge {
+            u: e.u,
+            v: e.v,
+            weight: id as u64 + 1,
+            id: id as u32,
+        })
         .collect();
     msf_impl(graph, &edges, epsilon, seed)
 }
 
-fn msf_impl(graph: &Graph, all_edges: &[WeightedEdge], epsilon: f64, seed: u64) -> AlgorithmResult<MsfOutput> {
+fn msf_impl(
+    graph: &Graph,
+    all_edges: &[WeightedEdge],
+    epsilon: f64,
+    seed: u64,
+) -> AlgorithmResult<MsfOutput> {
     let n = graph.num_vertices();
     let m = all_edges.len();
     let config = AmpcConfig::for_graph(n.max(1), m, epsilon).with_seed(seed);
     let mut runtime = AmpcRuntime::new(config);
 
     if n == 0 {
-        let output = MsfOutput { edges: Vec::new(), total_weight: 0, labels: Vec::new() };
+        let output = MsfOutput {
+            edges: Vec::new(),
+            total_weight: 0,
+            labels: Vec::new(),
+        };
         return AlgorithmResult::new(output, runtime.into_stats());
     }
 
     let mut vertices: Vec<u32> = (0..n as u32).collect();
     let mut edges: Vec<ContractedEdge> = all_edges
         .iter()
-        .map(|e| ContractedEdge { u: e.u, v: e.v, weight: e.weight, original: e.id })
+        .map(|e| ContractedEdge {
+            u: e.u,
+            v: e.v,
+            weight: e.weight,
+            original: e.id,
+        })
         .collect();
     let mut labels: Vec<u32> = (0..n as u32).collect();
     let mut committed: FxHashSet<u32> = FxHashSet::default();
@@ -161,7 +201,8 @@ fn msf_impl(graph: &Graph, all_edges: &[WeightedEdge], epsilon: f64, seed: u64) 
     let d_cap = ((n.max(2) as f64).powf(epsilon / 2.0).ceil() as usize).max(2);
     let mut d = (((n + m) as f64 / n as f64).sqrt().ceil() as usize).clamp(2, d_cap);
 
-    let max_phases = 4 * ((n.max(4) as f64).ln().ln().ceil() as usize + 2) + (4.0 / epsilon).ceil() as usize;
+    let max_phases =
+        4 * ((n.max(4) as f64).ln().ln().ceil() as usize + 2) + (4.0 / epsilon).ceil() as usize;
     for _phase in 0..max_phases {
         if edges.is_empty() {
             break;
@@ -225,17 +266,27 @@ fn msf_impl(graph: &Graph, all_edges: &[WeightedEdge], epsilon: f64, seed: u64) 
                 continue;
             }
             let key = (su.min(sv), su.max(sv));
-            let candidate = ContractedEdge { u: key.0, v: key.1, weight: e.weight, original: e.original };
+            let candidate = ContractedEdge {
+                u: key.0,
+                v: key.1,
+                weight: e.weight,
+                original: e.original,
+            };
             match best.get(&key) {
-                Some(cur) if (cur.weight, cur.original) <= (candidate.weight, candidate.original) => {}
+                Some(cur)
+                    if (cur.weight, cur.original) <= (candidate.weight, candidate.original) => {}
                 _ => {
                     best.insert(key, candidate);
                 }
             }
         }
         edges = best.into_values().collect();
-        let mut new_vertices: Vec<u32> =
-            super_of.values().copied().collect::<FxHashSet<_>>().into_iter().collect();
+        let mut new_vertices: Vec<u32> = super_of
+            .values()
+            .copied()
+            .collect::<FxHashSet<_>>()
+            .into_iter()
+            .collect();
         new_vertices.sort_unstable();
         vertices = new_vertices;
 
@@ -282,7 +333,11 @@ fn msf_impl(graph: &Graph, all_edges: &[WeightedEdge], epsilon: f64, seed: u64) 
     let mut msf_edges: Vec<WeightedEdge> = committed.iter().map(|id| *by_id[id]).collect();
     msf_edges.sort_unstable_by_key(|e| e.id);
     let total_weight = msf_edges.iter().map(|e| e.weight).sum();
-    let output = MsfOutput { edges: msf_edges, total_weight, labels: canonicalize_labels(&labels) };
+    let output = MsfOutput {
+        edges: msf_edges,
+        total_weight,
+        labels: canonicalize_labels(&labels),
+    };
     AlgorithmResult::new(output, runtime.into_stats())
 }
 

@@ -50,7 +50,12 @@ pub fn cycle_neighbors_of(graph: &Graph) -> CycleNeighbors {
     let mut nbrs = CycleNeighbors::default();
     for v in 0..graph.num_vertices() as u32 {
         let adjacent = graph.neighbors(v);
-        assert_eq!(adjacent.len(), 2, "vertex {v} has degree {} (cycle graphs need degree 2)", adjacent.len());
+        assert_eq!(
+            adjacent.len(),
+            2,
+            "vertex {v} has degree {} (cycle graphs need degree 2)",
+            adjacent.len()
+        );
         nbrs.insert(v, (adjacent[0], adjacent[1]));
     }
     nbrs
@@ -178,18 +183,30 @@ pub(crate) fn shrink_cycles(
             .run_round(machines, |ctx| {
                 let mut results = Vec::new();
                 for &v in &assignments[ctx.machine_id()] {
-                    let nbrs = ctx.read(cycle_key(v)).expect("sampled vertex missing adjacency");
+                    let nbrs = ctx
+                        .read(cycle_key(v))
+                        .expect("sampled vertex missing adjacency");
                     let (a, b) = (nbrs.x as u32, nbrs.y as u32);
                     let (left_end, mut covered) = walk(ctx, v, a, limit);
                     if left_end == v {
                         // The walk wrapped the whole cycle; no need to walk
                         // the other direction.
-                        results.push(Traversal { vertex: v, left_end: v, right_end: v, covered });
+                        results.push(Traversal {
+                            vertex: v,
+                            left_end: v,
+                            right_end: v,
+                            covered,
+                        });
                         continue;
                     }
                     let (right_end, covered_right) = walk(ctx, v, b, limit);
                     covered.extend(covered_right);
-                    results.push(Traversal { vertex: v, left_end, right_end, covered });
+                    results.push(Traversal {
+                        vertex: v,
+                        left_end,
+                        right_end,
+                        covered,
+                    });
                 }
                 results
             })
@@ -244,9 +261,9 @@ fn count_cycles(nbrs: &CycleNeighbors) -> usize {
         loop {
             visited.insert(cur);
             let &(a, b) = nbrs.get(&cur).expect("dangling cycle pointer");
-            let next = if cur == start && prev == start {
-                a // first step: pick an arbitrary direction
-            } else if a != prev {
+            // First step from `start` picks an arbitrary direction (`a`);
+            // afterwards keep moving away from `prev`.
+            let next = if (cur == start && prev == start) || a != prev {
                 a
             } else {
                 b
@@ -275,8 +292,18 @@ pub fn two_cycle(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResult<TwoC
     let nbrs = cycle_neighbors_of(graph);
     let mut runtime = runtime_for(n, graph.num_edges(), epsilon, seed);
     let target = (n as f64).powf(epsilon).ceil() as usize;
-    let state = ShrinkState { nbrs, assign: (0..n as u32).collect() };
-    let state = shrink_cycles(&mut runtime, state, n, epsilon, target.max(4), seed ^ 0xc0ffee);
+    let state = ShrinkState {
+        nbrs,
+        assign: (0..n as u32).collect(),
+    };
+    let state = shrink_cycles(
+        &mut runtime,
+        state,
+        n,
+        epsilon,
+        target.max(4),
+        seed ^ 0xc0ffee,
+    );
     let answer = match count_cycles(&state.nbrs) {
         1 => TwoCycleAnswer::OneCycle,
         2 => TwoCycleAnswer::TwoCycles,
@@ -297,8 +324,18 @@ pub fn cycle_connectivity_from_neighbors(
     let m = nbrs.len();
     let mut runtime = runtime_for(n_original.max(1), m, epsilon, seed);
     let target = (n_original.max(2) as f64).powf(epsilon).ceil() as usize;
-    let state = ShrinkState { nbrs, assign: (0..n_original as u32).collect() };
-    let state = shrink_cycles(&mut runtime, state, n_original.max(1), epsilon, target.max(4), seed ^ 0xbeef);
+    let state = ShrinkState {
+        nbrs,
+        assign: (0..n_original as u32).collect(),
+    };
+    let state = shrink_cycles(
+        &mut runtime,
+        state,
+        n_original.max(1),
+        epsilon,
+        target.max(4),
+        seed ^ 0xbeef,
+    );
 
     // Final phase (Algorithm 10, steps 2–3): a random priority per surviving
     // vertex; each vertex walks one direction until it meets a smaller
@@ -427,7 +464,10 @@ mod tests {
         let mut offset = 0u32;
         for len in [3usize, 5, 17, 50, 120] {
             for i in 0..len as u32 {
-                edges.push(ampc_graph::Edge::new(offset + i, offset + (i + 1) % len as u32));
+                edges.push(ampc_graph::Edge::new(
+                    offset + i,
+                    offset + (i + 1) % len as u32,
+                ));
             }
             offset += len as u32;
         }
@@ -450,9 +490,16 @@ mod tests {
         let g = generators::cycle(4000);
         let n = g.num_vertices();
         let mut runtime = runtime_for(n, n, 0.5, 9);
-        let state = ShrinkState { nbrs: cycle_neighbors_of(&g), assign: (0..n as u32).collect() };
+        let state = ShrinkState {
+            nbrs: cycle_neighbors_of(&g),
+            assign: (0..n as u32).collect(),
+        };
         let shrunk = shrink_cycles(&mut runtime, state, n, 0.5, 64, 9);
-        assert!(shrunk.nbrs.len() <= 200, "still {} vertices alive", shrunk.nbrs.len());
+        assert!(
+            shrunk.nbrs.len() <= 200,
+            "still {} vertices alive",
+            shrunk.nbrs.len()
+        );
         // Every original vertex maps to a live vertex.
         for &rep in &shrunk.assign {
             assert!(shrunk.nbrs.contains_key(&rep));

@@ -61,7 +61,11 @@ impl BcLabeling {
 
 /// Theorem 8: compute the BC-labeling (bridges + 2-edge-connected
 /// components) of an undirected graph.
-pub fn two_edge_connectivity(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResult<BcLabeling> {
+pub fn two_edge_connectivity(
+    graph: &Graph,
+    epsilon: f64,
+    seed: u64,
+) -> AlgorithmResult<BcLabeling> {
     let n = graph.num_vertices();
     let mut stats = RunStats::default();
 
@@ -81,7 +85,12 @@ pub fn two_edge_connectivity(graph: &Graph, epsilon: f64, seed: u64) -> Algorith
     let sf = spanning_forest(graph, epsilon, seed);
     stats.absorb(sf.stats.clone());
     let forest_edge_ids: FxHashSet<u32> = sf.output.edges.iter().map(|e| e.id).collect();
-    let forest_edges: Vec<Edge> = sf.output.edges.iter().map(|e| Edge::new(e.u, e.v)).collect();
+    let forest_edges: Vec<Edge> = sf
+        .output
+        .edges
+        .iter()
+        .map(|e| Edge::new(e.u, e.v))
+        .collect();
     let forest = Graph::from_edges(n, &forest_edges);
 
     // Step 2: root the forest and get preorder numbers / subtree sizes.
@@ -171,7 +180,10 @@ mod tests {
             result.output.two_edge_components,
             sequential::two_edge_connected_components(graph)
         );
-        assert_eq!(result.output.connectivity, sequential::connected_components(graph));
+        assert_eq!(
+            result.output.connectivity,
+            sequential::connected_components(graph)
+        );
     }
 
     #[test]
@@ -230,7 +242,9 @@ mod tests {
             assert!(result.output.is_bridge(e.v, e.u));
             assert!(!result.output.same_two_edge_component(e.u, e.v));
         }
-        assert!(!result.output.is_bridge(0, 1) || sequential::bridges(&g).contains(&Edge::new(0, 1)));
+        assert!(
+            !result.output.is_bridge(0, 1) || sequential::bridges(&g).contains(&Edge::new(0, 1))
+        );
     }
 
     #[test]

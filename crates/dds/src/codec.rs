@@ -97,7 +97,11 @@ mod tests {
 
     #[test]
     fn value_round_trips() {
-        let values = [Value::scalar(0), Value::pair(u64::MAX, 1), Value::pair(3, 4)];
+        let values = [
+            Value::scalar(0),
+            Value::pair(u64::MAX, 1),
+            Value::pair(3, 4),
+        ];
         for value in values {
             let bytes = encode_value(&value);
             assert_eq!(bytes.len(), ENCODED_VALUE_BYTES);

@@ -48,7 +48,11 @@ pub fn simulate_balls_into_bins(weights: &[u64], bins: usize, seed: u64) -> Ball
     let total_weight: u64 = weights.iter().sum();
     let mean_load = total_weight as f64 / bins as f64;
     let max_load = loads.iter().copied().max().unwrap_or(0);
-    let imbalance = if mean_load > 0.0 { max_load as f64 / mean_load } else { 1.0 };
+    let imbalance = if mean_load > 0.0 {
+        max_load as f64 / mean_load
+    } else {
+        1.0
+    };
     BallsInBinsReport {
         bins,
         balls: weights.len(),
@@ -101,7 +105,11 @@ mod tests {
         assert_eq!(report.total_weight, 100_000);
         assert!((report.mean_load - 1000.0).abs() < 1e-9);
         // With 100k unit balls in 100 bins the max load concentrates tightly.
-        assert!(report.imbalance < 1.25, "imbalance too high: {}", report.imbalance);
+        assert!(
+            report.imbalance < 1.25,
+            "imbalance too high: {}",
+            report.imbalance
+        );
     }
 
     #[test]

@@ -56,17 +56,44 @@ impl DdsChain {
     }
 
     /// Write a batch of pairs into the current epoch's store.
+    ///
+    /// The batch is grouped by destination shard, taking each shard lock
+    /// once per batch (see [`ShardedStore::write_batch`]).
     pub fn write_batch(&mut self, pairs: impl IntoIterator<Item = (Key, Value)>) {
         self.current.write_batch(pairs);
     }
 
-    /// Freeze the current epoch and open the next one.
+    /// Commit ordered write batches (for the runtime: one per machine, in
+    /// machine-id order) into the current epoch's store, locking each shard
+    /// once and committing distinct shards in parallel on up to `threads`
+    /// workers.  Per-key multi-value index order is the concatenation order
+    /// of the batches.
+    pub fn commit_round(
+        &mut self,
+        batches: impl IntoIterator<Item = impl IntoIterator<Item = (Key, Value)>>,
+        threads: usize,
+    ) {
+        let per_shard = self.current.partition_writes(batches);
+        self.current.commit_partitioned(per_shard, threads);
+    }
+
+    /// Freeze the current epoch and open the next one, building the compact
+    /// frozen layout on up to one worker per available CPU.
     ///
     /// Returns the snapshot of the epoch that just completed; subsequent
-    /// reads in the next round go against that snapshot.
+    /// reads in the next round go against that snapshot.  Callers with a
+    /// configured thread cap (the AMPC runtime) should use
+    /// [`DdsChain::advance_with_threads`] instead.
     pub fn advance(&mut self) -> Snapshot {
+        self.advance_with_threads(crate::default_parallelism())
+    }
+
+    /// [`DdsChain::advance`] with an explicit cap on the freeze workers,
+    /// so embedders that limit runtime threads are not oversubscribed by
+    /// the shard-parallel freeze.
+    pub fn advance_with_threads(&mut self, threads: usize) -> Snapshot {
         let finished = std::mem::replace(&mut self.current, ShardedStore::new(self.num_shards));
-        let snapshot = finished.freeze();
+        let snapshot = finished.freeze_with_threads(threads);
         self.snapshots.push(snapshot.clone());
         snapshot
     }
@@ -130,7 +157,10 @@ mod tests {
         let d0 = chain.advance();
         assert_eq!(chain.current_epoch(), 1);
         assert_eq!(d0.get(&k(1)), Some(Value::scalar(100)));
-        assert_eq!(chain.snapshot(0).unwrap().get(&k(1)), Some(Value::scalar(100)));
+        assert_eq!(
+            chain.snapshot(0).unwrap().get(&k(1)),
+            Some(Value::scalar(100))
+        );
         assert!(chain.snapshot(1).is_none());
     }
 
@@ -156,7 +186,10 @@ mod tests {
         assert!(chain.latest_snapshot().is_none());
         chain.write(k(5), Value::scalar(5));
         chain.advance();
-        assert_eq!(chain.latest_snapshot().unwrap().get(&k(5)), Some(Value::scalar(5)));
+        assert_eq!(
+            chain.latest_snapshot().unwrap().get(&k(5)),
+            Some(Value::scalar(5))
+        );
         chain.write(k(6), Value::scalar(6));
         chain.advance();
         let latest = chain.latest_snapshot().unwrap();

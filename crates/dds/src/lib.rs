@@ -23,6 +23,25 @@
 //! * [`contention`] — the weighted balls-into-bins experiment behind
 //!   Lemma 2.1 of the paper.
 //!
+//! # Epoch lifecycle
+//!
+//! An epoch moves through three stages, each with its own representation:
+//!
+//! 1. **Accumulate** — machines buffer writes; the runtime commits them into
+//!    the writable [`ShardedStore`], grouped by destination shard so each
+//!    shard lock is taken once per batch, with distinct shards committed in
+//!    parallel ([`ShardedStore::commit_partitioned`]).  Singleton keys are
+//!    stored inline; only multi-value keys allocate.
+//! 2. **Freeze** — [`ShardedStore::freeze`] builds the compact read-only
+//!    layout (inline singletons, `Box<[Value]>` multi-values) shard-parallel
+//!    and hands back a [`Snapshot`].
+//! 3. **Serve** — the frozen [`Snapshot`] answers point lookups and batched
+//!    lookups ([`Snapshot::get_many`]) lock-free until the run drops it.
+//!
+//! The pre-refactor `Vec<Value>`-per-key layout survives as
+//! [`legacy::LegacyStore`], an executable specification the property tests
+//! compare against.
+//!
 //! The paper's deployment target is an RDMA/Bigtable-style distributed hash
 //! table.  We substitute a laptop-scale simulation with identical semantics:
 //! key-value lookups with per-shard load accounting and a hard read-only
@@ -35,6 +54,8 @@ pub mod contention;
 pub mod epoch;
 pub mod hashing;
 pub mod key;
+pub mod legacy;
+mod slot;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -46,4 +67,4 @@ pub use hashing::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use key::{Key, KeyTag, Value};
 pub use snapshot::Snapshot;
 pub use stats::{ShardLoad, StoreStats};
-pub use store::ShardedStore;
+pub use store::{default_parallelism, ShardedStore};

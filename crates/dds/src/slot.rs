@@ -1,0 +1,150 @@
+//! Per-key storage slots: inline singletons, heap only for multi-values.
+//!
+//! Profiling the algorithm suite shows that ~99% of DDS keys hold exactly
+//! one value (degrees, statuses, successor pointers, per-slot adjacency
+//! entries, …).  The original layout paid a heap-allocated `Vec<Value>` for
+//! every key; these slot types keep the singleton case inline in the shard's
+//! hash map and only touch the heap once a key becomes multi-valued.
+//!
+//! [`WriteSlot`] is the growable variant used by the writable
+//! [`crate::ShardedStore`]; [`Slot`] is the compact frozen variant built at
+//! `freeze()` time for [`crate::Snapshot`], with `Box<[Value]>` instead of
+//! `Vec<Value>` so multi-value entries carry no spare capacity.
+
+use crate::key::Value;
+
+/// Growable per-key slot of the writable store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum WriteSlot {
+    /// The common case: exactly one value, stored inline.
+    One(Value),
+    /// Two or more values, in commit order.
+    Many(Vec<Value>),
+}
+
+impl WriteSlot {
+    /// Append `value`, upgrading a singleton to a heap list when needed.
+    #[inline]
+    pub fn push(&mut self, value: Value) {
+        match self {
+            WriteSlot::One(first) => {
+                *self = WriteSlot::Many(vec![*first, value]);
+            }
+            WriteSlot::Many(values) => values.push(value),
+        }
+    }
+
+    /// All values, in commit order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Value] {
+        match self {
+            WriteSlot::One(value) => std::slice::from_ref(value),
+            WriteSlot::Many(values) => values,
+        }
+    }
+
+    /// Convert into the compact frozen representation.
+    #[inline]
+    pub fn freeze(self) -> Slot {
+        match self {
+            WriteSlot::One(value) => Slot::One(value),
+            WriteSlot::Many(values) => Slot::Many(values.into_boxed_slice()),
+        }
+    }
+}
+
+/// Compact frozen per-key slot of a [`crate::Snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Slot {
+    /// The common case: exactly one value, stored inline.
+    One(Value),
+    /// Two or more values, in commit order, without spare capacity.
+    Many(Box<[Value]>),
+}
+
+impl Slot {
+    /// All values, in commit order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Value] {
+        match self {
+            Slot::One(value) => std::slice::from_ref(value),
+            Slot::Many(values) => values,
+        }
+    }
+
+    /// First value (the model's `(x, 1)` lookup).
+    #[inline]
+    pub fn first(&self) -> Value {
+        match self {
+            Slot::One(value) => *value,
+            Slot::Many(values) => values[0],
+        }
+    }
+
+    /// The `index`-th value, if present.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<Value> {
+        match self {
+            Slot::One(value) if index == 0 => Some(*value),
+            Slot::One(_) => None,
+            Slot::Many(values) => values.get(index).copied(),
+        }
+    }
+
+    /// Number of values stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Slot::One(_) => 1,
+            Slot::Many(values) => values.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_slot_upgrades_to_many() {
+        let mut slot = WriteSlot::One(Value::scalar(1));
+        assert_eq!(slot.as_slice(), &[Value::scalar(1)]);
+        slot.push(Value::scalar(2));
+        slot.push(Value::scalar(3));
+        assert_eq!(
+            slot.as_slice(),
+            &[Value::scalar(1), Value::scalar(2), Value::scalar(3)]
+        );
+    }
+
+    #[test]
+    fn frozen_slot_exposes_indexed_access() {
+        let single = WriteSlot::One(Value::pair(1, 2)).freeze();
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.first(), Value::pair(1, 2));
+        assert_eq!(single.get(0), Some(Value::pair(1, 2)));
+        assert_eq!(single.get(1), None);
+
+        let mut multi = WriteSlot::One(Value::scalar(0));
+        for i in 1..5u64 {
+            multi.push(Value::scalar(i));
+        }
+        let multi = multi.freeze();
+        assert_eq!(multi.len(), 5);
+        for i in 0..5u64 {
+            assert_eq!(multi.get(i as usize), Some(Value::scalar(i)));
+        }
+        assert_eq!(multi.get(5), None);
+    }
+
+    #[test]
+    fn singleton_slots_are_inline() {
+        // The whole point of the layout: a singleton entry is no bigger than
+        // the multi-value header, and needs no heap allocation.
+        assert!(std::mem::size_of::<Slot>() <= 24);
+        assert_eq!(
+            std::mem::size_of::<Slot>(),
+            std::mem::size_of::<Box<[Value]>>() + std::mem::size_of::<u64>()
+        );
+    }
+}

@@ -6,9 +6,21 @@
 //! [`crate::ShardedStore`] is frozen it can only be read.  Reads are lock-free
 //! (the underlying maps are never mutated) and still counted per shard so the
 //! query-contention behaviour of the model can be observed.
+//!
+//! # Layout
+//!
+//! The frozen maps store [`crate::slot::Slot`] entries: the ~99% of keys
+//! that hold a single value keep it **inline in the hash-map entry**, so a
+//! point lookup is one hash probe with no pointer chase and no per-key heap
+//! allocation; only multi-value keys reference a compact `Box<[Value]>`.
+//! The layout is built once, shard-parallel, at freeze time (see
+//! [`crate::ShardedStore::freeze`]).  The pre-refactor layout
+//! (`Vec<Value>` per key) is kept reachable as [`crate::legacy::LegacyStore`]
+//! for the equivalence property tests.
 
 use crate::hashing::{hash_words, FxHashMap};
 use crate::key::{Key, Value};
+use crate::slot::Slot;
 use crate::stats::{ShardLoad, StoreStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -23,17 +35,22 @@ pub struct Snapshot {
 }
 
 struct SnapshotInner {
-    shards: Vec<FxHashMap<Key, Vec<Value>>>,
+    shards: Vec<FxHashMap<Key, Slot>>,
     writes: Vec<u64>,
     reads: Vec<AtomicU64>,
 }
 
 impl Snapshot {
-    /// Build a snapshot from per-shard maps and their historical write counts.
-    pub(crate) fn from_parts(shards: Vec<FxHashMap<Key, Vec<Value>>>, writes: Vec<u64>) -> Self {
+    /// Build a snapshot from per-shard frozen maps and their historical
+    /// write counts.
+    pub(crate) fn from_parts(shards: Vec<FxHashMap<Key, Slot>>, writes: Vec<u64>) -> Self {
         let reads = (0..shards.len()).map(|_| AtomicU64::new(0)).collect();
         Snapshot {
-            inner: Arc::new(SnapshotInner { shards, writes, reads }),
+            inner: Arc::new(SnapshotInner {
+                shards,
+                writes,
+                reads,
+            }),
         }
     }
 
@@ -63,7 +80,55 @@ impl Snapshot {
     pub fn get(&self, key: &Key) -> Option<Value> {
         let shard = self.shard_of(key);
         self.record_read(shard);
-        self.inner.shards[shard].get(key).and_then(|vs| vs.first().copied())
+        self.inner.shards[shard].get(key).map(Slot::first)
+    }
+
+    /// Look up a batch of keys in one call.  Counts as `keys.len()` queries,
+    /// exactly as if [`Snapshot::get`] had been called per key.
+    ///
+    /// `out` is **cleared first**, then filled with one entry per key, in
+    /// key order.
+    ///
+    /// This is the read path behind the runtime's batched adaptive reads: a
+    /// real deployment would pipeline the batch over the network, and the
+    /// simulation amortizes the per-query read accounting over the batch
+    /// (one counter update per shard run instead of one per key).
+    pub fn get_many(&self, keys: &[Key], out: &mut Vec<Option<Value>>) {
+        out.clear();
+        out.resize(keys.len(), None);
+        self.get_many_slice(keys, out);
+    }
+
+    /// [`Snapshot::get_many`] into a caller-provided slice, for hot loops
+    /// that batch into fixed-size stack buffers.  `out[i]` receives the
+    /// result for `keys[i]`.  Counts as `keys.len()` queries.
+    ///
+    /// # Panics
+    /// If `out` is shorter than `keys`.
+    pub fn get_many_slice(&self, keys: &[Key], out: &mut [Option<Value>]) {
+        assert!(
+            out.len() >= keys.len(),
+            "output slice shorter than key batch"
+        );
+        // Coalesce read-counter updates over runs of same-shard keys; totals
+        // are identical to per-key counting.
+        let mut run_shard = usize::MAX;
+        let mut run_len = 0u64;
+        for (key, slot) in keys.iter().zip(out.iter_mut()) {
+            let shard = self.shard_of(key);
+            if shard != run_shard {
+                if run_len > 0 {
+                    self.inner.reads[run_shard].fetch_add(run_len, Ordering::Relaxed);
+                }
+                run_shard = shard;
+                run_len = 0;
+            }
+            run_len += 1;
+            *slot = self.inner.shards[shard].get(key).map(Slot::first);
+        }
+        if run_len > 0 {
+            self.inner.reads[run_shard].fetch_add(run_len, Ordering::Relaxed);
+        }
     }
 
     /// The `index`-th value stored under `key` (zero-based).  Counts as one
@@ -71,7 +136,9 @@ impl Snapshot {
     pub fn get_indexed(&self, key: &Key, index: usize) -> Option<Value> {
         let shard = self.shard_of(key);
         self.record_read(shard);
-        self.inner.shards[shard].get(key).and_then(|vs| vs.get(index).copied())
+        self.inner.shards[shard]
+            .get(key)
+            .and_then(|slot| slot.get(index))
     }
 
     /// All values stored under `key` (empty slice semantics if absent).
@@ -80,7 +147,10 @@ impl Snapshot {
     /// `(x, i)` lookup is a separate query.
     pub fn get_all(&self, key: &Key) -> Vec<Value> {
         let shard = self.shard_of(key);
-        let values = self.inner.shards[shard].get(key).cloned().unwrap_or_default();
+        let values = self.inner.shards[shard]
+            .get(key)
+            .map(|slot| slot.as_slice().to_vec())
+            .unwrap_or_default();
         self.inner.reads[shard].fetch_add(values.len().max(1) as u64, Ordering::Relaxed);
         values
     }
@@ -89,7 +159,7 @@ impl Snapshot {
     pub fn multiplicity(&self, key: &Key) -> usize {
         let shard = self.shard_of(key);
         self.record_read(shard);
-        self.inner.shards[shard].get(key).map_or(0, |vs| vs.len())
+        self.inner.shards[shard].get(key).map_or(0, Slot::len)
     }
 
     /// Number of distinct keys in the snapshot.
@@ -124,7 +194,11 @@ impl Snapshot {
 
     /// Total reads served by this snapshot so far.
     pub fn total_reads(&self) -> u64 {
-        self.inner.reads.iter().map(|r| r.load(Ordering::Relaxed)).sum()
+        self.inner
+            .reads
+            .iter()
+            .map(|r| r.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Iterate over every `(key, values)` pair in the snapshot.
@@ -132,8 +206,11 @@ impl Snapshot {
     /// This is *not* an AMPC-model operation (machines can only do point
     /// lookups); it exists for the driver side of algorithms — the part the
     /// paper implements "using standard MPC primitives" — and for tests.
-    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Vec<Value>)> {
-        self.inner.shards.iter().flat_map(|s| s.iter())
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &[Value])> {
+        self.inner
+            .shards
+            .iter()
+            .flat_map(|s| s.iter().map(|(k, slot)| (k, slot.as_slice())))
     }
 }
 
@@ -185,6 +262,37 @@ mod tests {
     }
 
     #[test]
+    fn get_many_returns_per_key_results_and_counts_each_key() {
+        let snap = snapshot_with(&[(1, 10), (2, 20), (3, 30)]);
+        let keys = [k(1), k(999), k(3), k(2), k(2)];
+        let mut out = Vec::new();
+        snap.get_many(&keys, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                Some(Value::scalar(10)),
+                None,
+                Some(Value::scalar(30)),
+                Some(Value::scalar(20)),
+                Some(Value::scalar(20)),
+            ]
+        );
+        assert_eq!(snap.total_reads(), 5);
+    }
+
+    #[test]
+    fn get_many_matches_individual_gets() {
+        let snap = snapshot_with(&(0..500).map(|i| (i, i * 3)).collect::<Vec<_>>());
+        let keys: Vec<Key> = (0..1_000u64).map(k).collect();
+        let mut batched = Vec::new();
+        snap.get_many(&keys, &mut batched);
+        let individual: Vec<Option<Value>> = keys.iter().map(|key| snap.get(key)).collect();
+        assert_eq!(batched, individual);
+        // Both passes counted every key once.
+        assert_eq!(snap.total_reads(), 2_000);
+    }
+
+    #[test]
     fn get_all_returns_every_value_in_order() {
         let store = ShardedStore::new(4);
         for i in 0..4u64 {
@@ -192,12 +300,15 @@ mod tests {
         }
         let snap = store.freeze();
         let all = snap.get_all(&k(9));
-        assert_eq!(all, vec![
-            Value::scalar(0),
-            Value::scalar(1),
-            Value::scalar(2),
-            Value::scalar(3)
-        ]);
+        assert_eq!(
+            all,
+            vec![
+                Value::scalar(0),
+                Value::scalar(1),
+                Value::scalar(2),
+                Value::scalar(3)
+            ]
+        );
         assert_eq!(snap.get_all(&k(404)), Vec::<Value>::new());
     }
 

@@ -83,7 +83,12 @@ mod tests {
     use super::*;
 
     fn load(shard: usize, keys: u64, writes: u64, reads: u64) -> ShardLoad {
-        ShardLoad { shard, keys, writes, reads }
+        ShardLoad {
+            shard,
+            keys,
+            writes,
+            reads,
+        }
     }
 
     #[test]

@@ -8,18 +8,51 @@
 //! `num_shards` hash-addressed shards, each protected by its own lock and
 //! each counting the traffic it served, so the load-balance claims of
 //! Lemma 2.1 can be measured rather than assumed.
+//!
+//! # Commit paths
+//!
+//! Three write paths, from slowest to fastest:
+//!
+//! * [`ShardedStore::write`] — one key-value pair, one shard-lock
+//!   acquisition.  The right tool for ad-hoc writes.
+//! * [`ShardedStore::write_batch`] — groups the batch by destination shard
+//!   and takes each shard lock **once per batch** instead of once per pair.
+//! * [`ShardedStore::commit_partitioned`] — takes batches already
+//!   partitioned by shard (see [`ShardedStore::partition_writes`]) and
+//!   commits the shards **in parallel**; this is the end-of-round commit
+//!   path of the AMPC runtime.
+//!
+//! All paths preserve per-key value order: values arrive in batch order, and
+//! because a key lives on exactly one shard, per-shard order fully
+//! determines the multi-value indices of Section 2 of the paper.
 
 use crate::hashing::{hash_words, FxHashMap};
 use crate::key::{Key, Value};
+use crate::slot::{Slot, WriteSlot};
 use crate::snapshot::Snapshot;
 use crate::stats::{ShardLoad, StoreStats};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// One shard of the distributed store: a map from keys to (multi-)values.
+///
+/// Singleton keys — the overwhelmingly common case — store their value
+/// inline in the map entry; only multi-value keys touch the heap.
 #[derive(Default)]
 struct Shard {
-    entries: FxHashMap<Key, Vec<Value>>,
+    entries: FxHashMap<Key, WriteSlot>,
+}
+
+impl Shard {
+    #[inline]
+    fn push(&mut self, key: Key, value: Value) {
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => slot.get_mut().push(value),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(WriteSlot::One(value));
+            }
+        }
+    }
 }
 
 /// The writable key-value store backing one AMPC round.
@@ -39,7 +72,9 @@ impl ShardedStore {
     pub fn new(num_shards: usize) -> Self {
         let num_shards = num_shards.max(1);
         ShardedStore {
-            shards: (0..num_shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..num_shards)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
             write_counts: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
             num_shards,
         }
@@ -50,8 +85,10 @@ impl ShardedStore {
         self.num_shards
     }
 
+    /// The shard (DDS machine) responsible for `key` — a pure function of
+    /// the key, as the model's contention analysis requires.
     #[inline]
-    fn shard_of(&self, key: &Key) -> usize {
+    pub fn shard_of(&self, key: &Key) -> usize {
         (hash_words(key.tag.code(), key.a, key.b) % self.num_shards as u64) as usize
     }
 
@@ -63,32 +100,102 @@ impl ShardedStore {
         let shard_idx = self.shard_of(&key);
         self.write_counts[shard_idx].fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shards[shard_idx].lock();
-        shard.entries.entry(key).or_default().push(value);
+        shard.push(key, value);
     }
 
     /// Write a batch of pairs, preserving their order.
+    ///
+    /// The batch is grouped by destination shard first, so each shard lock
+    /// is taken once per batch rather than once per pair.
     pub fn write_batch(&self, pairs: impl IntoIterator<Item = (Key, Value)>) {
-        for (k, v) in pairs {
-            self.write(k, v);
+        self.commit_partitioned(self.partition_writes(std::iter::once(pairs)), 1);
+    }
+
+    /// Partition write batches by destination shard, preserving order.
+    ///
+    /// Batches are consumed in order and each batch's pairs in their order,
+    /// so the concatenation order (for the runtime: machine id, then write
+    /// order) is preserved within every shard — which, keys living on
+    /// exactly one shard, preserves every key's multi-value index order.
+    pub fn partition_writes(
+        &self,
+        batches: impl IntoIterator<Item = impl IntoIterator<Item = (Key, Value)>>,
+    ) -> Vec<Vec<(Key, Value)>> {
+        let mut per_shard: Vec<Vec<(Key, Value)>> =
+            (0..self.num_shards).map(|_| Vec::new()).collect();
+        for batch in batches {
+            for (key, value) in batch {
+                per_shard[self.shard_of(&key)].push((key, value));
+            }
         }
+        per_shard
+    }
+
+    /// Commit shard-partitioned batches, locking each shard exactly once and
+    /// committing distinct shards in parallel on up to `threads` workers.
+    ///
+    /// `per_shard[s]` must contain only keys whose [`ShardedStore::shard_of`]
+    /// is `s` (as produced by [`ShardedStore::partition_writes`]); this is
+    /// debug-asserted.
+    pub fn commit_partitioned(&self, per_shard: Vec<Vec<(Key, Value)>>, threads: usize) {
+        assert_eq!(
+            per_shard.len(),
+            self.num_shards,
+            "one batch per shard required"
+        );
+        // Below this many pairs the scoped-thread setup costs more than the
+        // pushes themselves (late algorithm phases commit tiny rounds);
+        // commit serially instead.
+        const PARALLEL_COMMIT_THRESHOLD: usize = 4 * 1024;
+        let total_pairs: usize = per_shard.iter().map(Vec::len).sum();
+        let threads = if total_pairs < PARALLEL_COMMIT_THRESHOLD {
+            1
+        } else {
+            threads.min(
+                per_shard
+                    .iter()
+                    .filter(|batch| !batch.is_empty())
+                    .count()
+                    .max(1),
+            )
+        };
+        for_each_index_parallel(self.num_shards, threads, |shard_idx| {
+            let batch = &per_shard[shard_idx];
+            if batch.is_empty() {
+                return;
+            }
+            debug_assert!(batch.iter().all(|(key, _)| self.shard_of(key) == shard_idx));
+            self.write_counts[shard_idx].fetch_add(batch.len() as u64, Ordering::Relaxed);
+            let mut shard = self.shards[shard_idx].lock();
+            shard.entries.reserve(batch.len());
+            for &(key, value) in batch {
+                shard.push(key, value);
+            }
+        });
     }
 
     /// First value stored under `key`, if any.
     pub fn get(&self, key: &Key) -> Option<Value> {
         let shard = self.shards[self.shard_of(key)].lock();
-        shard.entries.get(key).and_then(|vs| vs.first().copied())
+        shard.entries.get(key).map(|slot| slot.as_slice()[0])
     }
 
     /// The `index`-th value stored under `key` (zero-based), if present.
     pub fn get_indexed(&self, key: &Key, index: usize) -> Option<Value> {
         let shard = self.shards[self.shard_of(key)].lock();
-        shard.entries.get(key).and_then(|vs| vs.get(index).copied())
+        shard
+            .entries
+            .get(key)
+            .and_then(|slot| slot.as_slice().get(index).copied())
     }
 
     /// How many values are stored under `key`.
     pub fn multiplicity(&self, key: &Key) -> usize {
         let shard = self.shards[self.shard_of(key)].lock();
-        shard.entries.get(key).map_or(0, |vs| vs.len())
+        shard
+            .entries
+            .get(key)
+            .map_or(0, |slot| slot.as_slice().len())
     }
 
     /// Total number of distinct keys across all shards.
@@ -103,7 +210,10 @@ impl ShardedStore {
 
     /// Total number of writes accepted so far.
     pub fn total_writes(&self) -> u64 {
-        self.write_counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.write_counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Per-shard write load so far.
@@ -122,21 +232,100 @@ impl ShardedStore {
 
     /// Freeze the store into an immutable [`Snapshot`] readable by the next
     /// round, consuming the writable store.
+    ///
+    /// Builds the compact frozen layout (see [`crate::slot`]) shard by
+    /// shard, in parallel on up to one worker per available CPU.
     pub fn freeze(self) -> Snapshot {
+        self.freeze_with_threads(default_parallelism())
+    }
+
+    /// [`ShardedStore::freeze`] with an explicit worker-thread cap.
+    pub fn freeze_with_threads(self, threads: usize) -> Snapshot {
         let num_shards = self.num_shards;
-        let mut shards = Vec::with_capacity(num_shards);
         let mut writes = Vec::with_capacity(num_shards);
+        let mut maps = Vec::with_capacity(num_shards);
         for (shard, count) in self.shards.into_iter().zip(self.write_counts) {
-            shards.push(shard.into_inner().entries);
+            maps.push(shard.into_inner().entries);
             writes.push(count.into_inner());
         }
-        Snapshot::from_parts(shards, writes)
+
+        let total_keys: usize = maps.iter().map(|m| m.len()).sum();
+        let threads = threads.max(1).min(num_shards);
+        // Below this size the scoped-thread setup costs more than the build.
+        const PARALLEL_FREEZE_THRESHOLD: usize = 8 * 1024;
+        let frozen = if threads == 1 || total_keys < PARALLEL_FREEZE_THRESHOLD {
+            maps.into_iter().map(freeze_shard).collect()
+        } else {
+            let slots: Vec<Mutex<Option<FxHashMap<Key, WriteSlot>>>> =
+                maps.into_iter().map(|m| Mutex::new(Some(m))).collect();
+            let outputs: Vec<Mutex<Option<FxHashMap<Key, Slot>>>> =
+                (0..num_shards).map(|_| Mutex::new(None)).collect();
+            for_each_index_parallel(num_shards, threads, |i| {
+                let map = slots[i].lock().take().expect("each shard frozen once");
+                *outputs[i].lock() = Some(freeze_shard(map));
+            });
+            outputs
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("each shard frozen once"))
+                .collect()
+        };
+        Snapshot::from_parts(frozen, writes)
     }
 
     /// Snapshot-style statistics of the writable store (reads are always 0).
     pub fn stats(&self) -> StoreStats {
         StoreStats::from_loads(self.shard_loads())
     }
+}
+
+/// Run `work(i)` for every index in `0..count`, on up to `threads` scoped
+/// workers claiming indices from a shared atomic cursor.
+///
+/// The shared worker pool behind the shard-parallel commit and freeze
+/// paths; `threads <= 1` (or a single index) degrades to a plain loop with
+/// no thread setup.
+fn for_each_index_parallel(count: usize, threads: usize, work: impl Fn(usize) + Sync) {
+    let threads = threads.max(1).min(count.max(1));
+    if threads == 1 {
+        for i in 0..count {
+            work(i);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    let work = &work;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                work(i);
+            });
+        }
+    });
+}
+
+/// Worker threads available to this process, resolving to 1 when the
+/// platform cannot say.
+///
+/// The single source of truth for CPU-count fallbacks across the workspace
+/// (runtime thread resolution, freeze parallelism, bench defaults).
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Convert one writable shard map into the compact frozen layout.
+fn freeze_shard(map: FxHashMap<Key, WriteSlot>) -> FxHashMap<Key, Slot> {
+    let mut frozen = FxHashMap::with_capacity_and_hasher(map.len(), Default::default());
+    for (key, slot) in map {
+        frozen.insert(key, slot.freeze());
+    }
+    frozen
 }
 
 impl std::fmt::Debug for ShardedStore {
@@ -176,7 +365,10 @@ mod tests {
         }
         assert_eq!(store.multiplicity(&k(7)), 5);
         for i in 0..5usize {
-            assert_eq!(store.get_indexed(&k(7), i), Some(Value::scalar(i as u64 * 10)));
+            assert_eq!(
+                store.get_indexed(&k(7), i),
+                Some(Value::scalar(i as u64 * 10))
+            );
         }
         assert_eq!(store.get_indexed(&k(7), 5), None);
         // `get` returns the first value, matching the model's (x, 1) query.
@@ -219,11 +411,78 @@ mod tests {
     }
 
     #[test]
+    fn parallel_freeze_equals_serial_freeze() {
+        let build = || {
+            let store = ShardedStore::new(16);
+            for i in 0..20_000u64 {
+                store.write(k(i % 5_000), Value::scalar(i));
+            }
+            store
+        };
+        let serial = build().freeze_with_threads(1);
+        let parallel = build().freeze_with_threads(8);
+        assert_eq!(serial.len(), parallel.len());
+        for i in 0..5_000u64 {
+            assert_eq!(serial.multiplicity(&k(i)), parallel.multiplicity(&k(i)));
+            for idx in 0..serial.multiplicity(&k(i)) {
+                assert_eq!(
+                    serial.get_indexed(&k(i), idx),
+                    parallel.get_indexed(&k(i), idx)
+                );
+            }
+        }
+    }
+
+    #[test]
     fn batch_write_preserves_order() {
         let store = ShardedStore::new(2);
         store.write_batch((0..10u64).map(|i| (k(5), Value::scalar(i))));
         for i in 0..10usize {
             assert_eq!(store.get_indexed(&k(5), i), Some(Value::scalar(i as u64)));
+        }
+    }
+
+    #[test]
+    fn partitioned_commit_matches_serial_writes() {
+        let pairs: Vec<(Key, Value)> = (0..1_000u64)
+            .map(|i| (k(i % 37), Value::scalar(i)))
+            .collect();
+
+        let serial = ShardedStore::new(8);
+        for &(key, value) in &pairs {
+            serial.write(key, value);
+        }
+
+        let parallel = ShardedStore::new(8);
+        let per_shard = parallel.partition_writes(std::iter::once(pairs.clone()));
+        parallel.commit_partitioned(per_shard, 4);
+
+        assert_eq!(serial.total_writes(), parallel.total_writes());
+        assert_eq!(serial.len(), parallel.len());
+        for i in 0..37u64 {
+            assert_eq!(serial.multiplicity(&k(i)), parallel.multiplicity(&k(i)));
+            for idx in 0..serial.multiplicity(&k(i)) {
+                assert_eq!(
+                    serial.get_indexed(&k(i), idx),
+                    parallel.get_indexed(&k(i), idx),
+                    "key {i} index {idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_writes_respects_batch_then_write_order() {
+        let store = ShardedStore::new(4);
+        // Two "machines" writing the same key: machine order must win.
+        let batches = vec![
+            vec![(k(9), Value::scalar(0)), (k(9), Value::scalar(1))],
+            vec![(k(9), Value::scalar(2))],
+        ];
+        let per_shard = store.partition_writes(batches);
+        store.commit_partitioned(per_shard, 2);
+        for i in 0..3usize {
+            assert_eq!(store.get_indexed(&k(9), i), Some(Value::scalar(i as u64)));
         }
     }
 
@@ -253,5 +512,27 @@ mod tests {
         }
         assert_eq!(store.total_writes(), 8000);
         assert_eq!(store.len(), 8000);
+    }
+
+    #[test]
+    fn concurrent_partitioned_commits_from_many_threads_all_land() {
+        let store = std::sync::Arc::new(ShardedStore::new(8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    let pairs: Vec<(Key, Value)> = (0..1000u64)
+                        .map(|i| (k(t * 10_000 + i), Value::scalar(i)))
+                        .collect();
+                    let per_shard = store.partition_writes(std::iter::once(pairs));
+                    store.commit_partitioned(per_shard, 2);
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(store.total_writes(), 4000);
+        assert_eq!(store.len(), 4000);
     }
 }

@@ -1,9 +1,12 @@
 //! Property tests for the DDS substrate: the store behaves like a
 //! multi-map with stable per-key ordering, snapshots are faithful frozen
-//! copies, the codec round-trips every key/value, and the epoch chain keeps
-//! rounds isolated under arbitrary interleavings of writes and advances.
+//! copies, the codec round-trips every key/value, the epoch chain keeps
+//! rounds isolated under arbitrary interleavings of writes and advances,
+//! and the compact slot layout is observationally equivalent to the
+//! pre-refactor `Vec`-per-key layout kept in `ampc_dds::legacy`.
 
 use ampc_dds::codec::{decode_pair, encode_pair, ENCODED_PAIR_BYTES};
+use ampc_dds::legacy::LegacyStore;
 use ampc_dds::{DdsChain, Key, KeyTag, ShardedStore, Value};
 use proptest::prelude::*;
 
@@ -83,6 +86,86 @@ proptest! {
             prop_assert_eq!(snapshot.len(), expected.len());
             for (k, count) in expected {
                 prop_assert_eq!(snapshot.multiplicity(&Key::of(KeyTag::Scalar, k)), count);
+            }
+        }
+    }
+
+    #[test]
+    fn compact_layout_equals_legacy_layout_under_arbitrary_interleavings(
+        writes in proptest::collection::vec((arbitrary_key(), arbitrary_value()), 1..300),
+        shards in 1usize..33,
+        freeze_threads in 1usize..9
+    ) {
+        // Same write sequence into the new store and the pre-refactor
+        // reference layout.
+        let store = ShardedStore::new(shards);
+        let mut legacy = LegacyStore::new(shards);
+        for &(key, value) in &writes {
+            store.write(key, value);
+            legacy.write(key, value);
+        }
+
+        // Writable-store reads agree before freezing.
+        for &(key, _) in &writes {
+            prop_assert_eq!(store.get(&key), legacy.get(&key));
+            prop_assert_eq!(store.multiplicity(&key), legacy.multiplicity(&key));
+        }
+        prop_assert_eq!(store.len(), legacy.len());
+
+        // Frozen-snapshot reads agree, whatever the freeze parallelism.
+        let snapshot = store.freeze_with_threads(freeze_threads);
+        prop_assert_eq!(snapshot.len(), legacy.len());
+        for &(key, _) in &writes {
+            prop_assert_eq!(snapshot.get(&key), legacy.get(&key));
+            let multiplicity = legacy.multiplicity(&key);
+            prop_assert_eq!(snapshot.multiplicity(&key), multiplicity);
+            for index in 0..=multiplicity {
+                prop_assert_eq!(snapshot.get_indexed(&key, index), legacy.get_indexed(&key, index));
+            }
+        }
+
+        // Missing keys agree too.
+        let absent = Key::of(KeyTag::Custom(999), u64::MAX);
+        prop_assert_eq!(snapshot.get(&absent), legacy.get(&absent));
+        prop_assert_eq!(snapshot.multiplicity(&absent), legacy.multiplicity(&absent));
+    }
+
+    #[test]
+    fn batched_commit_paths_equal_legacy_layout(
+        machine_batches in proptest::collection::vec(
+            proptest::collection::vec((0u64..60, any::<u64>()), 0..40),
+            1..8
+        ),
+        shards in 1usize..17,
+        threads in 1usize..5
+    ) {
+        // The runtime's commit path: per-machine batches, partitioned by
+        // shard, committed in parallel — against the legacy layout fed the
+        // same concatenated sequence.
+        let store = ShardedStore::new(shards);
+        let mut legacy = LegacyStore::new(shards);
+        for batch in &machine_batches {
+            for &(k, v) in batch {
+                legacy.write(Key::of(KeyTag::Scalar, k), Value::scalar(v));
+            }
+        }
+        let batches: Vec<Vec<(Key, Value)>> = machine_batches
+            .iter()
+            .map(|batch| {
+                batch.iter().map(|&(k, v)| (Key::of(KeyTag::Scalar, k), Value::scalar(v))).collect()
+            })
+            .collect();
+        let per_shard = store.partition_writes(batches);
+        store.commit_partitioned(per_shard, threads);
+
+        let snapshot = store.freeze();
+        prop_assert_eq!(snapshot.len(), legacy.len());
+        for k in 0u64..60 {
+            let key = Key::of(KeyTag::Scalar, k);
+            let multiplicity = legacy.multiplicity(&key);
+            prop_assert_eq!(snapshot.multiplicity(&key), multiplicity);
+            for index in 0..multiplicity {
+                prop_assert_eq!(snapshot.get_indexed(&key, index), legacy.get_indexed(&key, index));
             }
         }
     }

@@ -26,7 +26,7 @@ pub fn cycle(n: usize) -> Graph {
 
 /// Two disjoint cycles of `n / 2` vertices each (`n` must be even and ≥ 6).
 pub fn two_cycles(n: usize) -> Graph {
-    assert!(n >= 6 && n % 2 == 0, "need an even n ≥ 6");
+    assert!(n >= 6 && n.is_multiple_of(2), "need an even n ≥ 6");
     let half = n / 2;
     let mut el = EdgeList::new(n);
     for v in 0..half as u32 {
@@ -147,7 +147,10 @@ pub fn random_forest(n: usize, trees: usize, seed: u64) -> Graph {
 /// Erdős–Rényi `G(n, m)`: `m` distinct edges sampled uniformly at random.
 pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
     let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_edges, "cannot fit {m} edges into a simple graph on {n} vertices");
+    assert!(
+        m <= max_edges,
+        "cannot fit {m} edges into a simple graph on {n} vertices"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen = std::collections::HashSet::with_capacity(m * 2);
     let mut el = EdgeList::new(n);
@@ -198,7 +201,12 @@ pub fn connected_gnm(n: usize, extra_edges: usize, seed: u64) -> Graph {
 ///
 /// Each component is an independent connected G(n_i, n_i - 1 + extra) graph;
 /// vertex ids are shuffled afterwards so components are not contiguous.
-pub fn planted_components(n: usize, k: usize, extra_edges_per_component: usize, seed: u64) -> Graph {
+pub fn planted_components(
+    n: usize,
+    k: usize,
+    extra_edges_per_component: usize,
+    seed: u64,
+) -> Graph {
     assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut el = EdgeList::new(n);

@@ -31,7 +31,10 @@ impl Edge {
 
     /// The edge with its endpoints ordered `(min, max)`.
     pub fn normalized(&self) -> Edge {
-        Edge { u: self.u.min(self.v), v: self.u.max(self.v) }
+        Edge {
+            u: self.u.min(self.v),
+            v: self.u.max(self.v),
+        }
     }
 
     /// `true` if both endpoints coincide.
@@ -64,7 +67,10 @@ pub struct EdgeList {
 impl EdgeList {
     /// Empty edge list over `n` vertices.
     pub fn new(n: usize) -> Self {
-        EdgeList { n, edges: Vec::new() }
+        EdgeList {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -82,7 +88,11 @@ impl EdgeList {
     /// # Panics
     /// If either endpoint is out of range.
     pub fn push(&mut self, u: u32, v: u32) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range for n={}", self.n);
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
         self.edges.push(Edge::new(u, v));
     }
 
@@ -161,7 +171,9 @@ impl Graph {
 
     fn from_clean_edges(n: usize, clean: Vec<Edge>, weights: Vec<u64>) -> Self {
         assert!(
-            clean.iter().all(|e| (e.u as usize) < n && (e.v as usize) < n),
+            clean
+                .iter()
+                .all(|e| (e.u as usize) < n && (e.v as usize) < n),
             "edge endpoint out of range for n={n}"
         );
         let mut degree = vec![0usize; n];
@@ -186,7 +198,13 @@ impl Graph {
             edge_ids[cv] = id as u32;
             cursor[e.v as usize] += 1;
         }
-        Graph { offsets, neighbors, edge_ids, weights, edges: clean }
+        Graph {
+            offsets,
+            neighbors,
+            edge_ids,
+            weights,
+            edges: clean,
+        }
     }
 
     /// Number of vertices `n`.
@@ -252,13 +270,21 @@ impl Graph {
         self.edges
             .iter()
             .enumerate()
-            .map(|(id, e)| WeightedEdge { u: e.u, v: e.v, weight: self.weights[id], id: id as u32 })
+            .map(|(id, e)| WeightedEdge {
+                u: e.u,
+                v: e.v,
+                weight: self.weights[id],
+                id: id as u32,
+            })
             .collect()
     }
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree `2m / n` (0 for the empty graph).

@@ -38,7 +38,11 @@ pub fn kruskal_msf(graph: &Graph) -> (Vec<WeightedEdge>, u64) {
         graph.is_weighted() || graph.num_edges() == 0,
         "Kruskal needs a weighted graph"
     );
-    let mut edges = if graph.num_edges() == 0 { Vec::new() } else { graph.weighted_edges() };
+    let mut edges = if graph.num_edges() == 0 {
+        Vec::new()
+    } else {
+        graph.weighted_edges()
+    };
     edges.sort_unstable_by_key(|e| (e.weight, e.id));
     let mut uf = UnionFind::new(graph.num_vertices());
     let mut forest = Vec::new();
@@ -78,7 +82,10 @@ pub fn lexicographically_first_mis(graph: &Graph, priority: &[u64]) -> Vec<bool>
 
 /// `true` if `set` is an independent set of `graph`.
 pub fn is_independent_set(graph: &Graph, set: &[bool]) -> bool {
-    graph.edges().iter().all(|e| !(set[e.u as usize] && set[e.v as usize]))
+    graph
+        .edges()
+        .iter()
+        .all(|e| !(set[e.u as usize] && set[e.v as usize]))
 }
 
 /// `true` if `set` is a *maximal* independent set of `graph`.
@@ -86,9 +93,8 @@ pub fn is_maximal_independent_set(graph: &Graph, set: &[bool]) -> bool {
     if !is_independent_set(graph, set) {
         return false;
     }
-    (0..graph.num_vertices() as u32).all(|v| {
-        set[v as usize] || graph.neighbors(v).iter().any(|&u| set[u as usize])
-    })
+    (0..graph.num_vertices() as u32)
+        .all(|v| set[v as usize] || graph.neighbors(v).iter().any(|&u| set[u as usize]))
 }
 
 /// Bridges of the graph (edges whose removal increases the number of
@@ -201,7 +207,7 @@ pub fn articulation_points(graph: &Graph) -> Vec<u32> {
                 // discovery-time path to the root goes through start.  We
                 // recompute children by checking disc order of tree edges is
                 // not tracked here, so use the standard trick below.
-                disc[*(&u) as usize] != usize::MAX
+                disc[u as usize] != usize::MAX
             })
             .count();
         let _ = root_children;
@@ -300,7 +306,11 @@ pub fn diameter_estimate(graph: &Graph) -> usize {
         .max_by_key(|(_, &d)| d)
         .unwrap_or((0, &0));
     let d1 = bfs_distances(graph, far as u32);
-    d1.iter().filter(|&&d| d != usize::MAX).max().copied().unwrap_or(0)
+    d1.iter()
+        .filter(|&&d| d != usize::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0)
 }
 
 /// Sequential list ranking: given `successor[i]` pointers forming a simple
@@ -320,7 +330,9 @@ pub fn sequential_list_ranks(successor: &[u32]) -> Vec<u64> {
             indeg[successor[v] as usize] += 1;
         }
     }
-    let head = (0..n as u32).find(|&v| indeg[v as usize] == 0).unwrap_or(terminal);
+    let head = (0..n as u32)
+        .find(|&v| indeg[v as usize] == 0)
+        .unwrap_or(terminal);
     // Walk from head to terminal, recording positions.
     let mut order = Vec::with_capacity(n);
     let mut cur = head;
@@ -393,7 +405,10 @@ mod tests {
         assert!(!is_independent_set(&g, &[true, true, false, false]));
         // Independent but not maximal: empty set.
         assert!(is_independent_set(&g, &[false, false, false, false]));
-        assert!(!is_maximal_independent_set(&g, &[false, false, false, false]));
+        assert!(!is_maximal_independent_set(
+            &g,
+            &[false, false, false, false]
+        ));
     }
 
     #[test]
@@ -463,7 +478,7 @@ mod tests {
     fn bfs_unreachable_vertices_are_max() {
         let g = generators::two_cycles(10);
         let d = bfs_distances(&g, 0);
-        assert!(d.iter().any(|&x| x == usize::MAX));
+        assert!(d.contains(&usize::MAX));
     }
 
     #[test]

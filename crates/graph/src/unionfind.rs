@@ -57,7 +57,11 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] { (ra, rb) } else { (rb, ra) };
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[lo as usize] = hi;
         if self.rank[hi as usize] == self.rank[lo as usize] {
             self.rank[hi as usize] += 1;
@@ -88,7 +92,9 @@ impl UnionFind {
                 min_of_root[r] = x;
             }
         }
-        (0..n as u32).map(|x| min_of_root[self.find(x) as usize]).collect()
+        (0..n as u32)
+            .map(|x| min_of_root[self.find(x) as usize])
+            .collect()
     }
 }
 
@@ -98,7 +104,8 @@ pub fn canonicalize_labels(labels: &[u32]) -> Vec<u32> {
     let n = labels.len();
     let mut uf = UnionFind::new(n);
     // Group vertices by label, then union each group to its first member.
-    let mut first_with_label: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut first_with_label: std::collections::HashMap<u32, u32> =
+        std::collections::HashMap::new();
     for (v, &l) in labels.iter().enumerate() {
         match first_with_label.get(&l) {
             Some(&first) => {

@@ -49,13 +49,11 @@ pub fn boruvka_msf(graph: &Graph, machines: usize) -> (Vec<WeightedEdge>, u64, M
         }
 
         let mut merged_any = false;
-        for root in 0..n {
-            if let Some(e) = best[root] {
-                if uf.union(e.u, e.v) {
-                    forest.push(e);
-                    total += e.weight;
-                    merged_any = true;
-                }
+        for e in best.iter().copied().flatten() {
+            if uf.union(e.u, e.v) {
+                forest.push(e);
+                total += e.weight;
+                merged_any = true;
             }
         }
 

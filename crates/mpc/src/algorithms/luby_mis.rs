@@ -30,7 +30,9 @@ pub fn luby_mis(graph: &Graph, machines: usize, seed: u64) -> (Vec<bool>, MpcRun
     while alive_count > 0 {
         // Each alive vertex draws a priority and sends it to its neighbours:
         // one MPC round of communication along every surviving edge.
-        let priorities: Vec<u64> = (0..n).map(|v| if alive[v] { rng.gen() } else { u64::MAX }).collect();
+        let priorities: Vec<u64> = (0..n)
+            .map(|v| if alive[v] { rng.gen() } else { u64::MAX })
+            .collect();
 
         let mut joins = Vec::new();
         let mut messages = 0u64;
@@ -101,7 +103,11 @@ mod tests {
         let g = generators::erdos_renyi_gnm(2000, 8000, 1);
         let (_, stats) = luby_mis(&g, 16, 1);
         let logn = (2000f64).log2();
-        assert!(stats.num_rounds() as f64 <= 3.0 * logn, "rounds = {}", stats.num_rounds());
+        assert!(
+            stats.num_rounds() as f64 <= 3.0 * logn,
+            "rounds = {}",
+            stats.num_rounds()
+        );
         assert!(stats.num_rounds() >= 1);
     }
 

@@ -190,12 +190,18 @@ mod tests {
     fn wyllie_ranks_match_sequential() {
         // Build a list 0 -> 1 -> 2 -> ... -> 99 -> 99.
         let n = 100;
-        let successor: Vec<u32> = (0..n as u32).map(|v| if v + 1 < n as u32 { v + 1 } else { v }).collect();
+        let successor: Vec<u32> = (0..n as u32)
+            .map(|v| if v + 1 < n as u32 { v + 1 } else { v })
+            .collect();
         let (ranks, stats) = wyllie_list_ranking(&successor, 8);
         let expected = sequential::sequential_list_ranks(&successor);
         assert_eq!(ranks, expected);
         // Θ(log n) rounds: about 7 for n = 100.
-        assert!(stats.num_rounds() >= 5 && stats.num_rounds() <= 9, "rounds = {}", stats.num_rounds());
+        assert!(
+            stats.num_rounds() >= 5 && stats.num_rounds() <= 9,
+            "rounds = {}",
+            stats.num_rounds()
+        );
     }
 
     #[test]
@@ -228,7 +234,11 @@ mod tests {
         for &(n, two) in &[(64usize, false), (64, true), (501, false), (500, true)] {
             let g = generators::two_cycle_instance(n, two, 3);
             let (labels, stats) = pointer_doubling_connectivity(&g, 8);
-            assert_eq!(labels, sequential::connected_components(&g), "n={n} two={two}");
+            assert_eq!(
+                labels,
+                sequential::connected_components(&g),
+                "n={n} two={two}"
+            );
             // Θ(log n) rounds with a modest constant.
             let logn = (n as f64).log2();
             assert!(

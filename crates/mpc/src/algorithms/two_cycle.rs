@@ -64,7 +64,11 @@ mod tests {
         let (_, large_stats) = two_cycle_mpc(&large, 8);
         // Rounds grow with log n: the large instance needs strictly more.
         assert!(large_stats.num_rounds() > small_stats.num_rounds());
-        assert!(large_stats.num_rounds() >= 5, "rounds = {}", large_stats.num_rounds());
+        assert!(
+            large_stats.num_rounds() >= 5,
+            "rounds = {}",
+            large_stats.num_rounds()
+        );
     }
 
     #[test]

@@ -54,7 +54,10 @@ pub struct MpcRuntime {
 impl MpcRuntime {
     /// Runtime with `machines` machines and a superstep cap.
     pub fn new(machines: usize, max_supersteps: usize) -> Self {
-        MpcRuntime { machines: machines.max(1), max_supersteps }
+        MpcRuntime {
+            machines: machines.max(1),
+            max_supersteps,
+        }
     }
 
     /// Runtime sized like the paper's MPC setting for a graph: `P = N / n^ε`
@@ -68,7 +71,11 @@ impl MpcRuntime {
 
     /// Execute `program` on `graph` until no messages are in flight (or the
     /// superstep cap is reached).  Returns final vertex states and stats.
-    pub fn run<P: VertexProgram>(&self, graph: &Graph, program: &P) -> (Vec<P::State>, MpcRunStats) {
+    pub fn run<P: VertexProgram>(
+        &self,
+        graph: &Graph,
+        program: &P,
+    ) -> (Vec<P::State>, MpcRunStats) {
         let n = graph.num_vertices();
         let mut states: Vec<P::State> = (0..n as u32).map(|v| program.init(v, graph)).collect();
         let mut stats = MpcRunStats::default();
@@ -104,7 +111,9 @@ impl MpcRuntime {
             // Machine load: messages grouped by destination machine.
             let mut per_machine: HashMap<usize, u64> = HashMap::new();
             for (&dest, msgs) in &outbox {
-                *per_machine.entry(dest as usize % self.machines).or_default() += msgs.len() as u64;
+                *per_machine
+                    .entry(dest as usize % self.machines)
+                    .or_default() += msgs.len() as u64;
             }
             let max_machine = per_machine.values().copied().max().unwrap_or(0);
 
@@ -201,7 +210,14 @@ mod tests {
             type State = ();
             type Message = ();
             fn init(&self, _v: u32, _g: &Graph) {}
-            fn step(&self, v: u32, _g: &Graph, _s: &mut (), _m: &[()], _t: usize) -> Vec<(u32, ())> {
+            fn step(
+                &self,
+                v: u32,
+                _g: &Graph,
+                _s: &mut (),
+                _m: &[()],
+                _t: usize,
+            ) -> Vec<(u32, ())> {
                 vec![(v, ())]
             }
         }

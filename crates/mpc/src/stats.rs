@@ -46,7 +46,11 @@ impl MpcRunStats {
 
     /// Largest per-machine message load seen in any superstep.
     pub fn max_machine_load(&self) -> u64 {
-        self.supersteps.iter().map(|s| s.max_messages_per_machine).max().unwrap_or(0)
+        self.supersteps
+            .iter()
+            .map(|s| s.max_messages_per_machine)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Append the rounds of another run (for algorithms with phases).
@@ -64,7 +68,12 @@ mod tests {
     use super::*;
 
     fn step(messages: u64, max: u64) -> SuperstepStats {
-        SuperstepStats { superstep: 0, active_vertices: 10, messages, max_messages_per_machine: max }
+        SuperstepStats {
+            superstep: 0,
+            active_vertices: 10,
+            messages,
+            max_messages_per_machine: max,
+        }
     }
 
     #[test]

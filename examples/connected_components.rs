@@ -20,10 +20,22 @@ fn main() {
 
     let seed = 7;
     let cases: Vec<(String, Graph)> = vec![
-        ("G(n, 4n) components".to_string(), generators::planted_components(20_000, 8, 3 * 20_000 / 8, seed)),
-        ("G(n, 2n) sparse".to_string(), generators::planted_components(20_000, 8, 20_000 / 8, seed)),
-        ("path of cliques".to_string(), generators::path_of_cliques(25, 400)),
-        ("random forest".to_string(), generators::random_forest(20_000, 8, seed)),
+        (
+            "G(n, 4n) components".to_string(),
+            generators::planted_components(20_000, 8, 3 * 20_000 / 8, seed),
+        ),
+        (
+            "G(n, 2n) sparse".to_string(),
+            generators::planted_components(20_000, 8, 20_000 / 8, seed),
+        ),
+        (
+            "path of cliques".to_string(),
+            generators::path_of_cliques(25, 400),
+        ),
+        (
+            "random forest".to_string(),
+            generators::random_forest(20_000, 8, seed),
+        ),
     ];
 
     for (name, graph) in cases {
@@ -31,13 +43,22 @@ fn main() {
         let diameter = sequential::diameter_estimate(&graph);
 
         let ampc = connectivity(&graph, 0.5, seed);
-        assert_eq!(ampc.output, reference, "{name}: AMPC labels must match the reference");
+        assert_eq!(
+            ampc.output, reference,
+            "{name}: AMPC labels must match the reference"
+        );
 
         let (sv_labels, sv_stats) = ampc_suite::mpc::pointer_doubling_connectivity(&graph, 128);
-        assert_eq!(sv_labels, reference, "{name}: MPC labels must match the reference");
+        assert_eq!(
+            sv_labels, reference,
+            "{name}: MPC labels must match the reference"
+        );
 
         let (lp_labels, lp_stats) = ampc_suite::mpc::label_propagation_connectivity(&graph, 0.5);
-        assert_eq!(lp_labels, reference, "{name}: label propagation must match the reference");
+        assert_eq!(
+            lp_labels, reference,
+            "{name}: label propagation must match the reference"
+        );
 
         println!(
             "{:>22} {:>8} {:>8} {:>6} {:>12} {:>14} {:>14}",

@@ -11,7 +11,10 @@ use ampc_suite::prelude::*;
 
 fn main() {
     println!("AMPC quickstart — the 2-Cycle problem (paper Section 4)\n");
-    println!("{:>10} {:>12} {:>14} {:>14}", "n", "instance", "AMPC rounds", "MPC rounds");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14}",
+        "n", "instance", "AMPC rounds", "MPC rounds"
+    );
 
     for &n in &[1_000usize, 10_000, 100_000] {
         for &two in &[false, true] {
@@ -23,7 +26,11 @@ fn main() {
             // MPC baseline: pointer doubling, Θ(log n) rounds.
             let (mpc_answer, mpc_stats) = ampc_suite::mpc::two_cycle_mpc(&graph, 64);
 
-            let expected = if two { TwoCycleAnswer::TwoCycles } else { TwoCycleAnswer::OneCycle };
+            let expected = if two {
+                TwoCycleAnswer::TwoCycles
+            } else {
+                TwoCycleAnswer::OneCycle
+            };
             assert_eq!(ampc.output, expected, "AMPC answer must match the instance");
             let mpc_matches = matches!(
                 (mpc_answer, two),

@@ -22,7 +22,11 @@ fn main() {
         "n", "m", "AMPC rounds", "MPC rounds", "AMPC weight", "Kruskal"
     );
 
-    for &(n, extra) in &[(2_000usize, 6_000usize), (10_000, 30_000), (30_000, 120_000)] {
+    for &(n, extra) in &[
+        (2_000usize, 6_000usize),
+        (10_000, 30_000),
+        (30_000, 120_000),
+    ] {
         let base = generators::connected_gnm(n, extra, 11);
         let graph = generators::with_random_weights(&base, 12);
 
@@ -48,7 +52,10 @@ fn main() {
     println!("\nFault tolerance (Section 2.1): crash machines mid-round and re-run them.");
     let config = AmpcConfig::for_graph(50_000, 0, 0.5).with_seed(3);
     let machines = config.num_machines();
-    let plan = FaultPlan::none().fail(0, 1).fail(0, machines / 2).fail(1, 0);
+    let plan = FaultPlan::none()
+        .fail(0, 1)
+        .fail(0, machines / 2)
+        .fail(1, 0);
 
     let run = |plan: FaultPlan| {
         let mut rt = AmpcRuntime::new(config.clone()).with_fault_plan(plan);
@@ -67,7 +74,10 @@ fn main() {
                     let mut acc = 0u64;
                     for _ in 0..64 {
                         x = ctx
-                            .read(ampc_suite::dds::Key::of(ampc_suite::dds::KeyTag::Successor, x))
+                            .read(ampc_suite::dds::Key::of(
+                                ampc_suite::dds::KeyTag::Successor,
+                                x,
+                            ))
                             .map(|v| v.x)
                             .unwrap_or(x);
                         acc = acc.wrapping_add(x);
@@ -84,6 +94,9 @@ fn main() {
     let (faulty, restarts_faulty) = run(plan);
     println!("  checksum without faults: {clean} (restarts: {restarts_clean})");
     println!("  checksum with 3 crashes: {faulty} (restarts: {restarts_faulty})");
-    assert_eq!(clean, faulty, "restarted machines must reproduce identical results");
+    assert_eq!(
+        clean, faulty,
+        "restarted machines must reproduce identical results"
+    );
     println!("  identical — failed machines recompute from the immutable snapshot.");
 }

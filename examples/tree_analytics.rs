@@ -31,7 +31,11 @@ fn main() {
     // Rooting + preorder + subtree sizes (Theorem 7, Lemmas 8.7–8.8).
     let rooted = root_forest(&forest, None, 0.5, 5);
     let tree = &rooted.output;
-    println!("rooted {} trees in {} AMPC rounds", distinct.len(), rooted.rounds());
+    println!(
+        "rooted {} trees in {} AMPC rounds",
+        distinct.len(),
+        rooted.rounds()
+    );
 
     let deepest_subtree = (0..n as u32)
         .filter(|&v| tree.parent[v as usize] != v)
@@ -47,7 +51,13 @@ fn main() {
     // List ranking on its own (Theorem 6): rank a 100k-element list.
     let list_len = 100_000usize;
     let successor: Vec<u32> = (0..list_len as u32)
-        .map(|v| if (v as usize) + 1 < list_len { v + 1 } else { v })
+        .map(|v| {
+            if (v as usize) + 1 < list_len {
+                v + 1
+            } else {
+                v
+            }
+        })
         .collect();
     let ranks = list_ranking(&successor, 0.5, 9);
     assert_eq!(ranks.output[0], (list_len - 1) as u64);

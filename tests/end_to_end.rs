@@ -9,7 +9,12 @@ const EPSILON: f64 = 0.5;
 
 #[test]
 fn two_cycle_agrees_with_mpc_baseline_on_both_instances() {
-    for &(n, two) in &[(1_000usize, false), (1_000, true), (4_096, false), (4_096, true)] {
+    for &(n, two) in &[
+        (1_000usize, false),
+        (1_000, true),
+        (4_096, false),
+        (4_096, true),
+    ] {
         let graph = generators::two_cycle_instance(n, two, 21);
         let ampc = two_cycle(&graph, EPSILON, 21);
         let (mpc_answer, mpc_stats) = ampc_suite::mpc::two_cycle_mpc(&graph, 64);
@@ -145,7 +150,10 @@ fn fault_injection_does_not_change_any_algorithm_output() {
             let mut x = ctx.machine_id() as u64;
             for _ in 0..20 {
                 x = ctx
-                    .read(ampc_suite::dds::Key::of(ampc_suite::dds::KeyTag::Successor, x % 1_000))
+                    .read(ampc_suite::dds::Key::of(
+                        ampc_suite::dds::KeyTag::Successor,
+                        x % 1_000,
+                    ))
                     .map(|v| v.x)
                     .unwrap_or(x);
             }
@@ -183,7 +191,10 @@ fn round_complexity_shapes_match_figure_one() {
     let (_, mpc_large) = ampc_suite::mpc::two_cycle_mpc(&large, 64);
 
     // AMPC: grows by at most a couple of iterations over a 64x size increase.
-    assert!(ampc_large <= ampc_small + 6, "ampc {ampc_small} -> {ampc_large}");
+    assert!(
+        ampc_large <= ampc_small + 6,
+        "ampc {ampc_small} -> {ampc_large}"
+    );
     // MPC: strictly grows with log n.
     assert!(mpc_large.num_rounds() > mpc_small.num_rounds());
 }

@@ -17,7 +17,9 @@ fn adaptivity_computes_g_to_the_k_in_one_round() {
     let config = AmpcConfig::for_graph(10_000, 0, 0.5);
     let mut rt = AmpcRuntime::new(config);
     // g(x) = 3x + 1 mod 1000, tabulated.
-    rt.load_input((0..1_000u64).map(|x| (key(KeyTag::Scalar, x), Value::scalar((3 * x + 1) % 1_000))));
+    rt.load_input(
+        (0..1_000u64).map(|x| (key(KeyTag::Scalar, x), Value::scalar((3 * x + 1) % 1_000))),
+    );
     let k = 80usize;
     let results = rt
         .run_round(1, |ctx| {
@@ -48,15 +50,24 @@ fn writes_of_a_round_are_invisible_until_the_next_round() {
     // machine's marker — all reads must miss.
     let missed = rt
         .run_round(8, |ctx| {
-            ctx.write(key(KeyTag::Scalar, ctx.machine_id() as u64), Value::scalar(1));
-            (0..8u64).filter(|&m| ctx.read(key(KeyTag::Scalar, m)).is_none()).count()
+            ctx.write(
+                key(KeyTag::Scalar, ctx.machine_id() as u64),
+                Value::scalar(1),
+            );
+            (0..8u64)
+                .filter(|&m| ctx.read(key(KeyTag::Scalar, m)).is_none())
+                .count()
         })
         .unwrap();
     assert!(missed.iter().all(|&misses| misses == 8));
 
     // Round 1: all markers are now visible.
     let seen = rt
-        .run_round(8, |ctx| (0..8u64).filter(|&m| ctx.read(key(KeyTag::Scalar, m)).is_some()).count())
+        .run_round(8, |ctx| {
+            (0..8u64)
+                .filter(|&m| ctx.read(key(KeyTag::Scalar, m)).is_some())
+                .count()
+        })
         .unwrap();
     assert!(seen.iter().all(|&hits| hits == 8));
 }
@@ -100,7 +111,10 @@ fn strict_budgets_reject_machines_that_exceed_o_of_s() {
             }
         })
         .unwrap_err();
-    assert!(matches!(err, ampc_suite::runtime::AmpcError::BudgetExceeded { .. }));
+    assert!(matches!(
+        err,
+        ampc_suite::runtime::AmpcError::BudgetExceeded { .. }
+    ));
 }
 
 #[test]
@@ -134,7 +148,12 @@ fn every_algorithm_reports_zero_budget_violations_on_default_workloads() {
     assert_eq!(two_cycle(&cycle, 0.5, 3).stats.budget_violations(), 0);
 
     let forest = generators::random_forest(4_000, 8, 3);
-    assert_eq!(forest_connectivity(&forest, 0.5, 3).stats.budget_violations(), 0);
+    assert_eq!(
+        forest_connectivity(&forest, 0.5, 3)
+            .stats
+            .budget_violations(),
+        0
+    );
 }
 
 #[test]
@@ -150,13 +169,17 @@ fn mpc_simulation_inside_ampc_costs_the_same_rounds() {
     // Superstep 1: machine i sends its id to machine (i + 1) % P.
     rt.run_round(machines, |ctx| {
         let dest = ((ctx.machine_id() + 1) % machines) as u64;
-        ctx.write(key(KeyTag::Custom(1), dest), Value::scalar(ctx.machine_id() as u64));
+        ctx.write(
+            key(KeyTag::Custom(1), dest),
+            Value::scalar(ctx.machine_id() as u64),
+        );
     })
     .unwrap();
     // Superstep 2: every machine reads its inbox.
     let inboxes = rt
         .run_round(machines, |ctx| {
-            ctx.read(key(KeyTag::Custom(1), ctx.machine_id() as u64)).map(|v| v.x)
+            ctx.read(key(KeyTag::Custom(1), ctx.machine_id() as u64))
+                .map(|v| v.x)
         })
         .unwrap();
     for (i, inbox) in inboxes.iter().enumerate() {

@@ -96,8 +96,8 @@ proptest! {
                 child_size_sum[p as usize] += rooted.subtree_size[v as usize];
             }
         }
-        for v in 0..n {
-            prop_assert_eq!(rooted.subtree_size[v], child_size_sum[v] + 1);
+        for (size, child_sum) in rooted.subtree_size.iter().zip(&child_size_sum) {
+            prop_assert_eq!(*size, child_sum + 1);
         }
     }
 
