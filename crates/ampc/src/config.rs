@@ -7,10 +7,40 @@
 //! `T` from the input size and `ε`, and controls how strictly the per-round
 //! query/write budgets are enforced.
 
+use crate::error::AmpcError;
 use serde::{Deserialize, Serialize};
 
 /// Default space exponent ε used when the caller does not care.
 pub const DEFAULT_EPSILON: f64 = 0.5;
+
+/// Hard ceiling on the number of DDS shards.
+///
+/// Historically 256 to keep per-shard lock overhead sensible when the
+/// end-of-round commit partitioned writes on a single thread; with the
+/// parallel partition pass the per-shard fixed cost is paid across workers,
+/// so the derived cap is now 1024.  Explicit requests beyond the ceiling are
+/// rejected with [`AmpcError::InvalidShardCount`] rather than silently
+/// clamped — see [`AmpcConfig::with_num_shards`].
+pub const MAX_SHARDS: usize = 1024;
+
+/// Which [`ampc_dds::DdsBackend`] implementation a runtime uses.
+///
+/// Algorithms never branch on this: the runtime is generic over the backend
+/// and the `with_dds_backend!` macro instantiates it from the config, so the
+/// same driver code runs on either store.  The cross-backend determinism
+/// suite (`tests/backend_determinism.rs`) pins down that the choice is
+/// unobservable in algorithm outputs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DdsBackendKind {
+    /// In-process sharded store ([`ampc_dds::LocalBackend`]): shared memory,
+    /// lock-free frozen reads.  The default and the fastest.
+    #[default]
+    Local,
+    /// Message-passing store ([`ampc_dds::ChannelBackend`]): shard groups
+    /// owned by dedicated threads, every read a channel round-trip, batched
+    /// per owner.  Simulates a multi-process deployment.
+    Channel,
+}
 
 /// How budget violations are handled by the runtime.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,6 +76,12 @@ pub struct AmpcConfig {
     /// Seed for all randomness the runtime itself draws (machine assignment,
     /// per-machine RNG streams).
     pub seed: u64,
+    /// Which DDS backend the runtime instantiates.
+    pub backend: DdsBackendKind,
+    /// Explicit shard count, overriding the `min(P, MAX_SHARDS)` derivation.
+    /// Set through [`AmpcConfig::with_num_shards`], which validates the
+    /// range.
+    pub num_shards_override: Option<usize>,
 }
 
 impl AmpcConfig {
@@ -64,6 +100,8 @@ impl AmpcConfig {
             budget_mode: BudgetMode::Record,
             threads: 0,
             seed: 0x5eed,
+            backend: DdsBackendKind::Local,
+            num_shards_override: None,
         }
     }
 
@@ -104,6 +142,42 @@ impl AmpcConfig {
         self
     }
 
+    /// Builder-style: select the DDS backend.
+    pub fn with_backend(mut self, backend: DdsBackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Builder-style: set an explicit DDS shard count.
+    ///
+    /// # Errors
+    /// [`AmpcError::InvalidShardCount`] if `shards` is zero or exceeds
+    /// [`MAX_SHARDS`] — out-of-range counts are a configuration bug and are
+    /// rejected rather than silently clamped.
+    pub fn with_num_shards(mut self, shards: usize) -> Result<Self, AmpcError> {
+        if shards == 0 || shards > MAX_SHARDS {
+            return Err(AmpcError::InvalidShardCount {
+                requested: shards,
+                max: MAX_SHARDS,
+            });
+        }
+        self.num_shards_override = Some(shards);
+        Ok(self)
+    }
+
+    /// Derive the config for a sub-computation: same ε, seed, budget
+    /// settings, thread cap and backend, with the size parameters replaced.
+    ///
+    /// Algorithm drivers use this so one caller-supplied config selects the
+    /// backend (and tuning) for *every* runtime the algorithm creates, while
+    /// each stage still sizes `S`/`P`/`T` from its own input.
+    pub fn derive(&self, size_parameter: usize, input_size: usize) -> AmpcConfig {
+        let mut derived = self.clone();
+        derived.size_parameter = size_parameter.max(1);
+        derived.total_space = input_size.max(1);
+        derived
+    }
+
     /// Space per machine, `S = ⌈size_parameter^ε⌉` (at least 2).
     pub fn space_per_machine(&self) -> usize {
         ((self.size_parameter as f64).powf(self.epsilon).ceil() as usize).max(2)
@@ -120,10 +194,14 @@ impl AmpcConfig {
     }
 
     /// Number of shards used for the DDS.  The paper assumes the DDS is
-    /// served by `P` machines; we use `min(P, 256)` shards to keep per-shard
-    /// lock overhead sensible at simulation scale.
+    /// served by `P` machines; we use `min(P, MAX_SHARDS)` shards — or the
+    /// validated [`AmpcConfig::with_num_shards`] override — to keep
+    /// per-shard fixed costs sensible at simulation scale.
     pub fn num_shards(&self) -> usize {
-        self.num_machines().clamp(1, 256)
+        match self.num_shards_override {
+            Some(shards) => shards,
+            None => self.num_machines().clamp(1, MAX_SHARDS),
+        }
     }
 
     /// Worker threads to use, resolving `0` to the number of CPUs.
@@ -184,7 +262,53 @@ mod tests {
     #[test]
     fn shards_are_capped() {
         let cfg = AmpcConfig::for_graph(1_000_000, 10_000_000, 0.25);
-        assert_eq!(cfg.num_shards(), 256);
+        assert_eq!(cfg.num_shards(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn explicit_shard_counts_are_validated_at_the_boundary() {
+        let cfg = AmpcConfig::for_graph(100, 100, 0.5);
+        // Both edges of the valid range are accepted…
+        assert_eq!(cfg.clone().with_num_shards(1).unwrap().num_shards(), 1);
+        assert_eq!(
+            cfg.clone()
+                .with_num_shards(MAX_SHARDS)
+                .unwrap()
+                .num_shards(),
+            MAX_SHARDS
+        );
+        // …and both sides just past it are rejected with the typed error.
+        assert_eq!(
+            cfg.clone().with_num_shards(0).unwrap_err(),
+            AmpcError::InvalidShardCount {
+                requested: 0,
+                max: MAX_SHARDS
+            }
+        );
+        assert_eq!(
+            cfg.clone().with_num_shards(MAX_SHARDS + 1).unwrap_err(),
+            AmpcError::InvalidShardCount {
+                requested: MAX_SHARDS + 1,
+                max: MAX_SHARDS
+            }
+        );
+    }
+
+    #[test]
+    fn derive_keeps_tuning_and_replaces_sizes() {
+        let template = AmpcConfig::for_graph(100, 100, 0.25)
+            .with_seed(7)
+            .with_threads(3)
+            .with_backend(DdsBackendKind::Channel)
+            .with_budget_factor(2.5);
+        let derived = template.derive(5_000, 20_000);
+        assert_eq!(derived.size_parameter, 5_000);
+        assert_eq!(derived.total_space, 20_000);
+        assert_eq!(derived.epsilon, 0.25);
+        assert_eq!(derived.seed, 7);
+        assert_eq!(derived.threads, 3);
+        assert_eq!(derived.backend, DdsBackendKind::Channel);
+        assert_eq!(derived.budget_factor, 2.5);
     }
 
     #[test]

@@ -18,30 +18,30 @@
 //!   `O(S)` budgets are stated in.
 
 use crate::config::AmpcConfig;
-use ampc_dds::{Key, Snapshot, Value};
+use ampc_dds::{Key, Snapshot, SnapshotView, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Handle through which a machine interacts with the DDS during one round.
-pub struct MachineContext {
+///
+/// Generic over the [`SnapshotView`] it reads from, so the same algorithm
+/// closure runs unchanged against any DDS backend; `V` defaults to the local
+/// [`Snapshot`] view.  Budget accounting lives here, *not* in the view —
+/// every backend debits queries identically by construction.
+pub struct MachineContext<V: SnapshotView = Snapshot> {
     machine_id: usize,
     round: usize,
-    snapshot: Snapshot,
+    snapshot: V,
     writes: Vec<(Key, Value)>,
     queries: u64,
     budget: u64,
     rng: StdRng,
 }
 
-impl MachineContext {
+impl<V: SnapshotView> MachineContext<V> {
     /// Create the context for `machine_id` in `round`, reading from
     /// `snapshot` (the frozen `D_{round-1}`).
-    pub(crate) fn new(
-        machine_id: usize,
-        round: usize,
-        snapshot: Snapshot,
-        config: &AmpcConfig,
-    ) -> Self {
+    pub(crate) fn new(machine_id: usize, round: usize, snapshot: V, config: &AmpcConfig) -> Self {
         // Derive a per-(round, machine) RNG stream from the run seed so that
         // re-executing a failed machine reproduces its random choices — the
         // property the paper's fault-tolerance argument needs.

@@ -19,6 +19,15 @@ pub enum AmpcError {
         /// The configured per-round budget.
         budget: u64,
     },
+    /// An explicitly requested DDS shard count lies outside the supported
+    /// range (`1..=MAX_SHARDS`).  Raised by `AmpcConfig::with_num_shards`
+    /// instead of silently clamping a configuration bug.
+    InvalidShardCount {
+        /// The shard count the caller asked for.
+        requested: usize,
+        /// The maximum supported shard count (`config::MAX_SHARDS`).
+        max: usize,
+    },
     /// The algorithm asked for more machines than the configuration allows.
     TooManyMachines {
         /// Machines requested for the round.
@@ -38,6 +47,9 @@ impl fmt::Display for AmpcError {
                 f,
                 "machine {machine} exceeded its budget in round {round}: {queries} queries + {writes} writes > {budget}"
             ),
+            AmpcError::InvalidShardCount { requested, max } => {
+                write!(f, "requested {requested} DDS shards, supported range is 1..={max}")
+            }
             AmpcError::TooManyMachines { requested, available } => {
                 write!(f, "round requested {requested} machines but only {available} are available")
             }
@@ -75,6 +87,13 @@ mod tests {
 
         let e = AmpcError::Algorithm("bad state".into());
         assert!(e.to_string().contains("bad state"));
+
+        let e = AmpcError::InvalidShardCount {
+            requested: 4096,
+            max: 1024,
+        };
+        assert!(e.to_string().contains("4096"));
+        assert!(e.to_string().contains("1..=1024"));
     }
 
     #[test]

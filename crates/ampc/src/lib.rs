@@ -9,7 +9,12 @@
 //! * [`AmpcRuntime`] executes rounds: every virtual machine runs a closure
 //!   against a [`MachineContext`] which gives *adaptive* random-read access
 //!   to the previous round's distributed data store and buffered writes into
-//!   the next one.  Machines run in parallel on worker threads.
+//!   the next one.  Machines run in parallel on worker threads.  The runtime
+//!   is generic over the [`DdsBackend`] serving the stores; the
+//!   [`with_dds_backend!`] macro instantiates it from
+//!   [`AmpcConfig::backend`](config::AmpcConfig), so the backend (in-process
+//!   [`LocalBackend`] or message-passing [`ChannelBackend`]) is purely a
+//!   configuration choice.
 //! * [`RunStats`] / [`RoundStats`] record the quantities the paper's theorems
 //!   bound: number of rounds, queries and writes in total and per machine,
 //!   budget violations and fault-injection restarts.
@@ -69,9 +74,13 @@ pub mod runtime;
 pub mod slackness;
 pub mod stats;
 
-pub use config::{AmpcConfig, BudgetMode, DEFAULT_EPSILON};
+pub use config::{AmpcConfig, BudgetMode, DdsBackendKind, DEFAULT_EPSILON, MAX_SHARDS};
 pub use context::MachineContext;
 pub use error::AmpcError;
 pub use fault::FaultPlan;
 pub use runtime::AmpcRuntime;
 pub use stats::{RoundStats, RunStats};
+
+// Backend surface, re-exported so the `with_dds_backend!` macro (and
+// algorithm crates) can name everything through `ampc_runtime`.
+pub use ampc_dds::{ChannelBackend, DdsBackend, LocalBackend, SnapshotView};

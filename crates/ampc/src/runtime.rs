@@ -17,31 +17,51 @@ use crate::context::MachineContext;
 use crate::error::AmpcError;
 use crate::fault::FaultPlan;
 use crate::stats::{RoundStats, RunStats};
-use ampc_dds::{DdsChain, Key, Snapshot, Value};
+use ampc_dds::{DdsBackend, Key, LocalBackend, Value};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Executes AMPC rounds against a chain of distributed data stores.
-pub struct AmpcRuntime {
+///
+/// Generic over the [`DdsBackend`] serving the stores; `B` defaults to the
+/// in-process [`LocalBackend`].  Use [`AmpcRuntime::new`] for the default
+/// backend or [`AmpcRuntime::with_backend`] (usually through the
+/// [`crate::with_dds_backend!`] macro, which dispatches on
+/// [`crate::DdsBackendKind`]) to instantiate a specific one.  Everything the
+/// runtime observes — reads, multi-value order, budget accounting — is
+/// backend-independent by the [`ampc_dds::SnapshotView`] contract.
+pub struct AmpcRuntime<B: DdsBackend = LocalBackend> {
     config: AmpcConfig,
-    chain: DdsChain,
+    backend: B,
     stats: RunStats,
     fault_plan: FaultPlan,
-    /// Snapshot of the most recently completed epoch (what the next round reads).
-    snapshot: Snapshot,
+    /// View of the most recently completed epoch (what the next round reads).
+    snapshot: B::View,
     /// Rounds executed so far (adaptive rounds + counted scatters).
     rounds_executed: usize,
 }
 
-impl AmpcRuntime {
-    /// Create a runtime for the given configuration with an empty `D_0`.
+impl AmpcRuntime<LocalBackend> {
+    /// Create a runtime on the default in-process backend with an empty
+    /// `D_0`.
     pub fn new(config: AmpcConfig) -> Self {
-        let chain = DdsChain::new(config.num_shards());
-        let snapshot = Snapshot::empty(config.num_shards());
+        AmpcRuntime::with_backend(config)
+    }
+}
+
+impl<B: DdsBackend> AmpcRuntime<B> {
+    /// Create a runtime on backend `B` with an empty `D_0`.
+    ///
+    /// Algorithm drivers should not call this with a concrete `B`; they go
+    /// through [`crate::with_dds_backend!`] so the backend stays a pure
+    /// configuration choice.
+    pub fn with_backend(config: AmpcConfig) -> Self {
+        let backend = B::with_shards(config.num_shards(), config.effective_threads());
+        let snapshot = backend.empty_view();
         AmpcRuntime {
             config,
-            chain,
+            backend,
             stats: RunStats::default(),
             fault_plan: FaultPlan::none(),
             snapshot,
@@ -75,12 +95,17 @@ impl AmpcRuntime {
         self.rounds_executed
     }
 
-    /// Snapshot of the most recently completed round's store.
+    /// View of the most recently completed round's store.
     ///
     /// Algorithm drivers use this to extract results after their final
     /// round; it is also what the next round's machines will read.
-    pub fn snapshot(&self) -> Snapshot {
+    pub fn snapshot(&self) -> B::View {
         self.snapshot.clone()
+    }
+
+    /// The backend serving this runtime's stores.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// Worker threads used for end-of-round shard-parallel commits.
@@ -95,8 +120,9 @@ impl AmpcRuntime {
     /// through the shard-parallel path like any round's writes.
     pub fn load_input(&mut self, pairs: impl IntoIterator<Item = (Key, Value)>) {
         let threads = self.commit_threads();
-        self.chain.commit_round(std::iter::once(pairs), threads);
-        self.snapshot = self.chain.advance_with_threads(threads);
+        self.backend
+            .commit_round(vec![pairs.into_iter().collect()], threads);
+        self.snapshot = self.backend.advance(threads);
     }
 
     /// Scatter driver-assembled key-value pairs into the next store.
@@ -110,8 +136,8 @@ impl AmpcRuntime {
         let num_machines = self.config.num_machines();
         let total_writes = pairs.len() as u64;
         let threads = self.commit_threads();
-        self.chain.commit_round(std::iter::once(pairs), threads);
-        self.snapshot = self.chain.advance_with_threads(threads);
+        self.backend.commit_round(vec![pairs], threads);
+        self.snapshot = self.backend.advance(threads);
         let max_writes = total_writes.div_ceil(num_machines.max(1) as u64);
         let budget = self.config.round_budget();
         self.stats.push(RoundStats {
@@ -142,7 +168,7 @@ impl AmpcRuntime {
     pub fn run_round<R, F>(&mut self, num_machines: usize, work: F) -> Result<Vec<R>, AmpcError>
     where
         R: Send,
-        F: Fn(&mut MachineContext) -> R + Sync,
+        F: Fn(&mut MachineContext<B::View>) -> R + Sync,
     {
         let started = Instant::now();
         let num_machines = num_machines.max(1);
@@ -251,8 +277,8 @@ impl AmpcRuntime {
             results.push(o.result);
         }
         let commit_threads = self.commit_threads();
-        self.chain.commit_round(batches, commit_threads);
-        self.snapshot = self.chain.advance_with_threads(commit_threads);
+        self.backend.commit_round(batches, commit_threads);
+        self.snapshot = self.backend.advance(commit_threads);
 
         self.stats.push(RoundStats {
             round,
@@ -292,14 +318,53 @@ impl AmpcRuntime {
     }
 }
 
-impl std::fmt::Debug for AmpcRuntime {
+impl<B: DdsBackend> std::fmt::Debug for AmpcRuntime<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AmpcRuntime")
+            .field("backend", &self.backend.backend_name())
             .field("machines", &self.config.num_machines())
             .field("space_per_machine", &self.config.space_per_machine())
             .field("rounds_executed", &self.rounds_executed)
             .finish()
     }
+}
+
+/// Instantiate an [`AmpcRuntime`] on the backend selected by a config and
+/// run a block against it.
+///
+/// ```
+/// use ampc_runtime::{with_dds_backend, AmpcConfig, DdsBackendKind};
+///
+/// let config = AmpcConfig::for_graph(100, 100, 0.5).with_backend(DdsBackendKind::Channel);
+/// let rounds = with_dds_backend!(config, |runtime| {
+///     runtime.load_input(std::iter::empty());
+///     runtime.rounds_executed()
+/// });
+/// assert_eq!(rounds, 0);
+/// ```
+///
+/// The block is monomorphised once per backend, so algorithm drivers stay
+/// free of per-backend code paths: they write one generic body and let the
+/// configuration pick the instantiation.
+#[macro_export]
+macro_rules! with_dds_backend {
+    ($config:expr, |$runtime:ident| $body:expr) => {{
+        let __config: $crate::AmpcConfig = $config;
+        match __config.backend {
+            $crate::DdsBackendKind::Local => {
+                #[allow(unused_mut)]
+                let mut $runtime =
+                    $crate::AmpcRuntime::<$crate::LocalBackend>::with_backend(__config);
+                $body
+            }
+            $crate::DdsBackendKind::Channel => {
+                #[allow(unused_mut)]
+                let mut $runtime =
+                    $crate::AmpcRuntime::<$crate::ChannelBackend>::with_backend(__config);
+                $body
+            }
+        }
+    }};
 }
 
 #[cfg(test)]
@@ -543,6 +608,81 @@ mod tests {
         assert_eq!(rt.rounds_executed(), 3);
         assert_eq!(rt.stats().num_rounds(), 3);
         assert_eq!(rt.stats().total_writes(), 300);
+    }
+
+    #[test]
+    fn rounds_behave_identically_on_the_channel_backend() {
+        use crate::config::DdsBackendKind;
+        // The same two-round program, once per backend, selected via config
+        // only; outputs, stats and multi-value order must coincide.
+        let run = |backend: DdsBackendKind| {
+            let config = config(100).with_backend(backend);
+            crate::with_dds_backend!(config, |rt| {
+                rt.load_input((0..10u64).map(|i| (key(i), Value::scalar(i * 2))));
+                let results = rt
+                    .run_round(10, |ctx| {
+                        let id = ctx.machine_id() as u64;
+                        let value = ctx.read(key(id)).unwrap();
+                        ctx.write(key(7), Value::scalar(id));
+                        ctx.write(key(100 + id), Value::scalar(value.x * value.x));
+                        value.x
+                    })
+                    .unwrap();
+                let echoed = rt
+                    .run_round(10, |ctx| {
+                        let id = ctx.machine_id() as u64;
+                        let keys = [key(100 + id), key(id)];
+                        let batch = ctx.read_many(&keys);
+                        // key(7) was written by every machine in round 1, so
+                        // round 2 sees the full multi-value list: index
+                        // order must be machine-id order on every backend.
+                        let multi: Vec<Option<u64>> = (0..10)
+                            .map(|i| ctx.read_indexed(key(7), i).map(|v| v.x))
+                            .collect();
+                        (batch[0].map(|v| v.x), batch[1].map(|v| v.x), multi)
+                    })
+                    .unwrap();
+                let queries: Vec<u64> = rt
+                    .stats()
+                    .rounds
+                    .iter()
+                    .map(|round| round.total_queries)
+                    .collect();
+                (results, echoed, queries)
+            })
+        };
+        let local = run(DdsBackendKind::Local);
+        let channel = run(DdsBackendKind::Channel);
+        assert_eq!(local, channel);
+        // Pin the multi-value index order itself (machine-id order), not
+        // just cross-backend agreement.
+        let (_, _, ref multi) = local.1[0];
+        let expected: Vec<Option<u64>> = (0..10u64).map(Some).collect();
+        assert_eq!(*multi, expected);
+    }
+
+    #[test]
+    fn fault_restarts_are_backend_independent() {
+        use crate::config::DdsBackendKind;
+        use rand::Rng;
+        let run = |backend: DdsBackendKind| {
+            let config = config(100).with_backend(backend);
+            crate::with_dds_backend!(config, |rt| {
+                let mut rt = rt.with_fault_plan(FaultPlan::none().fail(0, 2));
+                rt.load_input((0..4u64).map(|i| (key(i), Value::scalar(i))));
+                let results = rt
+                    .run_round(4, |ctx| {
+                        let id = ctx.machine_id() as u64;
+                        ctx.read(key(id)).unwrap().x + ctx.rng().gen::<u64>() % 1000
+                    })
+                    .unwrap();
+                (results, rt.stats().restarts())
+            })
+        };
+        let local = run(DdsBackendKind::Local);
+        let channel = run(DdsBackendKind::Channel);
+        assert_eq!(local, channel);
+        assert_eq!(local.1, 1);
     }
 
     #[test]

@@ -144,19 +144,30 @@ fn main() {
         "\n== Epoch commit path: per-write locking vs shard-parallel (T = {commit_pairs}) ==\n"
     );
     println!(
-        "{:>8} {:>14} {:>14} {:>14} {:>10} {:>14}",
-        "shards", "serial ms", "batched ms", "parallel ms", "speedup", "Mwrites/s"
+        "{:>8} {:>12} {:>12} {:>12} {:>9} {:>12} {:>11} {:>11} {:>9}",
+        "shards",
+        "serial ms",
+        "batched ms",
+        "parallel ms",
+        "speedup",
+        "Mwrites/s",
+        "part-1t ms",
+        "part-Nt ms",
+        "part-spd"
     );
     let commit_points = commit_throughput(commit_pairs, &shard_counts, 0, seed);
     for point in &commit_points {
         println!(
-            "{:>8} {:>14.2} {:>14.2} {:>14.2} {:>9.2}x {:>14.1}",
+            "{:>8} {:>12.2} {:>12.2} {:>12.2} {:>8.2}x {:>12.1} {:>11.2} {:>11.2} {:>8.2}x",
             point.shards,
             point.serial_ns as f64 / 1e6,
             point.batched_ns as f64 / 1e6,
             point.parallel_ns as f64 / 1e6,
             point.speedup_parallel_over_serial(),
             point.parallel_mwrites_per_sec(),
+            point.partition_serial_ns as f64 / 1e6,
+            point.partition_parallel_ns as f64 / 1e6,
+            point.partition_speedup(),
         );
     }
 
@@ -190,15 +201,19 @@ fn write_bench_commit_json(
         let _ = writeln!(
             json,
             "    {{\"shards\": {}, \"pairs\": {}, \"threads\": {}, \"serial_ns\": {}, \
-             \"batched_ns\": {}, \"parallel_ns\": {}, \"speedup_parallel_over_serial\": {:.3}, \
-             \"parallel_mwrites_per_sec\": {:.3}}}{}",
+             \"batched_ns\": {}, \"parallel_ns\": {}, \"partition_serial_ns\": {}, \
+             \"partition_parallel_ns\": {}, \"speedup_parallel_over_serial\": {:.3}, \
+             \"partition_speedup\": {:.3}, \"parallel_mwrites_per_sec\": {:.3}}}{}",
             p.shards,
             p.pairs,
             p.threads,
             p.serial_ns,
             p.batched_ns,
             p.parallel_ns,
+            p.partition_serial_ns,
+            p.partition_parallel_ns,
             p.speedup_parallel_over_serial(),
+            p.partition_speedup(),
             p.parallel_mwrites_per_sec(),
             if i + 1 < commits.len() { "," } else { "" },
         );

@@ -7,7 +7,10 @@
 //!   buffered write through a per-write shard-lock acquisition (kept
 //!   measurable here as the `serial` series); the store now groups a batch
 //!   by shard and locks each shard once (`batched`), and the runtime
-//!   commits distinct shards in parallel (`parallel`).
+//!   commits distinct shards in parallel (`parallel`).  The partition pass
+//!   itself is also timed in isolation, single-threaded vs the per-worker
+//!   bucket pass (`partition_serial` / `partition_parallel`), since it was
+//!   the last single-threaded stage of the commit pipeline.
 //! * **Read latency** — adaptive reads used to chase a heap pointer into a
 //!   `Vec<Value>` for every key; the compact snapshot layout keeps
 //!   singleton values inline.  The pre-refactor layout survives as
@@ -35,8 +38,14 @@ pub struct CommitThroughputPoint {
     pub serial_ns: u64,
     /// Shard-grouped batch commit (one lock per shard), nanoseconds.
     pub batched_ns: u64,
-    /// Shard-parallel partitioned commit, nanoseconds.
+    /// Full shard-parallel end-of-round path (parallel partition pass +
+    /// chunked shard-parallel commit), nanoseconds.
     pub parallel_ns: u64,
+    /// Single-threaded partition pass alone, nanoseconds.
+    pub partition_serial_ns: u64,
+    /// Parallel partition pass alone (per-worker buckets, no merge),
+    /// nanoseconds.
+    pub partition_parallel_ns: u64,
 }
 
 impl CommitThroughputPoint {
@@ -48,6 +57,11 @@ impl CommitThroughputPoint {
     /// Parallel-commit throughput in million writes per second.
     pub fn parallel_mwrites_per_sec(&self) -> f64 {
         self.pairs as f64 * 1e3 / self.parallel_ns.max(1) as f64
+    }
+
+    /// Speedup of the parallel partition pass over the single-threaded pass.
+    pub fn partition_speedup(&self) -> f64 {
+        self.partition_serial_ns as f64 / self.partition_parallel_ns.max(1) as f64
     }
 }
 
@@ -83,7 +97,21 @@ fn workload(pairs: usize, seed: u64) -> Vec<(Key, Value)> {
         .collect()
 }
 
-/// Measure the three commit paths for each shard count in `shard_counts`.
+/// Machine batches the parallel partition pass distributes over workers —
+/// the shape the runtime produces (one write buffer per virtual machine).
+const WORKLOAD_MACHINES: usize = 64;
+
+/// The workload split into per-machine batches, preserving write order.
+fn workload_batches(pairs: usize, seed: u64) -> Vec<Vec<(Key, Value)>> {
+    let writes = workload(pairs, seed);
+    let per_machine = pairs.div_ceil(WORKLOAD_MACHINES).max(1);
+    writes
+        .chunks(per_machine)
+        .map(|chunk| chunk.to_vec())
+        .collect()
+}
+
+/// Measure the commit paths for each shard count in `shard_counts`.
 ///
 /// `threads` caps the parallel-commit workers (0 = one per available CPU).
 pub fn commit_throughput(
@@ -98,6 +126,7 @@ pub fn commit_throughput(
         threads
     };
     let writes = workload(pairs, seed);
+    let batches = workload_batches(pairs, seed);
     shard_counts
         .iter()
         .map(|&shards| {
@@ -117,11 +146,29 @@ pub fn commit_throughput(
             let batched_ns = started.elapsed().as_nanos() as u64;
             drop(store);
 
-            // Parallel path: pre-partitioned, shards committed concurrently.
+            // Partition pass in isolation: single-threaded vs per-worker
+            // buckets (the ROADMAP perf item).  The input clones happen
+            // before the timers start — the serial/batched series pay no
+            // clone, so neither may the timed sections here.
             let store = ShardedStore::new(shards);
+            let input = batches.clone();
             let started = Instant::now();
-            let per_shard = store.partition_writes(std::iter::once(writes.iter().copied()));
-            store.commit_partitioned(per_shard, threads);
+            let per_shard = store.partition_writes(input);
+            let partition_serial_ns = started.elapsed().as_nanos() as u64;
+            drop(per_shard);
+            let input = batches.clone();
+            let started = Instant::now();
+            let chunks = store.partition_writes_parallel(input, threads);
+            let partition_parallel_ns = started.elapsed().as_nanos() as u64;
+            drop(chunks);
+            drop(store);
+
+            // Full end-of-round path: parallel partition + chunked commit.
+            let store = ShardedStore::new(shards);
+            let input = batches.clone();
+            let started = Instant::now();
+            let chunks = store.partition_writes_parallel(input, threads);
+            store.commit_chunked(chunks, threads);
             let parallel_ns = started.elapsed().as_nanos() as u64;
             drop(store);
 
@@ -132,6 +179,8 @@ pub fn commit_throughput(
                 serial_ns,
                 batched_ns,
                 parallel_ns,
+                partition_serial_ns,
+                partition_parallel_ns,
             }
         })
         .collect()
@@ -213,7 +262,38 @@ mod tests {
         for point in &points {
             assert_eq!(point.pairs, 20_000);
             assert!(point.serial_ns > 0 && point.batched_ns > 0 && point.parallel_ns > 0);
+            assert!(point.partition_serial_ns > 0 && point.partition_parallel_ns > 0);
             assert!(point.speedup_parallel_over_serial() > 0.0);
+            assert!(point.partition_speedup() > 0.0);
+        }
+    }
+
+    #[test]
+    fn chunked_commit_path_stores_identical_contents() {
+        // The bench's "parallel" series is the real end-of-round path; make
+        // sure what it measures is semantically the serial commit.
+        let batches = workload_batches(10_000, 11);
+        let serial = ShardedStore::new(8);
+        for batch in &batches {
+            for &(key, value) in batch {
+                serial.write(key, value);
+            }
+        }
+        let parallel = ShardedStore::new(8);
+        let chunks = parallel.partition_writes_parallel(batches.clone(), 4);
+        parallel.commit_chunked(chunks, 4);
+        assert_eq!(serial.total_writes(), parallel.total_writes());
+        assert_eq!(serial.len(), parallel.len());
+        for batch in &batches {
+            for &(key, _) in batch {
+                assert_eq!(serial.multiplicity(&key), parallel.multiplicity(&key));
+                for idx in 0..serial.multiplicity(&key) {
+                    assert_eq!(
+                        serial.get_indexed(&key, idx),
+                        parallel.get_indexed(&key, idx)
+                    );
+                }
+            }
         }
     }
 

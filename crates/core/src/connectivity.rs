@@ -23,7 +23,9 @@
 use crate::common::{adjacency_key, degree_key, round_robin_assign, AlgorithmResult};
 use ampc_dds::{FxHashMap, FxHashSet, Key, Value};
 use ampc_graph::{canonicalize_labels, Graph, UnionFind};
-use ampc_runtime::{AmpcConfig, AmpcRuntime, MachineContext};
+use ampc_runtime::{
+    with_dds_backend, AmpcConfig, AmpcRuntime, DdsBackend, MachineContext, SnapshotView,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,7 +51,10 @@ impl ContractedGraph {
 }
 
 /// Publish the adjacency of a contracted graph to the DDS (one scatter round).
-fn publish_adjacency(runtime: &mut AmpcRuntime, adjacency: &FxHashMap<u32, Vec<u32>>) {
+fn publish_adjacency<B: DdsBackend>(
+    runtime: &mut AmpcRuntime<B>,
+    adjacency: &FxHashMap<u32, Vec<u32>>,
+) {
     let mut pairs: Vec<(Key, Value)> = Vec::new();
     for (&v, nbrs) in adjacency {
         pairs.push((degree_key(v), Value::scalar(nbrs.len() as u64)));
@@ -80,7 +85,12 @@ const BFS_READ_BATCH: usize = 32;
 /// remaining prefetched slots of that batch are still counted — a bounded
 /// over-read (each batch is clamped to the `d - order.len()` discoveries
 /// still acceptable, so the waste per BFS is less than one batch).
-fn bounded_bfs(ctx: &mut MachineContext, v: u32, d: usize, query_cap: u64) -> Vec<u32> {
+fn bounded_bfs<V: SnapshotView>(
+    ctx: &mut MachineContext<V>,
+    v: u32,
+    d: usize,
+    query_cap: u64,
+) -> Vec<u32> {
     let mut visited: FxHashSet<u32> = FxHashSet::default();
     let mut order: Vec<u32> = Vec::with_capacity(d);
     let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
@@ -142,8 +152,30 @@ fn bounded_bfs(ctx: &mut MachineContext, v: u32, d: usize, query_cap: u64) -> Ve
 pub fn connectivity(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResult<Vec<u32>> {
     let n = graph.num_vertices();
     let m = graph.num_edges();
-    let config = AmpcConfig::for_graph(n.max(1), m, epsilon).with_seed(seed);
-    let mut runtime = AmpcRuntime::new(config);
+    connectivity_with(
+        graph,
+        &AmpcConfig::for_graph(n.max(1), m, epsilon).with_seed(seed),
+    )
+}
+
+/// [`connectivity`] with an explicit [`AmpcConfig`]: ε and seed are taken
+/// from the config, which also selects the DDS backend, thread cap and
+/// budget handling for every round the algorithm runs.
+pub fn connectivity_with(graph: &Graph, config: &AmpcConfig) -> AlgorithmResult<Vec<u32>> {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    let config = config.derive(n.max(1), n.max(1) + m);
+    with_dds_backend!(config, |runtime| connectivity_impl(graph, runtime))
+}
+
+fn connectivity_impl<B: DdsBackend>(
+    graph: &Graph,
+    mut runtime: AmpcRuntime<B>,
+) -> AlgorithmResult<Vec<u32>> {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    let epsilon = runtime.config().epsilon;
+    let seed = runtime.config().seed;
     let mut rng = StdRng::seed_from_u64(seed ^ 0x1234_5678);
 
     if n == 0 {

@@ -17,7 +17,6 @@
 //! values over subtree intervals of the preorder numbering.
 
 use crate::common::AlgorithmResult;
-use crate::listrank::list_ranking_weighted;
 use ampc_dds::FxHashMap;
 use ampc_graph::{Graph, UnionFind};
 use ampc_runtime::RunStats;
@@ -159,6 +158,23 @@ pub fn root_forest(
     seed: u64,
 ) -> AlgorithmResult<RootedForest> {
     let n = forest.num_vertices();
+    let arcs = 2 * forest.num_edges();
+    root_forest_with(
+        forest,
+        roots,
+        &ampc_runtime::AmpcConfig::for_graph(n.max(arcs).max(1), arcs, epsilon).with_seed(seed),
+    )
+}
+
+/// [`root_forest`] with an explicit [`ampc_runtime::AmpcConfig`]: ε and seed
+/// come from the config, which also selects the DDS backend for the list
+/// rankings underneath.
+pub fn root_forest_with(
+    forest: &Graph,
+    roots: Option<&[u32]>,
+    config: &ampc_runtime::AmpcConfig,
+) -> AlgorithmResult<RootedForest> {
+    let n = forest.num_vertices();
     let tour = euler_tour(forest);
     let num_arcs = tour.num_arcs();
     let mut stats = RunStats::default();
@@ -216,8 +232,9 @@ pub fn root_forest(
     }
 
     // Unit-weight ranking gives arc positions; forward-weight ranking gives
-    // preorder numbers.  Both are AMPC list rankings over the arcs.
-    let unit = list_ranking(&successor, epsilon, seed);
+    // preorder numbers.  Both are AMPC list rankings over the arcs, running
+    // on whatever DDS backend the config selects.
+    let unit = crate::listrank::list_ranking_with(&successor, config);
     stats.absorb(unit.stats.clone());
     let rank_unit = unit.output;
 
@@ -267,7 +284,11 @@ pub fn root_forest(
             u64::from(forward_arc[head as usize] == Some(a))
         })
         .collect();
-    let weighted = list_ranking_weighted(&successor, &forward_weights, epsilon, seed ^ 0x9e37);
+    let weighted = crate::listrank::list_ranking_weighted_with(
+        &successor,
+        &forward_weights,
+        &config.clone().with_seed(config.seed ^ 0x9e37),
+    );
     stats.absorb(weighted.stats.clone());
     let rank_forward = weighted.output;
 
@@ -302,11 +323,6 @@ pub fn root_forest(
         subtree_size,
     };
     AlgorithmResult::new(forest_out, stats)
-}
-
-/// Unit-weight list ranking helper used by [`root_forest`].
-fn list_ranking(successor: &[u32], epsilon: f64, seed: u64) -> AlgorithmResult<Vec<u64>> {
-    crate::listrank::list_ranking(successor, epsilon, seed)
 }
 
 /// Lemma 8.7: subtree sizes of a rooted forest (roots chosen as the minimum

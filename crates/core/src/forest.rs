@@ -9,8 +9,9 @@
 
 use crate::common::AlgorithmResult;
 use crate::euler::euler_tour;
-use crate::shrink::{cycle_connectivity_from_neighbors, CycleNeighbors};
+use crate::shrink::{cycle_connectivity_from_neighbors_with, CycleNeighbors};
 use ampc_graph::{canonicalize_labels, Graph};
+use ampc_runtime::AmpcConfig;
 
 /// Theorem 5: connected components of a forest.
 ///
@@ -20,6 +21,18 @@ use ampc_graph::{canonicalize_labels, Graph};
 /// # Panics
 /// If the input contains a cycle (it must be a forest).
 pub fn forest_connectivity(forest: &Graph, epsilon: f64, seed: u64) -> AlgorithmResult<Vec<u32>> {
+    let n = forest.num_vertices();
+    let arcs = 2 * forest.num_edges();
+    forest_connectivity_with(
+        forest,
+        &AmpcConfig::for_graph(n.max(arcs).max(1), arcs, epsilon).with_seed(seed),
+    )
+}
+
+/// [`forest_connectivity`] with an explicit [`AmpcConfig`]: ε and seed come
+/// from the config, which also selects the DDS backend for the cycle
+/// connectivity underneath.
+pub fn forest_connectivity_with(forest: &Graph, config: &AmpcConfig) -> AlgorithmResult<Vec<u32>> {
     let n = forest.num_vertices();
     let tour = euler_tour(forest);
     let num_arcs = tour.num_arcs();
@@ -36,7 +49,7 @@ pub fn forest_connectivity(forest: &Graph, epsilon: f64, seed: u64) -> Algorithm
     for a in 0..num_arcs as u32 {
         nbrs.insert(a, (tour.prev[a as usize], tour.next[a as usize]));
     }
-    let arc_labels = cycle_connectivity_from_neighbors(nbrs, num_arcs, epsilon, seed);
+    let arc_labels = cycle_connectivity_from_neighbors_with(nbrs, num_arcs, config);
 
     // Map arc components back to vertex components: a vertex takes the label
     // of any incident arc (all incident arcs share the label: they belong to

@@ -18,6 +18,15 @@
 //! experiment harness) can assert and report both correctness and the round
 //! / communication complexities the paper's theorems are about.
 //!
+//! Every algorithm also ships a `*_with(…, &AmpcConfig)` variant: the config
+//! carries ε, the seed, thread caps and — through
+//! [`ampc_runtime::AmpcConfig::backend`](ampc_runtime::config::AmpcConfig) —
+//! the DDS backend selection.  The drivers are generic over
+//! `ampc_dds::DdsBackend`, so the same code runs against the in-process
+//! store or the message-passing [`ampc_dds::ChannelBackend`] with no
+//! per-algorithm code paths; `tests/backend_determinism.rs` (workspace root)
+//! proves the outputs are byte-identical across backends and thread counts.
+//!
 //! ```
 //! use ampc_algorithms::{connectivity, maximal_independent_set};
 //! use ampc_graph::{generators, sequential};
@@ -43,14 +52,21 @@ pub mod shrink;
 pub mod two_edge;
 
 pub use common::AlgorithmResult;
-pub use connectivity::connectivity;
+pub use connectivity::{connectivity, connectivity_with};
 pub use euler::{
-    euler_tour, preorder_numbers, root_forest, subtree_sizes, EulerTour, RootedForest,
-    SparseTableRmq,
+    euler_tour, preorder_numbers, root_forest, root_forest_with, subtree_sizes, EulerTour,
+    RootedForest, SparseTableRmq,
 };
-pub use forest::forest_connectivity;
-pub use listrank::{list_ranking, list_ranking_weighted};
-pub use mis::maximal_independent_set;
-pub use msf::{minimum_spanning_forest, spanning_forest, MsfOutput};
-pub use shrink::{cycle_connectivity, two_cycle, TwoCycleAnswer};
-pub use two_edge::{two_edge_connectivity, BcLabeling};
+pub use forest::{forest_connectivity, forest_connectivity_with};
+pub use listrank::{
+    list_ranking, list_ranking_weighted, list_ranking_weighted_with, list_ranking_with,
+};
+pub use mis::{maximal_independent_set, maximal_independent_set_with};
+pub use msf::{
+    minimum_spanning_forest, minimum_spanning_forest_with, spanning_forest, spanning_forest_with,
+    MsfOutput,
+};
+pub use shrink::{
+    cycle_connectivity, cycle_connectivity_with, two_cycle, two_cycle_with, TwoCycleAnswer,
+};
+pub use two_edge::{two_edge_connectivity, two_edge_connectivity_with, BcLabeling};

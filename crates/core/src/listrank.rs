@@ -18,7 +18,7 @@
 
 use crate::common::{round_robin_assign, AlgorithmResult};
 use ampc_dds::{FxHashMap, FxHashSet, Key, KeyTag, Value};
-use ampc_runtime::{AmpcConfig, AmpcRuntime};
+use ampc_runtime::{with_dds_backend, AmpcConfig, AmpcRuntime, DdsBackend};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,12 +61,39 @@ pub fn list_ranking_weighted(
     seed: u64,
 ) -> AlgorithmResult<Vec<u64>> {
     let n = successor.len();
+    list_ranking_weighted_with(
+        successor,
+        weights,
+        &AmpcConfig::for_graph(n.max(1), n, epsilon).with_seed(seed),
+    )
+}
+
+/// [`list_ranking_weighted`] with an explicit [`AmpcConfig`]: ε and seed are
+/// taken from the config, which also selects the DDS backend.
+pub fn list_ranking_weighted_with(
+    successor: &[u32],
+    weights: &[u64],
+    config: &AmpcConfig,
+) -> AlgorithmResult<Vec<u64>> {
+    let n = successor.len();
     assert_eq!(weights.len(), n, "one weight per element required");
     for (v, &s) in successor.iter().enumerate() {
         assert!((s as usize) < n, "successor of {v} out of range");
     }
-    let config = AmpcConfig::for_graph(n.max(1), n, epsilon).with_seed(seed);
-    let mut runtime = AmpcRuntime::new(config);
+    let config = config.derive(n.max(1), n.max(1) + n);
+    with_dds_backend!(config, |runtime| list_ranking_impl(
+        successor, weights, runtime
+    ))
+}
+
+fn list_ranking_impl<B: DdsBackend>(
+    successor: &[u32],
+    weights: &[u64],
+    mut runtime: AmpcRuntime<B>,
+) -> AlgorithmResult<Vec<u64>> {
+    let n = successor.len();
+    let epsilon = runtime.config().epsilon;
+    let seed = runtime.config().seed;
     if n == 0 {
         return AlgorithmResult::new(Vec::new(), runtime.into_stats());
     }
@@ -274,12 +301,22 @@ pub fn list_ranking_weighted(
 /// Unweighted list ranking (Theorem 6): every link has weight 1, so the rank
 /// of an element is its distance to the terminal of its list.
 pub fn list_ranking(successor: &[u32], epsilon: f64, seed: u64) -> AlgorithmResult<Vec<u64>> {
-    let weights: Vec<u64> = successor
+    let weights = unit_weights(successor);
+    list_ranking_weighted(successor, &weights, epsilon, seed)
+}
+
+/// [`list_ranking`] with an explicit [`AmpcConfig`].
+pub fn list_ranking_with(successor: &[u32], config: &AmpcConfig) -> AlgorithmResult<Vec<u64>> {
+    let weights = unit_weights(successor);
+    list_ranking_weighted_with(successor, &weights, config)
+}
+
+fn unit_weights(successor: &[u32]) -> Vec<u64> {
+    successor
         .iter()
         .enumerate()
         .map(|(v, &s)| u64::from(s as usize != v))
-        .collect();
-    list_ranking_weighted(successor, &weights, epsilon, seed)
+        .collect()
 }
 
 #[cfg(test)]

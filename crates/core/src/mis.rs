@@ -19,7 +19,9 @@
 use crate::common::{adjacency_key, degree_key, round_robin_assign, AlgorithmResult};
 use ampc_dds::{FxHashMap, Key, KeyTag, Value};
 use ampc_graph::{permutation, Graph};
-use ampc_runtime::{AmpcConfig, AmpcRuntime, MachineContext};
+use ampc_runtime::{
+    with_dds_backend, AmpcConfig, AmpcRuntime, DdsBackend, MachineContext, SnapshotView,
+};
 
 fn priority_key(v: u32) -> Key {
     Key::of(KeyTag::Priority, v as u64)
@@ -55,8 +57,8 @@ const MIS_READ_BATCH: usize = 4;
 /// slots the probe never reaches still count in the *machine-level* query
 /// statistics — that bounded over-read (< [`MIS_READ_BATCH`] per probe) is
 /// the price of the batch and is why the batch is small.
-fn truncated_query(
-    ctx: &mut MachineContext,
+fn truncated_query<V: SnapshotView>(
+    ctx: &mut MachineContext<V>,
     v: u32,
     budget: &mut i64,
     memo: &mut FxHashMap<u32, Probe>,
@@ -135,8 +137,31 @@ pub fn maximal_independent_set(
 ) -> AlgorithmResult<Vec<bool>> {
     let n = graph.num_vertices();
     let m = graph.num_edges();
-    let config = AmpcConfig::for_graph(n.max(1), m, epsilon).with_seed(seed);
-    let mut runtime = AmpcRuntime::new(config);
+    maximal_independent_set_with(
+        graph,
+        &AmpcConfig::for_graph(n.max(1), m, epsilon).with_seed(seed),
+    )
+}
+
+/// [`maximal_independent_set`] with an explicit [`AmpcConfig`]: ε and seed
+/// are taken from the config, which also selects the DDS backend.
+pub fn maximal_independent_set_with(
+    graph: &Graph,
+    config: &AmpcConfig,
+) -> AlgorithmResult<Vec<bool>> {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    let config = config.derive(n.max(1), n.max(1) + m);
+    with_dds_backend!(config, |runtime| mis_impl(graph, runtime))
+}
+
+fn mis_impl<B: DdsBackend>(
+    graph: &Graph,
+    mut runtime: AmpcRuntime<B>,
+) -> AlgorithmResult<Vec<bool>> {
+    let n = graph.num_vertices();
+    let epsilon = runtime.config().epsilon;
+    let seed = runtime.config().seed;
 
     if n == 0 {
         return AlgorithmResult::new(Vec::new(), runtime.into_stats());

@@ -20,7 +20,9 @@ use crate::common::{
 };
 use ampc_dds::{FxHashMap, FxHashSet, Key, Value};
 use ampc_graph::{canonicalize_labels, Graph, UnionFind, WeightedEdge};
-use ampc_runtime::{AmpcConfig, AmpcRuntime, MachineContext};
+use ampc_runtime::{
+    with_dds_backend, AmpcConfig, AmpcRuntime, DdsBackend, MachineContext, SnapshotView,
+};
 use std::collections::BinaryHeap;
 
 /// Output of the minimum spanning forest algorithm.
@@ -46,8 +48,8 @@ struct ContractedEdge {
 }
 
 /// Publish the weighted adjacency of the contracted graph (one scatter).
-fn publish_weighted_adjacency(
-    runtime: &mut AmpcRuntime,
+fn publish_weighted_adjacency<B: DdsBackend>(
+    runtime: &mut AmpcRuntime<B>,
     vertices: &[u32],
     edges: &[ContractedEdge],
 ) {
@@ -78,12 +80,28 @@ fn publish_weighted_adjacency(
     runtime.scatter(pairs);
 }
 
+/// Weighted-adjacency slots fetched per batched adaptive read while the
+/// local Prim expansion ingests a vertex's edge list.
+///
+/// Once the degree is known the slot keys are independent, so a real
+/// deployment pipelines them in one flight.  Each batch is clamped to the
+/// remaining query cap *before* it is issued, so the cap truncates the
+/// expansion at exactly the same slot as the single-read loop did — the
+/// query budget is debited identically (asserted by
+/// `batched_local_prim_debits_budget_like_single_reads`).
+const PRIM_READ_BATCH: usize = 16;
+
 /// Algorithm 8 (`MSFIncreaseDegree`) for one vertex: run Prim's algorithm
 /// from `v` through adaptive reads until the local tree `F_v` holds `d`
 /// vertices, the component is exhausted, or the query cap is reached.
 /// Returns the ids of the original edges selected (all of them MSF edges by
 /// the cut property).
-fn local_prim(ctx: &mut MachineContext, v: u32, d: usize, query_cap: u64) -> Vec<(u32, u32, u32)> {
+fn local_prim<V: SnapshotView>(
+    ctx: &mut MachineContext<V>,
+    v: u32,
+    d: usize,
+    query_cap: u64,
+) -> Vec<(u32, u32, u32)> {
     // Min-heap of candidate edges leaving the local tree:
     // (Reverse(weight), inside, outside, original id).
     let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u32, u32, u32)>> = BinaryHeap::new();
@@ -91,18 +109,33 @@ fn local_prim(ctx: &mut MachineContext, v: u32, d: usize, query_cap: u64) -> Vec
     let mut selected: Vec<(u32, u32, u32)> = Vec::new();
     let start_queries = ctx.queries_issued();
 
-    let expand = |x: u32, ctx: &mut MachineContext, heap: &mut BinaryHeap<_>| {
+    let expand = |x: u32, ctx: &mut MachineContext<V>, heap: &mut BinaryHeap<_>| {
         let Some(deg) = ctx.read(degree_key(x)).map(|d| d.x as usize) else {
             return;
         };
-        for i in 0..deg {
-            if ctx.queries_issued() - start_queries >= query_cap {
+        let mut keys: [Key; PRIM_READ_BATCH] = [degree_key(0); PRIM_READ_BATCH];
+        let mut entries: [Option<Value>; PRIM_READ_BATCH] = [None; PRIM_READ_BATCH];
+        let mut next_slot = 0usize;
+        while next_slot < deg {
+            let used = ctx.queries_issued() - start_queries;
+            if used >= query_cap {
                 return;
             }
-            if let Some(entry) = ctx.read(weighted_adjacency_key(x, i)) {
+            // Clamp the batch to the remaining cap so the truncation point
+            // is identical to the slot-by-slot loop.
+            let room = (query_cap - used) as usize;
+            let batch_end = deg.min(next_slot + PRIM_READ_BATCH.min(room));
+            let batch = batch_end - next_slot;
+            for (j, key) in keys[..batch].iter_mut().enumerate() {
+                *key = weighted_adjacency_key(x, next_slot + j);
+            }
+            ctx.read_many_slice(&keys[..batch], &mut entries[..batch]);
+            for entry in &entries[..batch] {
+                let Some(entry) = *entry else { continue };
                 let (nbr, id, w) = decode_weighted_neighbor(entry);
                 heap.push(std::cmp::Reverse((w, x, nbr, id)));
             }
+            next_slot = batch_end;
         }
     };
 
@@ -135,6 +168,20 @@ pub fn minimum_spanning_forest(
     epsilon: f64,
     seed: u64,
 ) -> AlgorithmResult<MsfOutput> {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    minimum_spanning_forest_with(
+        graph,
+        &AmpcConfig::for_graph(n.max(1), m, epsilon).with_seed(seed),
+    )
+}
+
+/// [`minimum_spanning_forest`] with an explicit [`AmpcConfig`]: ε and seed
+/// are taken from the config, which also selects the DDS backend.
+pub fn minimum_spanning_forest_with(
+    graph: &Graph,
+    config: &AmpcConfig,
+) -> AlgorithmResult<MsfOutput> {
     assert!(
         graph.is_weighted() || graph.num_edges() == 0,
         "minimum_spanning_forest needs a weighted graph"
@@ -144,12 +191,22 @@ pub fn minimum_spanning_forest(
     } else {
         graph.weighted_edges()
     };
-    msf_impl(graph, &edges, epsilon, seed)
+    msf_dispatch(graph, &edges, config)
 }
 
 /// Corollary 7.2: a spanning forest of an *unweighted* graph, obtained by
 /// assigning each edge its id as a (distinct) weight.
 pub fn spanning_forest(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResult<MsfOutput> {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    spanning_forest_with(
+        graph,
+        &AmpcConfig::for_graph(n.max(1), m, epsilon).with_seed(seed),
+    )
+}
+
+/// [`spanning_forest`] with an explicit [`AmpcConfig`].
+pub fn spanning_forest_with(graph: &Graph, config: &AmpcConfig) -> AlgorithmResult<MsfOutput> {
     let edges: Vec<WeightedEdge> = graph
         .edges()
         .iter()
@@ -161,19 +218,28 @@ pub fn spanning_forest(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResul
             id: id as u32,
         })
         .collect();
-    msf_impl(graph, &edges, epsilon, seed)
+    msf_dispatch(graph, &edges, config)
 }
 
-fn msf_impl(
+fn msf_dispatch(
     graph: &Graph,
     all_edges: &[WeightedEdge],
-    epsilon: f64,
-    seed: u64,
+    config: &AmpcConfig,
 ) -> AlgorithmResult<MsfOutput> {
     let n = graph.num_vertices();
     let m = all_edges.len();
-    let config = AmpcConfig::for_graph(n.max(1), m, epsilon).with_seed(seed);
-    let mut runtime = AmpcRuntime::new(config);
+    let config = config.derive(n.max(1), n.max(1) + m);
+    with_dds_backend!(config, |runtime| msf_impl(graph, all_edges, runtime))
+}
+
+fn msf_impl<B: DdsBackend>(
+    graph: &Graph,
+    all_edges: &[WeightedEdge],
+    mut runtime: AmpcRuntime<B>,
+) -> AlgorithmResult<MsfOutput> {
+    let n = graph.num_vertices();
+    let m = all_edges.len();
+    let epsilon = runtime.config().epsilon;
 
     if n == 0 {
         let output = MsfOutput {
@@ -422,5 +488,94 @@ mod tests {
     fn unweighted_input_rejected_by_msf() {
         let g = generators::cycle(5);
         let _ = minimum_spanning_forest(&g, 0.5, 0);
+    }
+
+    /// The pre-migration slot-by-slot expansion, kept as the budget
+    /// reference: one adaptive read per adjacency slot, cap checked before
+    /// every read.
+    fn reference_prim<V: ampc_runtime::SnapshotView>(
+        ctx: &mut MachineContext<V>,
+        v: u32,
+        d: usize,
+        query_cap: u64,
+    ) -> Vec<(u32, u32, u32)> {
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u32, u32, u32)>> = BinaryHeap::new();
+        let mut in_tree: FxHashSet<u32> = FxHashSet::default();
+        let mut selected: Vec<(u32, u32, u32)> = Vec::new();
+        let start_queries = ctx.queries_issued();
+        let expand = |x: u32, ctx: &mut MachineContext<V>, heap: &mut BinaryHeap<_>| {
+            let Some(deg) = ctx.read(degree_key(x)).map(|d| d.x as usize) else {
+                return;
+            };
+            for i in 0..deg {
+                if ctx.queries_issued() - start_queries >= query_cap {
+                    return;
+                }
+                if let Some(entry) = ctx.read(weighted_adjacency_key(x, i)) {
+                    let (nbr, id, w) = decode_weighted_neighbor(entry);
+                    heap.push(std::cmp::Reverse((w, x, nbr, id)));
+                }
+            }
+        };
+        in_tree.insert(v);
+        expand(v, ctx, &mut heap);
+        while in_tree.len() < d {
+            if ctx.queries_issued() - start_queries >= query_cap {
+                break;
+            }
+            let Some(std::cmp::Reverse((_, from, to, id))) = heap.pop() else {
+                break;
+            };
+            if in_tree.contains(&to) {
+                continue;
+            }
+            in_tree.insert(to);
+            selected.push((from, to, id));
+            expand(to, ctx, &mut heap);
+        }
+        selected
+    }
+
+    #[test]
+    fn batched_local_prim_debits_budget_like_single_reads() {
+        // ROADMAP read-path item: the batched expansion must select the same
+        // edges AND debit the query budget identically to the single-read
+        // loop, including at caps that truncate mid-list.
+        let n = 120u32;
+        let g = weighted(n as usize, 360, 17);
+        let vertices: Vec<u32> = (0..n).collect();
+        let edges: Vec<ContractedEdge> = g
+            .weighted_edges()
+            .iter()
+            .map(|e| ContractedEdge {
+                u: e.u,
+                v: e.v,
+                weight: e.weight,
+                original: e.id,
+            })
+            .collect();
+        for query_cap in [3u64, 7, 17, 64, 100_000] {
+            let run = |batched: bool| {
+                let config = AmpcConfig::for_graph(n as usize, 360, 0.5).with_seed(5);
+                let mut runtime = AmpcRuntime::new(config);
+                publish_weighted_adjacency(&mut runtime, &vertices, &edges);
+                runtime
+                    .run_round(1, |ctx| {
+                        let mut out = Vec::new();
+                        for v in 0..n {
+                            let before = ctx.queries_issued();
+                            let selected = if batched {
+                                local_prim(ctx, v, 6, query_cap)
+                            } else {
+                                reference_prim(ctx, v, 6, query_cap)
+                            };
+                            out.push((v, selected, ctx.queries_issued() - before));
+                        }
+                        out
+                    })
+                    .unwrap()
+            };
+            assert_eq!(run(true), run(false), "query_cap {query_cap}");
+        }
     }
 }

@@ -24,7 +24,9 @@
 use crate::common::AlgorithmResult;
 use ampc_dds::{FxHashMap, FxHashSet, Key, KeyTag, Value};
 use ampc_graph::{canonicalize_labels, Graph};
-use ampc_runtime::{AmpcConfig, AmpcRuntime};
+use ampc_runtime::{
+    with_dds_backend, AmpcConfig, AmpcRuntime, DdsBackend, MachineContext, SnapshotView,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,6 +76,7 @@ fn priority_key(v: u32) -> Key {
 }
 
 /// Result of one sampled vertex's bidirectional traversal.
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct Traversal {
     vertex: u32,
     left_end: u32,
@@ -81,46 +84,200 @@ struct Traversal {
     covered: Vec<u32>,
 }
 
-/// Walk one direction of a cycle starting at `start`'s neighbour `first`,
-/// stopping at a sampled vertex or when the walk returns to `start`.
+/// Phase of one lockstep traversal: which key the walk needs next.
+enum WalkPhase {
+    /// Read `cycle_key(v)` to learn the two directions.
+    NeedAdjacency,
+    /// Read `sampled_key(cur)`.
+    NeedSampled,
+    /// Read `cycle_key(cur)` to take the next hop.
+    NeedStep,
+    /// Traversal finished.
+    Done,
+}
+
+/// Lockstep state of one sampled vertex's bidirectional traversal.
 ///
-/// Returns `(end, covered)` where `covered` lists the unsampled interior
-/// vertices visited.  All reads are adaptive single-key lookups.
-fn walk(
-    ctx: &mut ampc_runtime::MachineContext,
-    start: u32,
-    first: u32,
+/// The walk logic is *identical* to the old sequential single-read version
+/// (same reads, same order per walk, same termination cases); only the
+/// scheduling changed: every active traversal of a machine contributes its
+/// one pending key to a shared `read_many` flight per tick, so a machine
+/// covering `k` samples pipelines `k` independent reads per hop instead of
+/// issuing them one at a time.
+struct WalkTask {
+    v: u32,
+    phase: WalkPhase,
+    /// 0 = walking the `a` direction, 1 = walking the `b` direction.
+    direction: u8,
+    /// First neighbour of the second direction (stored at init).
+    second: u32,
+    prev: u32,
+    cur: u32,
+    /// Remaining loop iterations of the current direction's walk.
+    steps_left: usize,
     limit: usize,
-) -> (u32, Vec<u32>) {
-    let mut covered = Vec::new();
-    let mut prev = start;
-    let mut cur = first;
-    for _ in 0..limit {
-        if cur == start {
-            return (start, covered);
+    covered: Vec<u32>,
+    left_end: u32,
+}
+
+impl WalkTask {
+    fn new(v: u32, limit: usize) -> Self {
+        WalkTask {
+            v,
+            phase: WalkPhase::NeedAdjacency,
+            direction: 0,
+            second: v,
+            prev: v,
+            cur: v,
+            steps_left: 0,
+            limit,
+            covered: Vec::new(),
+            left_end: v,
         }
-        let is_sampled = ctx.read(sampled_key(cur)).is_some();
-        if is_sampled {
-            return (cur, covered);
-        }
-        covered.push(cur);
-        let nbrs = ctx
-            .read(cycle_key(cur))
-            .expect("cycle adjacency missing from DDS");
-        let (a, b) = (nbrs.x as u32, nbrs.y as u32);
-        let next = if a != prev {
-            a
-        } else if b != prev {
-            b
-        } else {
-            // Both neighbours equal `prev`: a two-vertex cycle; wrap around.
-            return (start, covered);
-        };
-        prev = cur;
-        cur = next;
     }
-    // Limit hit: treat as a full wrap (cannot happen for well-formed cycles).
-    (start, covered)
+
+    /// Start walking from `first`, then run the read-free checks of the loop
+    /// head (wrap detection, iteration limit) until the walk needs a read or
+    /// the whole traversal completes.  Returns the finished traversal, if
+    /// any.
+    fn begin_direction(&mut self, first: u32) -> Option<Traversal> {
+        self.prev = self.v;
+        self.cur = first;
+        self.steps_left = self.limit;
+        self.enter_iteration()
+    }
+
+    fn enter_iteration(&mut self) -> Option<Traversal> {
+        if self.cur == self.v || self.steps_left == 0 {
+            // Wrapped (or limit hit, treated as a wrap — cannot happen for
+            // well-formed cycles).
+            return self.end_direction(self.v);
+        }
+        self.steps_left -= 1;
+        self.phase = WalkPhase::NeedSampled;
+        None
+    }
+
+    /// One direction ended at `end` (a sampled vertex, or `v` on a wrap).
+    fn end_direction(&mut self, end: u32) -> Option<Traversal> {
+        if self.direction == 0 {
+            self.left_end = end;
+            if end == self.v {
+                // The walk wrapped the whole cycle; no need to walk the
+                // other direction.
+                self.phase = WalkPhase::Done;
+                return Some(Traversal {
+                    vertex: self.v,
+                    left_end: self.v,
+                    right_end: self.v,
+                    covered: std::mem::take(&mut self.covered),
+                });
+            }
+            self.direction = 1;
+            let second = self.second;
+            self.begin_direction(second)
+        } else {
+            self.phase = WalkPhase::Done;
+            Some(Traversal {
+                vertex: self.v,
+                left_end: self.left_end,
+                right_end: end,
+                covered: std::mem::take(&mut self.covered),
+            })
+        }
+    }
+
+    /// Feed the reply for the key this task asked for; returns the finished
+    /// traversal once the second direction ends.
+    fn apply(&mut self, reply: Option<Value>) -> Option<Traversal> {
+        match self.phase {
+            WalkPhase::NeedAdjacency => {
+                let nbrs = reply.expect("sampled vertex missing adjacency");
+                let (a, b) = (nbrs.x as u32, nbrs.y as u32);
+                self.second = b;
+                self.begin_direction(a)
+            }
+            WalkPhase::NeedSampled => {
+                if reply.is_some() {
+                    return self.end_direction(self.cur);
+                }
+                self.covered.push(self.cur);
+                self.phase = WalkPhase::NeedStep;
+                None
+            }
+            WalkPhase::NeedStep => {
+                let nbrs = reply.expect("cycle adjacency missing from DDS");
+                let (a, b) = (nbrs.x as u32, nbrs.y as u32);
+                let next = if a != self.prev {
+                    a
+                } else if b != self.prev {
+                    b
+                } else {
+                    // Both neighbours equal `prev`: a two-vertex cycle; wrap.
+                    return self.end_direction(self.v);
+                };
+                self.prev = self.cur;
+                self.cur = next;
+                self.enter_iteration()
+            }
+            WalkPhase::Done => unreachable!("finished task polled"),
+        }
+    }
+
+    /// The key this task needs next, if it is still running.
+    fn pending_key(&self) -> Option<Key> {
+        match self.phase {
+            WalkPhase::NeedAdjacency => Some(cycle_key(self.v)),
+            WalkPhase::NeedSampled => Some(sampled_key(self.cur)),
+            WalkPhase::NeedStep => Some(cycle_key(self.cur)),
+            WalkPhase::Done => None,
+        }
+    }
+}
+
+/// Run the bidirectional traversals of all of a machine's sampled vertices
+/// in lockstep: one `read_many` flight per tick carries every active walk's
+/// pending key (ROADMAP read-path item).
+///
+/// Each traversal issues exactly the reads (in exactly the per-walk order)
+/// the sequential single-read version issued, so per-machine query totals —
+/// and therefore the `O(S)` budget debits — are identical; only the
+/// interleaving across a machine's walks changes.  Results come back in
+/// `vertices` order.  Asserted against the single-read reference by
+/// `lockstep_traversals_debit_budget_like_single_reads`.
+fn traverse_samples<V: SnapshotView>(
+    ctx: &mut MachineContext<V>,
+    vertices: &[u32],
+    limit: usize,
+) -> Vec<Traversal> {
+    let mut tasks: Vec<WalkTask> = vertices.iter().map(|&v| WalkTask::new(v, limit)).collect();
+    let mut results: Vec<Option<Traversal>> = (0..tasks.len()).map(|_| None).collect();
+    let mut keys: Vec<Key> = Vec::with_capacity(tasks.len());
+    let mut owners: Vec<usize> = Vec::with_capacity(tasks.len());
+    let mut replies: Vec<Option<Value>> = Vec::new();
+    loop {
+        keys.clear();
+        owners.clear();
+        for (i, task) in tasks.iter().enumerate() {
+            if let Some(key) = task.pending_key() {
+                keys.push(key);
+                owners.push(i);
+            }
+        }
+        if keys.is_empty() {
+            break;
+        }
+        ctx.read_many_into(&keys, &mut replies);
+        for (reply, &i) in replies.iter().zip(owners.iter()) {
+            if let Some(traversal) = tasks[i].apply(*reply) {
+                results[i] = Some(traversal);
+            }
+        }
+    }
+    results
+        .into_iter()
+        .map(|t| t.expect("every traversal terminates"))
+        .collect()
 }
 
 /// Internal driver state shared by the 2-Cycle and cycle-connectivity
@@ -135,8 +292,8 @@ pub(crate) struct ShrinkState {
 
 /// Run `Shrink(G, ε/2, ·)` until at most `target` vertices remain (or the
 /// iteration cap is reached).  Returns the contracted state.
-pub(crate) fn shrink_cycles(
-    runtime: &mut AmpcRuntime,
+pub(crate) fn shrink_cycles<B: DdsBackend>(
+    runtime: &mut AmpcRuntime<B>,
     mut state: ShrinkState,
     n_original: usize,
     epsilon: f64,
@@ -181,34 +338,7 @@ pub(crate) fn shrink_cycles(
         let limit = alive.len() + 2;
         let traversals: Vec<Vec<Traversal>> = runtime
             .run_round(machines, |ctx| {
-                let mut results = Vec::new();
-                for &v in &assignments[ctx.machine_id()] {
-                    let nbrs = ctx
-                        .read(cycle_key(v))
-                        .expect("sampled vertex missing adjacency");
-                    let (a, b) = (nbrs.x as u32, nbrs.y as u32);
-                    let (left_end, mut covered) = walk(ctx, v, a, limit);
-                    if left_end == v {
-                        // The walk wrapped the whole cycle; no need to walk
-                        // the other direction.
-                        results.push(Traversal {
-                            vertex: v,
-                            left_end: v,
-                            right_end: v,
-                            covered,
-                        });
-                        continue;
-                    }
-                    let (right_end, covered_right) = walk(ctx, v, b, limit);
-                    covered.extend(covered_right);
-                    results.push(Traversal {
-                        vertex: v,
-                        left_end,
-                        right_end,
-                        covered,
-                    });
-                }
-                results
+                traverse_samples(ctx, &assignments[ctx.machine_id()], limit)
             })
             .expect("shrink round failed");
 
@@ -278,9 +408,155 @@ fn count_cycles(nbrs: &CycleNeighbors) -> usize {
     cycles
 }
 
-/// Default runtime for a cycle problem on `n` vertices.
-fn runtime_for(n: usize, m: usize, epsilon: f64, seed: u64) -> AmpcRuntime {
-    AmpcRuntime::new(AmpcConfig::for_graph(n, m, epsilon).with_seed(seed))
+/// Phase of one lockstep minimum-priority election walk.
+enum ElectPhase {
+    /// Read `priority_key(v)` and `cycle_key(v)` (one two-key flight; the
+    /// single-read path issued the same two queries back to back).
+    NeedInit,
+    /// Read `priority_key(cur)`.
+    NeedPriority,
+    /// Read `cycle_key(cur)`.
+    NeedStep,
+    /// Walk finished; `stop` holds the result.
+    Done,
+}
+
+/// Lockstep state of one vertex's election walk (Algorithm 10, step 3).
+struct ElectTask {
+    v: u32,
+    phase: ElectPhase,
+    my_priority: u64,
+    prev: u32,
+    cur: u32,
+    steps_left: usize,
+    stop: u32,
+}
+
+impl ElectTask {
+    fn new(v: u32, limit: usize) -> Self {
+        ElectTask {
+            v,
+            phase: ElectPhase::NeedInit,
+            my_priority: 0,
+            prev: v,
+            cur: v,
+            steps_left: limit,
+            stop: v,
+        }
+    }
+
+    /// Loop-head checks that need no read (wrap, iteration limit).
+    fn enter_iteration(&mut self) {
+        if self.cur == self.v || self.steps_left == 0 {
+            self.phase = ElectPhase::Done; // wrapped: v is its cycle's minimum
+            return;
+        }
+        self.steps_left -= 1;
+        self.phase = ElectPhase::NeedPriority;
+    }
+
+    /// Keys this task needs next (at most 2, only at init).
+    fn pending_keys(&self, keys: &mut Vec<Key>, owners: &mut Vec<usize>, index: usize) {
+        match self.phase {
+            ElectPhase::NeedInit => {
+                keys.push(priority_key(self.v));
+                keys.push(cycle_key(self.v));
+                owners.push(index);
+                owners.push(index);
+            }
+            ElectPhase::NeedPriority => {
+                keys.push(priority_key(self.cur));
+                owners.push(index);
+            }
+            ElectPhase::NeedStep => {
+                keys.push(cycle_key(self.cur));
+                owners.push(index);
+            }
+            ElectPhase::Done => {}
+        }
+    }
+
+    fn apply(&mut self, reply: Option<Value>) {
+        match self.phase {
+            ElectPhase::NeedInit => {
+                // First reply of the init pair: the priority.  The adjacency
+                // reply follows in the same flight and lands in NeedStep-like
+                // handling below via `apply_init_adjacency`.
+                self.my_priority = reply.expect("priority missing").x;
+                // Stay in NeedInit until the adjacency reply arrives.
+            }
+            ElectPhase::NeedPriority => {
+                let p = reply.expect("priority missing").x;
+                if p < self.my_priority {
+                    self.stop = self.cur;
+                    self.phase = ElectPhase::Done;
+                    return;
+                }
+                self.phase = ElectPhase::NeedStep;
+            }
+            ElectPhase::NeedStep => {
+                let nbrs = reply.expect("cycle adjacency missing");
+                let (a, b) = (nbrs.x as u32, nbrs.y as u32);
+                let next = if a != self.prev { a } else { b };
+                if next == self.cur {
+                    self.phase = ElectPhase::Done;
+                    return;
+                }
+                self.prev = self.cur;
+                self.cur = next;
+                self.enter_iteration();
+            }
+            ElectPhase::Done => unreachable!("finished task polled"),
+        }
+    }
+
+    /// Second reply of the init pair: the walk's starting adjacency.
+    fn apply_init_adjacency(&mut self, reply: Option<Value>) {
+        let nbrs = reply.expect("cycle adjacency missing");
+        self.prev = self.v;
+        self.cur = nbrs.x as u32;
+        self.enter_iteration();
+    }
+}
+
+/// Run every assigned vertex's election walk in lockstep, one batched
+/// flight per tick (same read sequence per walk as the single-read path, so
+/// budgets debit identically).  Returns `(v, representative)` pairs in
+/// `vertices` order.
+fn elect_minima<V: SnapshotView>(
+    ctx: &mut MachineContext<V>,
+    vertices: &[u32],
+    limit: usize,
+) -> Vec<(u32, u32)> {
+    let mut tasks: Vec<ElectTask> = vertices.iter().map(|&v| ElectTask::new(v, limit)).collect();
+    let mut keys: Vec<Key> = Vec::with_capacity(2 * tasks.len());
+    let mut owners: Vec<usize> = Vec::with_capacity(2 * tasks.len());
+    let mut replies: Vec<Option<Value>> = Vec::new();
+    loop {
+        keys.clear();
+        owners.clear();
+        for (i, task) in tasks.iter().enumerate() {
+            task.pending_keys(&mut keys, &mut owners, i);
+        }
+        if keys.is_empty() {
+            break;
+        }
+        ctx.read_many_into(&keys, &mut replies);
+        let mut slot = 0usize;
+        while slot < owners.len() {
+            let i = owners[slot];
+            if matches!(tasks[i].phase, ElectPhase::NeedInit) {
+                // Init pairs occupy two adjacent slots of the flight.
+                tasks[i].apply(replies[slot]);
+                tasks[i].apply_init_adjacency(replies[slot + 1]);
+                slot += 2;
+            } else {
+                tasks[i].apply(replies[slot]);
+                slot += 1;
+            }
+        }
+    }
+    tasks.into_iter().map(|t| (t.v, t.stop)).collect()
 }
 
 /// Algorithm 2: solve the 2-Cycle problem in `O(1/ε)` AMPC rounds.
@@ -289,8 +565,27 @@ fn runtime_for(n: usize, m: usize, epsilon: f64, seed: u64) -> AmpcRuntime {
 /// If the input is not a disjoint union of one or two cycles.
 pub fn two_cycle(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResult<TwoCycleAnswer> {
     let n = graph.num_vertices();
+    let m = graph.num_edges();
+    two_cycle_with(graph, &AmpcConfig::for_graph(n, m, epsilon).with_seed(seed))
+}
+
+/// [`two_cycle`] with an explicit [`AmpcConfig`]: ε and seed are taken from
+/// the config, which also selects the DDS backend.
+pub fn two_cycle_with(graph: &Graph, config: &AmpcConfig) -> AlgorithmResult<TwoCycleAnswer> {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    let config = config.derive(n, n + m);
+    with_dds_backend!(config, |runtime| two_cycle_impl(graph, runtime))
+}
+
+fn two_cycle_impl<B: DdsBackend>(
+    graph: &Graph,
+    mut runtime: AmpcRuntime<B>,
+) -> AlgorithmResult<TwoCycleAnswer> {
+    let n = graph.num_vertices();
+    let epsilon = runtime.config().epsilon;
+    let seed = runtime.config().seed;
     let nbrs = cycle_neighbors_of(graph);
-    let mut runtime = runtime_for(n, graph.num_edges(), epsilon, seed);
     let target = (n as f64).powf(epsilon).ceil() as usize;
     let state = ShrinkState {
         nbrs,
@@ -322,7 +617,33 @@ pub fn cycle_connectivity_from_neighbors(
     seed: u64,
 ) -> AlgorithmResult<Vec<u32>> {
     let m = nbrs.len();
-    let mut runtime = runtime_for(n_original.max(1), m, epsilon, seed);
+    cycle_connectivity_from_neighbors_with(
+        nbrs,
+        n_original,
+        &AmpcConfig::for_graph(n_original.max(1), m, epsilon).with_seed(seed),
+    )
+}
+
+/// [`cycle_connectivity_from_neighbors`] with an explicit [`AmpcConfig`].
+pub fn cycle_connectivity_from_neighbors_with(
+    nbrs: CycleNeighbors,
+    n_original: usize,
+    config: &AmpcConfig,
+) -> AlgorithmResult<Vec<u32>> {
+    let m = nbrs.len();
+    let config = config.derive(n_original.max(1), n_original.max(1) + m);
+    with_dds_backend!(config, |runtime| cycle_connectivity_impl(
+        nbrs, n_original, runtime
+    ))
+}
+
+fn cycle_connectivity_impl<B: DdsBackend>(
+    nbrs: CycleNeighbors,
+    n_original: usize,
+    mut runtime: AmpcRuntime<B>,
+) -> AlgorithmResult<Vec<u32>> {
+    let epsilon = runtime.config().epsilon;
+    let seed = runtime.config().seed;
     let target = (n_original.max(2) as f64).powf(epsilon).ceil() as usize;
     let state = ShrinkState {
         nbrs,
@@ -361,34 +682,7 @@ pub fn cycle_connectivity_from_neighbors(
         let limit = alive.len() + 2;
         let results: Vec<Vec<(u32, u32)>> = runtime
             .run_round(machines, |ctx| {
-                let mut out = Vec::new();
-                for &v in &assignments[ctx.machine_id()] {
-                    let my_priority = ctx.read(priority_key(v)).expect("priority missing").x;
-                    let nbrs = ctx.read(cycle_key(v)).expect("cycle adjacency missing");
-                    let mut prev = v;
-                    let mut cur = nbrs.x as u32;
-                    let mut stop = v;
-                    for _ in 0..limit {
-                        if cur == v {
-                            break; // wrapped: v is the minimum of its cycle
-                        }
-                        let p = ctx.read(priority_key(cur)).expect("priority missing").x;
-                        if p < my_priority {
-                            stop = cur;
-                            break;
-                        }
-                        let next_nbrs = ctx.read(cycle_key(cur)).expect("cycle adjacency missing");
-                        let (a, b) = (next_nbrs.x as u32, next_nbrs.y as u32);
-                        let next = if a != prev { a } else { b };
-                        if next == cur {
-                            break;
-                        }
-                        prev = cur;
-                        cur = next;
-                    }
-                    out.push((v, stop));
-                }
-                out
+                elect_minima(ctx, &assignments[ctx.machine_id()], limit)
             })
             .expect("cycle connectivity round failed");
         for pair in results.into_iter().flatten() {
@@ -420,6 +714,12 @@ pub fn cycle_connectivity_from_neighbors(
 pub fn cycle_connectivity(graph: &Graph, epsilon: f64, seed: u64) -> AlgorithmResult<Vec<u32>> {
     let nbrs = cycle_neighbors_of(graph);
     cycle_connectivity_from_neighbors(nbrs, graph.num_vertices(), epsilon, seed)
+}
+
+/// [`cycle_connectivity`] with an explicit [`AmpcConfig`].
+pub fn cycle_connectivity_with(graph: &Graph, config: &AmpcConfig) -> AlgorithmResult<Vec<u32>> {
+    let nbrs = cycle_neighbors_of(graph);
+    cycle_connectivity_from_neighbors_with(nbrs, graph.num_vertices(), config)
 }
 
 #[cfg(test)]
@@ -489,7 +789,7 @@ mod tests {
     fn shrink_reduces_vertex_count() {
         let g = generators::cycle(4000);
         let n = g.num_vertices();
-        let mut runtime = runtime_for(n, n, 0.5, 9);
+        let mut runtime = AmpcRuntime::new(AmpcConfig::for_graph(n, n, 0.5).with_seed(9));
         let state = ShrinkState {
             nbrs: cycle_neighbors_of(&g),
             assign: (0..n as u32).collect(),
@@ -521,6 +821,202 @@ mod tests {
     fn non_cycle_input_rejected() {
         let g = generators::path(10);
         let _ = two_cycle(&g, 0.5, 0);
+    }
+
+    /// The pre-migration sequential walk, kept as the budget reference.
+    fn reference_walk<V: SnapshotView>(
+        ctx: &mut MachineContext<V>,
+        start: u32,
+        first: u32,
+        limit: usize,
+    ) -> (u32, Vec<u32>) {
+        let mut covered = Vec::new();
+        let mut prev = start;
+        let mut cur = first;
+        for _ in 0..limit {
+            if cur == start {
+                return (start, covered);
+            }
+            if ctx.read(sampled_key(cur)).is_some() {
+                return (cur, covered);
+            }
+            covered.push(cur);
+            let nbrs = ctx
+                .read(cycle_key(cur))
+                .expect("cycle adjacency missing from DDS");
+            let (a, b) = (nbrs.x as u32, nbrs.y as u32);
+            let next = if a != prev {
+                a
+            } else if b != prev {
+                b
+            } else {
+                return (start, covered);
+            };
+            prev = cur;
+            cur = next;
+        }
+        (start, covered)
+    }
+
+    fn reference_traversals<V: SnapshotView>(
+        ctx: &mut MachineContext<V>,
+        vertices: &[u32],
+        limit: usize,
+    ) -> Vec<Traversal> {
+        let mut results = Vec::new();
+        for &v in vertices {
+            let nbrs = ctx
+                .read(cycle_key(v))
+                .expect("sampled vertex missing adjacency");
+            let (a, b) = (nbrs.x as u32, nbrs.y as u32);
+            let (left_end, mut covered) = reference_walk(ctx, v, a, limit);
+            if left_end == v {
+                results.push(Traversal {
+                    vertex: v,
+                    left_end: v,
+                    right_end: v,
+                    covered,
+                });
+                continue;
+            }
+            let (right_end, covered_right) = reference_walk(ctx, v, b, limit);
+            covered.extend(covered_right);
+            results.push(Traversal {
+                vertex: v,
+                left_end,
+                right_end,
+                covered,
+            });
+        }
+        results
+    }
+
+    #[test]
+    fn lockstep_traversals_debit_budget_like_single_reads() {
+        // ROADMAP read-path item: the lockstep batched walks must produce
+        // the same traversals AND the same query debits as the sequential
+        // single-read walks, across cycle shapes (long cycle, short cycles,
+        // two-vertex cycle, self-loop).
+        let mut nbrs = CycleNeighbors::default();
+        for len in [40usize, 3, 2, 1, 17] {
+            let offset = nbrs.len() as u32;
+            for i in 0..len as u32 {
+                let prev = offset + (i + len as u32 - 1) % len as u32;
+                let next = offset + (i + 1) % len as u32;
+                nbrs.insert(offset + i, (prev, next));
+            }
+        }
+        let n = nbrs.len();
+        let sampled: Vec<u32> = vec![0, 5, 20, 40, 43, 45, 46];
+        let limit = n + 2;
+
+        let run = |lockstep: bool| {
+            let config = AmpcConfig::for_graph(n, n, 0.5).with_seed(3);
+            let mut runtime = AmpcRuntime::new(config);
+            let mut pairs: Vec<(Key, Value)> = Vec::new();
+            for (&v, &(a, b)) in &nbrs {
+                pairs.push((cycle_key(v), Value::pair(a as u64, b as u64)));
+            }
+            for &v in &sampled {
+                pairs.push((sampled_key(v), Value::scalar(1)));
+            }
+            runtime.scatter(pairs);
+            let out = runtime
+                .run_round(1, |ctx| {
+                    let traversals = if lockstep {
+                        traverse_samples(ctx, &sampled, limit)
+                    } else {
+                        reference_traversals(ctx, &sampled, limit)
+                    };
+                    (traversals, ctx.queries_issued())
+                })
+                .unwrap();
+            out.into_iter().next().unwrap()
+        };
+        let (lockstep, lockstep_queries) = run(true);
+        let (reference, reference_queries) = run(false);
+        assert_eq!(lockstep, reference);
+        assert_eq!(lockstep_queries, reference_queries);
+    }
+
+    #[test]
+    fn lockstep_election_debits_budget_like_single_reads() {
+        // Election walks: same (v, representative) pairs and same query
+        // debits as the sequential priority-chasing loop.
+        let mut nbrs = CycleNeighbors::default();
+        for len in [12usize, 5, 2, 1] {
+            let offset = nbrs.len() as u32;
+            for i in 0..len as u32 {
+                let prev = offset + (i + len as u32 - 1) % len as u32;
+                let next = offset + (i + 1) % len as u32;
+                nbrs.insert(offset + i, (prev, next));
+            }
+        }
+        let n = nbrs.len();
+        let alive: Vec<u32> = {
+            let mut v: Vec<u32> = nbrs.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let mut rng = StdRng::seed_from_u64(0x7e57);
+        let priority: FxHashMap<u32, u64> = alive.iter().map(|&v| (v, rng.gen())).collect();
+        let limit = n + 2;
+
+        let run = |lockstep: bool| {
+            let config = AmpcConfig::for_graph(n, n, 0.5).with_seed(3);
+            let mut runtime = AmpcRuntime::new(config);
+            let mut pairs: Vec<(Key, Value)> = Vec::new();
+            for (&v, &(a, b)) in &nbrs {
+                pairs.push((cycle_key(v), Value::pair(a as u64, b as u64)));
+                pairs.push((priority_key(v), Value::scalar(priority[&v])));
+            }
+            runtime.scatter(pairs);
+            let out = runtime
+                .run_round(1, |ctx| {
+                    let elected = if lockstep {
+                        elect_minima(ctx, &alive, limit)
+                    } else {
+                        // The pre-migration sequential election loop.
+                        let mut out = Vec::new();
+                        for &v in &alive {
+                            let my_priority =
+                                ctx.read(priority_key(v)).expect("priority missing").x;
+                            let nbrs = ctx.read(cycle_key(v)).expect("adjacency missing");
+                            let mut prev = v;
+                            let mut cur = nbrs.x as u32;
+                            let mut stop = v;
+                            for _ in 0..limit {
+                                if cur == v {
+                                    break;
+                                }
+                                let p = ctx.read(priority_key(cur)).expect("priority missing").x;
+                                if p < my_priority {
+                                    stop = cur;
+                                    break;
+                                }
+                                let next_nbrs =
+                                    ctx.read(cycle_key(cur)).expect("adjacency missing");
+                                let (a, b) = (next_nbrs.x as u32, next_nbrs.y as u32);
+                                let next = if a != prev { a } else { b };
+                                if next == cur {
+                                    break;
+                                }
+                                prev = cur;
+                                cur = next;
+                            }
+                            out.push((v, stop));
+                        }
+                        out
+                    };
+                    (elected, ctx.queries_issued())
+                })
+                .unwrap();
+            out.into_iter().next().unwrap()
+        };
+        let (lockstep, lockstep_queries) = run(true);
+        let (reference, reference_queries) = run(false);
+        assert_eq!(lockstep, reference);
+        assert_eq!(lockstep_queries, reference_queries);
     }
 
     #[test]

@@ -20,12 +20,12 @@
 //! tree; the tests verify it against a sequential Hopcroft–Tarjan DFS.
 
 use crate::common::AlgorithmResult;
-use crate::connectivity::connectivity;
-use crate::euler::{root_forest, SparseTableRmq};
-use crate::msf::spanning_forest;
+use crate::connectivity::connectivity_with;
+use crate::euler::{root_forest_with, SparseTableRmq};
+use crate::msf::spanning_forest_with;
 use ampc_dds::FxHashSet;
 use ampc_graph::{Edge, Graph};
-use ampc_runtime::RunStats;
+use ampc_runtime::{AmpcConfig, RunStats};
 
 /// The BC-labeling of a graph: everything Algorithm 12 produces.
 #[derive(Clone, Debug)]
@@ -67,6 +67,22 @@ pub fn two_edge_connectivity(
     seed: u64,
 ) -> AlgorithmResult<BcLabeling> {
     let n = graph.num_vertices();
+    let m = graph.num_edges();
+    two_edge_connectivity_with(
+        graph,
+        &AmpcConfig::for_graph(n.max(1), m, epsilon).with_seed(seed),
+    )
+}
+
+/// [`two_edge_connectivity`] with an explicit [`AmpcConfig`]: ε and seed
+/// come from the config, which also selects the DDS backend for every stage
+/// of the pipeline (spanning forest, forest rooting, final connectivity).
+pub fn two_edge_connectivity_with(
+    graph: &Graph,
+    config: &AmpcConfig,
+) -> AlgorithmResult<BcLabeling> {
+    let n = graph.num_vertices();
+    let seed = config.seed;
     let mut stats = RunStats::default();
 
     if n == 0 {
@@ -82,7 +98,7 @@ pub fn two_edge_connectivity(
     }
 
     // Step 1: spanning forest (Corollary 7.2).
-    let sf = spanning_forest(graph, epsilon, seed);
+    let sf = spanning_forest_with(graph, config);
     stats.absorb(sf.stats.clone());
     let forest_edge_ids: FxHashSet<u32> = sf.output.edges.iter().map(|e| e.id).collect();
     let forest_edges: Vec<Edge> = sf
@@ -94,7 +110,7 @@ pub fn two_edge_connectivity(
     let forest = Graph::from_edges(n, &forest_edges);
 
     // Step 2: root the forest and get preorder numbers / subtree sizes.
-    let rooted = root_forest(&forest, None, epsilon, seed ^ 0x2e2e);
+    let rooted = root_forest_with(&forest, None, &config.clone().with_seed(seed ^ 0x2e2e));
     stats.absorb(rooted.stats.clone());
     let rooted = rooted.output;
 
@@ -153,7 +169,7 @@ pub fn two_edge_connectivity(
         .copied()
         .collect();
     let stripped = Graph::from_edges(n, &remaining);
-    let tecc = connectivity(&stripped, epsilon, seed ^ 0x7ecc);
+    let tecc = connectivity_with(&stripped, &config.clone().with_seed(seed ^ 0x7ecc));
     stats.absorb(tecc.stats.clone());
 
     let labeling = BcLabeling {

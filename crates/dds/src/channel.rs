@@ -1,0 +1,748 @@
+//! Message-passing DDS backend: shard groups owned by worker threads.
+//!
+//! [`ChannelBackend`] realises the [`crate::backend::DdsBackend`] surface
+//! the way a real multi-process deployment would: the shards are partitioned
+//! into groups, each group is owned by a dedicated worker thread, and every
+//! operation — commit, epoch advance, read — is a message over an in-process
+//! channel.  No shard data is ever touched by more than one thread, so the
+//! workers need no locks at all; ordering is carried entirely by channel
+//! FIFO:
+//!
+//! * the backend sends `Commit` batches in (machine id, write order) and the
+//!   owner applies them in arrival order, so per-key multi-value indices are
+//!   identical to [`crate::backend::LocalBackend`]'s;
+//! * `Advance` is fire-and-forget: any read for the new epoch is sent
+//!   *after* the advance on the same channel, so the owner is guaranteed to
+//!   have frozen the epoch before serving it.
+//!
+//! Reads from machine threads go through [`ChannelSnapshot`], a cheap
+//! cloneable handle.  A batched read ([`SnapshotView::get_many_slice`])
+//! groups its keys by owner and sends **one request per worker per flight**
+//! — the request/response batching a networked backend would use to hide
+//! latency — while still counting one query per key, exactly like every
+//! other backend.
+//!
+//! Worker threads exit when the last handle (backend or view) referencing
+//! their channel is dropped; views therefore stay valid for as long as the
+//! caller keeps them, even after the runtime that created them is gone.
+
+use crate::backend::{DdsBackend, SnapshotView};
+use crate::hashing::{hash_words, FxHashMap};
+use crate::key::{Key, Value};
+use crate::slot::{Slot, WriteSlot};
+use crate::stats::{ShardLoad, StoreStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+/// One read operation inside a batched request.  The `u32` is the caller's
+/// position in its flight, echoed back so replies can arrive per worker.
+enum ReadOp {
+    Get(Key),
+    GetIndexed(Key, u64),
+    Multiplicity(Key),
+    GetAll(Key),
+}
+
+/// Reply to one [`ReadOp`], in the same order as the request's ops.
+enum ReadReply {
+    Value(Option<Value>),
+    Count(u64),
+    Values(Vec<Value>),
+}
+
+/// Messages a shard-group owner thread understands.
+enum Request {
+    /// Apply shard-partitioned pairs to the current (writable) epoch.
+    /// `batches[i]` = (local shard index, pairs in commit order).
+    Commit(Vec<(usize, Vec<(Key, Value)>)>),
+    /// Freeze the writable epoch and open the next one.
+    Advance,
+    /// Serve a batch of reads against a completed epoch.
+    Read {
+        epoch: usize,
+        ops: Vec<(u32, ReadOp)>,
+        reply: Sender<Vec<(u32, ReadReply)>>,
+    },
+    /// Report per-shard loads (keys/writes/reads) of a completed epoch,
+    /// keyed by global shard id.
+    Loads {
+        epoch: usize,
+        reply: Sender<Vec<ShardLoad>>,
+    },
+    /// Dump every (key, values) pair of a completed epoch (driver/tests).
+    Dump {
+        epoch: usize,
+        reply: Sender<Vec<(Key, Vec<Value>)>>,
+    },
+    /// Report total writes accepted so far (all epochs, incl. writable).
+    TotalWrites { reply: Sender<u64> },
+}
+
+/// One frozen epoch inside a worker: compact maps plus its accounting.
+struct FrozenEpoch {
+    /// `shards[local]` — compact frozen map of the group's `local`-th shard.
+    shards: Vec<FxHashMap<Key, Slot>>,
+    /// Writes that built each shard.
+    writes: Vec<u64>,
+    /// Reads served per shard since the epoch froze.
+    reads: Vec<u64>,
+}
+
+/// The single-threaded state of one shard-group owner.
+struct Worker {
+    /// Shards in the whole store (all workers together).
+    num_shards: usize,
+    /// Worker threads in the whole store (the ownership stride).
+    num_workers: usize,
+    /// Global shard ids owned by this worker (ascending).
+    shard_ids: Vec<usize>,
+    /// Writable maps of the current epoch, one per owned shard.
+    writable: Vec<FxHashMap<Key, WriteSlot>>,
+    /// Writes accepted into the current epoch, per owned shard.
+    writable_writes: Vec<u64>,
+    /// Completed epochs, in order.
+    frozen: Vec<FrozenEpoch>,
+    /// Total writes accepted across all epochs.
+    total_writes: u64,
+}
+
+impl Worker {
+    fn run(mut self, requests: Receiver<Request>) {
+        // Exit when every sender (backend + all views) is gone.
+        while let Ok(request) = requests.recv() {
+            match request {
+                Request::Commit(batches) => {
+                    for (local, pairs) in batches {
+                        self.writable_writes[local] += pairs.len() as u64;
+                        self.total_writes += pairs.len() as u64;
+                        let map = &mut self.writable[local];
+                        map.reserve(pairs.len());
+                        for (key, value) in pairs {
+                            match map.entry(key) {
+                                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                                    slot.get_mut().push(value)
+                                }
+                                std::collections::hash_map::Entry::Vacant(slot) => {
+                                    slot.insert(WriteSlot::One(value));
+                                }
+                            }
+                        }
+                    }
+                }
+                Request::Advance => {
+                    let shard_count = self.shard_ids.len();
+                    let shards = std::mem::replace(
+                        &mut self.writable,
+                        (0..shard_count).map(|_| FxHashMap::default()).collect(),
+                    )
+                    .into_iter()
+                    .map(|map| {
+                        let mut frozen =
+                            FxHashMap::with_capacity_and_hasher(map.len(), Default::default());
+                        for (key, slot) in map {
+                            frozen.insert(key, slot.freeze());
+                        }
+                        frozen
+                    })
+                    .collect();
+                    let writes = std::mem::replace(&mut self.writable_writes, vec![0; shard_count]);
+                    self.frozen.push(FrozenEpoch {
+                        shards,
+                        writes,
+                        reads: vec![0; shard_count],
+                    });
+                }
+                Request::Read { epoch, ops, reply } => {
+                    let (num_shards, num_workers) = (self.num_shards, self.num_workers);
+                    let epoch = &mut self.frozen[epoch];
+                    let replies = ops
+                        .into_iter()
+                        .map(|(tag, op)| (tag, Self::serve(epoch, num_shards, num_workers, op)))
+                        .collect();
+                    // A dropped requester is not an error for the owner.
+                    let _ = reply.send(replies);
+                }
+                Request::Loads { epoch, reply } => {
+                    let epoch = &self.frozen[epoch];
+                    let loads = self
+                        .shard_ids
+                        .iter()
+                        .enumerate()
+                        .map(|(local, &shard)| ShardLoad {
+                            shard,
+                            keys: epoch.shards[local].len() as u64,
+                            writes: epoch.writes[local],
+                            reads: epoch.reads[local],
+                        })
+                        .collect();
+                    let _ = reply.send(loads);
+                }
+                Request::Dump { epoch, reply } => {
+                    let epoch = &self.frozen[epoch];
+                    let mut entries = Vec::new();
+                    for shard in &epoch.shards {
+                        for (key, slot) in shard {
+                            entries.push((*key, slot.as_slice().to_vec()));
+                        }
+                    }
+                    let _ = reply.send(entries);
+                }
+                Request::TotalWrites { reply } => {
+                    let _ = reply.send(self.total_writes);
+                }
+            }
+        }
+    }
+
+    /// Serve one read against a frozen epoch, debiting its read counters
+    /// with the same costs as [`crate::Snapshot`] (misses count too).
+    ///
+    /// Shard `s` is owned by worker `s % num_workers` as its local shard
+    /// `s / num_workers`, so the owner re-derives the local index from the
+    /// key alone — the sender already routed the key here, the hash agrees.
+    fn serve(
+        epoch: &mut FrozenEpoch,
+        num_shards: usize,
+        num_workers: usize,
+        op: ReadOp,
+    ) -> ReadReply {
+        let local_of = |key: &Key| {
+            (hash_words(key.tag.code(), key.a, key.b) % num_shards as u64) as usize / num_workers
+        };
+        match op {
+            ReadOp::Get(ref key) => {
+                let local = local_of(key);
+                epoch.reads[local] += 1;
+                ReadReply::Value(epoch.shards[local].get(key).map(Slot::first))
+            }
+            ReadOp::GetIndexed(ref key, index) => {
+                let local = local_of(key);
+                epoch.reads[local] += 1;
+                ReadReply::Value(
+                    epoch.shards[local]
+                        .get(key)
+                        .and_then(|slot| slot.get(index as usize)),
+                )
+            }
+            ReadOp::Multiplicity(ref key) => {
+                let local = local_of(key);
+                epoch.reads[local] += 1;
+                ReadReply::Count(epoch.shards[local].get(key).map_or(0, Slot::len) as u64)
+            }
+            ReadOp::GetAll(ref key) => {
+                let local = local_of(key);
+                let values = epoch.shards[local]
+                    .get(key)
+                    .map(|slot| slot.as_slice().to_vec())
+                    .unwrap_or_default();
+                epoch.reads[local] += values.len().max(1) as u64;
+                ReadReply::Values(values)
+            }
+        }
+    }
+}
+
+/// Routing data shared by the backend and every view it hands out.
+struct Router {
+    senders: Vec<Sender<Request>>,
+    num_shards: usize,
+}
+
+impl Router {
+    #[inline]
+    fn shard_of(&self, key: &Key) -> usize {
+        (hash_words(key.tag.code(), key.a, key.b) % self.num_shards as u64) as usize
+    }
+
+    /// (worker, local shard index) owning `key`.
+    #[inline]
+    fn route(&self, key: &Key) -> (usize, usize) {
+        let shard = self.shard_of(key);
+        (shard % self.senders.len(), shard / self.senders.len())
+    }
+}
+
+/// A multi-worker, message-passing DDS backend over in-process channels.
+///
+/// See the [module docs](self) for the design; select it through
+/// `ampc_runtime::AmpcConfig` rather than constructing it directly.
+pub struct ChannelBackend {
+    router: Arc<Router>,
+    completed: usize,
+}
+
+impl ChannelBackend {
+    /// Spawn a backend with `num_shards` shards owned by up to `workers`
+    /// threads (clamped to `[1, num_shards]`).
+    pub fn new(num_shards: usize, workers: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let workers = workers.clamp(1, num_shards);
+        let mut senders = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let shard_ids: Vec<usize> = (worker..num_shards).step_by(workers).collect();
+            let (tx, rx) = channel();
+            let state = Worker {
+                num_shards,
+                num_workers: workers,
+                writable: (0..shard_ids.len()).map(|_| FxHashMap::default()).collect(),
+                writable_writes: vec![0; shard_ids.len()],
+                shard_ids,
+                frozen: Vec::new(),
+                total_writes: 0,
+            };
+            std::thread::Builder::new()
+                .name(format!("dds-owner-{worker}"))
+                .spawn(move || state.run(rx))
+                .expect("spawning DDS owner thread");
+            senders.push(tx);
+        }
+        ChannelBackend {
+            router: Arc::new(Router {
+                senders,
+                num_shards,
+            }),
+            completed: 0,
+        }
+    }
+
+    /// Number of owner threads serving the shards.
+    pub fn num_workers(&self) -> usize {
+        self.router.senders.len()
+    }
+
+    fn send(&self, worker: usize, request: Request) {
+        self.router.senders[worker]
+            .send(request)
+            .expect("DDS owner thread exited while the backend is alive");
+    }
+}
+
+impl DdsBackend for ChannelBackend {
+    type View = ChannelSnapshot;
+
+    fn with_shards(num_shards: usize, threads: usize) -> Self {
+        ChannelBackend::new(num_shards, threads)
+    }
+
+    fn num_shards(&self) -> usize {
+        self.router.num_shards
+    }
+
+    fn empty_view(&self) -> ChannelSnapshot {
+        ChannelSnapshot {
+            inner: Arc::new(ViewInner {
+                router: self.router.clone(),
+                epoch: None,
+                empty_reads: (0..self.router.num_shards)
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
+            }),
+        }
+    }
+
+    fn commit_round(&mut self, batches: Vec<Vec<(Key, Value)>>, _threads: usize) {
+        // Partition the ordered batches into per-(worker, local shard)
+        // buckets.  Concatenation order is preserved bucket-wise, which —
+        // keys living on exactly one shard — preserves every key's
+        // multi-value index order.
+        let workers = self.router.senders.len();
+        type WorkerBuckets = Vec<(usize, Vec<(Key, Value)>)>;
+        let mut buckets: Vec<WorkerBuckets> = vec![Vec::new(); workers];
+        let mut bucket_index: FxHashMap<(usize, usize), usize> = FxHashMap::default();
+        for batch in batches {
+            for (key, value) in batch {
+                let (worker, local) = self.router.route(&key);
+                let slot = *bucket_index.entry((worker, local)).or_insert_with(|| {
+                    buckets[worker].push((local, Vec::new()));
+                    buckets[worker].len() - 1
+                });
+                buckets[worker][slot].1.push((key, value));
+            }
+        }
+        for (worker, batches) in buckets.into_iter().enumerate() {
+            if !batches.is_empty() {
+                self.send(worker, Request::Commit(batches));
+            }
+        }
+    }
+
+    fn advance(&mut self, _threads: usize) -> ChannelSnapshot {
+        for worker in 0..self.router.senders.len() {
+            self.send(worker, Request::Advance);
+        }
+        let epoch = self.completed;
+        self.completed += 1;
+        // Channel FIFO makes this safe without an ack: any read the caller
+        // issues through the returned view is sent after the `Advance` on
+        // the same channel, so the owner freezes the epoch first.
+        ChannelSnapshot {
+            inner: Arc::new(ViewInner {
+                router: self.router.clone(),
+                epoch: Some(epoch),
+                empty_reads: Vec::new(),
+            }),
+        }
+    }
+
+    fn completed_epochs(&self) -> usize {
+        self.completed
+    }
+
+    fn total_writes(&self) -> u64 {
+        let mut total = 0;
+        for worker in 0..self.router.senders.len() {
+            let (tx, rx) = channel();
+            self.send(worker, Request::TotalWrites { reply: tx });
+            total += rx.recv().expect("DDS owner thread exited");
+        }
+        total
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "channel"
+    }
+}
+
+/// State shared by every clone of a [`ChannelSnapshot`].
+struct ViewInner {
+    router: Arc<Router>,
+    /// Completed epoch served, or `None` for the pre-input empty view.
+    epoch: Option<usize>,
+    /// Read accounting of the empty view (per shard); frozen epochs count
+    /// inside their owner instead.
+    empty_reads: Vec<AtomicU64>,
+}
+
+/// Read view of one completed [`ChannelBackend`] epoch.
+///
+/// Cloning is an `Arc` bump; clones share the owner channels and therefore
+/// the read accounting.  Every lookup is a channel round-trip to the shard's
+/// owner thread; batched lookups coalesce into one request per owner.
+#[derive(Clone)]
+pub struct ChannelSnapshot {
+    inner: Arc<ViewInner>,
+}
+
+impl ChannelSnapshot {
+    /// Send one read op for `key` and wait for the reply.
+    fn request_one(&self, op: ReadOp) -> ReadReply {
+        let key = match &op {
+            ReadOp::Get(key)
+            | ReadOp::GetIndexed(key, _)
+            | ReadOp::Multiplicity(key)
+            | ReadOp::GetAll(key) => key,
+        };
+        let Some(epoch) = self.inner.epoch else {
+            // Empty view: every lookup misses; count one query per op, like
+            // an empty Snapshot does (a missing key's get_all costs 1).
+            let shard = self.inner.router.shard_of(key);
+            self.inner.empty_reads[shard].fetch_add(1, Ordering::Relaxed);
+            return match op {
+                ReadOp::Get(_) | ReadOp::GetIndexed(_, _) => ReadReply::Value(None),
+                ReadOp::Multiplicity(_) => ReadReply::Count(0),
+                ReadOp::GetAll(_) => ReadReply::Values(Vec::new()),
+            };
+        };
+        let (worker, _) = self.inner.router.route(key);
+        let (tx, rx) = channel();
+        self.inner.router.senders[worker]
+            .send(Request::Read {
+                epoch,
+                ops: vec![(0, op)],
+                reply: tx,
+            })
+            .expect("DDS owner thread exited while a view is alive");
+        let mut replies = rx.recv().expect("DDS owner thread exited");
+        replies.pop().expect("one reply per op").1
+    }
+
+    fn loads(&self) -> Vec<ShardLoad> {
+        let Some(epoch) = self.inner.epoch else {
+            return self
+                .inner
+                .empty_reads
+                .iter()
+                .enumerate()
+                .map(|(shard, reads)| ShardLoad {
+                    shard,
+                    keys: 0,
+                    writes: 0,
+                    reads: reads.load(Ordering::Relaxed),
+                })
+                .collect();
+        };
+        let mut receivers = Vec::new();
+        for sender in &self.inner.router.senders {
+            let (tx, rx) = channel();
+            sender
+                .send(Request::Loads { epoch, reply: tx })
+                .expect("DDS owner thread exited while a view is alive");
+            receivers.push(rx);
+        }
+        let mut loads: Vec<ShardLoad> = receivers
+            .into_iter()
+            .flat_map(|rx| rx.recv().expect("DDS owner thread exited"))
+            .collect();
+        loads.sort_by_key(|load| load.shard);
+        loads
+    }
+}
+
+impl SnapshotView for ChannelSnapshot {
+    fn num_shards(&self) -> usize {
+        self.inner.router.num_shards
+    }
+
+    fn get(&self, key: &Key) -> Option<Value> {
+        match self.request_one(ReadOp::Get(*key)) {
+            ReadReply::Value(value) => value,
+            _ => unreachable!("Get replies with Value"),
+        }
+    }
+
+    fn get_indexed(&self, key: &Key, index: usize) -> Option<Value> {
+        match self.request_one(ReadOp::GetIndexed(*key, index as u64)) {
+            ReadReply::Value(value) => value,
+            _ => unreachable!("GetIndexed replies with Value"),
+        }
+    }
+
+    fn get_all(&self, key: &Key) -> Vec<Value> {
+        match self.request_one(ReadOp::GetAll(*key)) {
+            ReadReply::Values(values) => values,
+            _ => unreachable!("GetAll replies with Values"),
+        }
+    }
+
+    fn multiplicity(&self, key: &Key) -> usize {
+        match self.request_one(ReadOp::Multiplicity(*key)) {
+            ReadReply::Count(count) => count as usize,
+            _ => unreachable!("Multiplicity replies with Count"),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.loads().iter().map(|load| load.keys as usize).sum()
+    }
+
+    fn get_many_slice(&self, keys: &[Key], out: &mut [Option<Value>]) {
+        assert!(
+            out.len() >= keys.len(),
+            "output slice shorter than key batch"
+        );
+        let Some(epoch) = self.inner.epoch else {
+            for (key, slot) in keys.iter().zip(out.iter_mut()) {
+                let shard = self.inner.router.shard_of(key);
+                self.inner.empty_reads[shard].fetch_add(1, Ordering::Relaxed);
+                *slot = None;
+            }
+            return;
+        };
+        // One request per owner, all in flight at once — the batching a
+        // networked deployment would use to hide round-trip latency.
+        let workers = self.inner.router.senders.len();
+        let mut per_worker: Vec<Vec<(u32, ReadOp)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, key) in keys.iter().enumerate() {
+            let (worker, _) = self.inner.router.route(key);
+            per_worker[worker].push((i as u32, ReadOp::Get(*key)));
+        }
+        let mut receivers = Vec::new();
+        for (worker, ops) in per_worker.into_iter().enumerate() {
+            if ops.is_empty() {
+                continue;
+            }
+            let (tx, rx) = channel();
+            self.inner.router.senders[worker]
+                .send(Request::Read {
+                    epoch,
+                    ops,
+                    reply: tx,
+                })
+                .expect("DDS owner thread exited while a view is alive");
+            receivers.push(rx);
+        }
+        for rx in receivers {
+            for (i, reply) in rx.recv().expect("DDS owner thread exited") {
+                let ReadReply::Value(value) = reply else {
+                    unreachable!("Get replies with Value");
+                };
+                out[i as usize] = value;
+            }
+        }
+    }
+
+    fn total_reads(&self) -> u64 {
+        self.loads().iter().map(|load| load.reads).sum()
+    }
+
+    fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.loads()
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats::from_loads(self.loads())
+    }
+
+    fn entries(&self) -> Vec<(Key, Vec<Value>)> {
+        let Some(epoch) = self.inner.epoch else {
+            return Vec::new();
+        };
+        let mut receivers = Vec::new();
+        for sender in &self.inner.router.senders {
+            let (tx, rx) = channel();
+            sender
+                .send(Request::Dump { epoch, reply: tx })
+                .expect("DDS owner thread exited while a view is alive");
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .flat_map(|rx| rx.recv().expect("DDS owner thread exited"))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for ChannelSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelSnapshot")
+            .field("num_shards", &self.inner.router.num_shards)
+            .field("epoch", &self.inner.epoch)
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for ChannelBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelBackend")
+            .field("num_shards", &self.router.num_shards)
+            .field("workers", &self.router.senders.len())
+            .field("completed_epochs", &self.completed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyTag;
+
+    fn k(a: u64) -> Key {
+        Key::of(KeyTag::Scalar, a)
+    }
+
+    fn backend_with(pairs: &[(u64, u64)], shards: usize, workers: usize) -> ChannelBackend {
+        let mut backend = ChannelBackend::new(shards, workers);
+        let batch: Vec<(Key, Value)> = pairs
+            .iter()
+            .map(|&(key, value)| (k(key), Value::scalar(value)))
+            .collect();
+        backend.commit_round(vec![batch], 1);
+        backend
+    }
+
+    #[test]
+    fn reads_round_trip_through_owner_threads() {
+        let mut backend = backend_with(&[(1, 10), (2, 20), (3, 30)], 8, 3);
+        let view = backend.advance(1);
+        assert_eq!(view.get(&k(1)), Some(Value::scalar(10)));
+        assert_eq!(view.get(&k(4)), None);
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.total_reads(), 2);
+    }
+
+    #[test]
+    fn multi_value_order_is_commit_order_across_machine_batches() {
+        let mut backend = ChannelBackend::new(4, 2);
+        backend.commit_round(
+            vec![
+                vec![(k(9), Value::scalar(0)), (k(9), Value::scalar(1))],
+                vec![(k(9), Value::scalar(2))],
+            ],
+            1,
+        );
+        let view = backend.advance(1);
+        assert_eq!(view.multiplicity(&k(9)), 3);
+        for i in 0..3usize {
+            assert_eq!(view.get_indexed(&k(9), i), Some(Value::scalar(i as u64)));
+        }
+        assert_eq!(view.get_indexed(&k(9), 3), None);
+        assert_eq!(
+            view.get_all(&k(9)),
+            vec![Value::scalar(0), Value::scalar(1), Value::scalar(2)]
+        );
+    }
+
+    #[test]
+    fn epochs_are_isolated() {
+        let mut backend = backend_with(&[(1, 1)], 4, 2);
+        let d0 = backend.advance(1);
+        backend.commit_round(vec![vec![(k(2), Value::scalar(2))]], 1);
+        let d1 = backend.advance(1);
+        assert_eq!(d0.get(&k(1)), Some(Value::scalar(1)));
+        assert_eq!(d0.get(&k(2)), None);
+        assert_eq!(d1.get(&k(1)), None);
+        assert_eq!(d1.get(&k(2)), Some(Value::scalar(2)));
+        assert_eq!(backend.completed_epochs(), 2);
+        assert_eq!(backend.total_writes(), 2);
+    }
+
+    #[test]
+    fn batched_reads_fan_out_per_owner_and_count_per_key() {
+        let pairs: Vec<(u64, u64)> = (0..200).map(|i| (i, i * 7)).collect();
+        let mut backend = backend_with(&pairs, 16, 4);
+        let view = backend.advance(1);
+        let keys: Vec<Key> = (0..300u64).map(k).collect();
+        let mut out = Vec::new();
+        view.get_many(&keys, &mut out);
+        for (i, slot) in out.iter().enumerate() {
+            let expected = if i < 200 {
+                Some(Value::scalar(i as u64 * 7))
+            } else {
+                None
+            };
+            assert_eq!(*slot, expected, "key {i}");
+        }
+        assert_eq!(view.total_reads(), 300);
+    }
+
+    #[test]
+    fn views_survive_the_backend() {
+        let view = {
+            let mut backend = backend_with(&[(5, 50)], 4, 2);
+            backend.advance(1)
+        };
+        // The backend (and runtime) are gone; the owners stay alive for the
+        // view's reads.
+        assert_eq!(view.get(&k(5)), Some(Value::scalar(50)));
+    }
+
+    #[test]
+    fn empty_view_misses_and_counts() {
+        let backend = ChannelBackend::new(4, 2);
+        let view = backend.empty_view();
+        assert!(view.is_empty());
+        assert_eq!(view.get(&k(1)), None);
+        assert_eq!(view.multiplicity(&k(2)), 0);
+        assert_eq!(view.total_reads(), 2);
+    }
+
+    #[test]
+    fn concurrent_clones_share_owners() {
+        let pairs: Vec<(u64, u64)> = (0..500).map(|i| (i, i)).collect();
+        let mut backend = backend_with(&pairs, 8, 4);
+        let view = backend.advance(1);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let view = view.clone();
+                scope.spawn(move || {
+                    for i in 0..125u64 {
+                        let key = t * 125 + i;
+                        assert_eq!(view.get(&k(key)), Some(Value::scalar(key)));
+                    }
+                });
+            }
+        });
+        assert_eq!(view.total_reads(), 500);
+    }
+}

@@ -68,13 +68,23 @@ impl DdsChain {
     /// once and committing distinct shards in parallel on up to `threads`
     /// workers.  Per-key multi-value index order is the concatenation order
     /// of the batches.
-    pub fn commit_round(
-        &mut self,
-        batches: impl IntoIterator<Item = impl IntoIterator<Item = (Key, Value)>>,
-        threads: usize,
-    ) {
-        let per_shard = self.current.partition_writes(batches);
-        self.current.commit_partitioned(per_shard, threads);
+    ///
+    /// Large rounds also run the *partition pass* in parallel
+    /// ([`ShardedStore::partition_writes_parallel`]): each worker buckets a
+    /// contiguous run of batches, and the commit consumes the runs in order,
+    /// so the result is bit-identical to the single-threaded pass.
+    pub fn commit_round(&mut self, batches: Vec<Vec<(Key, Value)>>, threads: usize) {
+        // Below this many pairs the scoped-thread setup of the parallel
+        // partition costs more than the bucketing itself.
+        const PARALLEL_PARTITION_THRESHOLD: usize = 4 * 1024;
+        let total_pairs: usize = batches.iter().map(Vec::len).sum();
+        if threads <= 1 || total_pairs < PARALLEL_PARTITION_THRESHOLD {
+            let per_shard = self.current.partition_writes(batches);
+            self.current.commit_partitioned(per_shard, threads);
+        } else {
+            let chunks = self.current.partition_writes_parallel(batches, threads);
+            self.current.commit_chunked(chunks, threads);
+        }
     }
 
     /// Freeze the current epoch and open the next one, building the compact

@@ -20,6 +20,10 @@
 //!   never changes while a round is in flight, which is exactly the property
 //!   the paper's fault-tolerance argument relies on.
 //! * [`DdsChain`] — the sequence `D_0, D_1, …` of stores produced by a run.
+//! * [`backend`] — the [`SnapshotView`] / [`DdsBackend`] trait pair that
+//!   makes the store surface pluggable: [`LocalBackend`] wraps the chain
+//!   above, [`ChannelBackend`] serves the same surface over message-passing
+//!   owner threads (the stepping stone to a networked store).
 //! * [`contention`] — the weighted balls-into-bins experiment behind
 //!   Lemma 2.1 of the paper.
 //!
@@ -49,6 +53,8 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod channel;
 pub mod codec;
 pub mod contention;
 pub mod epoch;
@@ -60,6 +66,8 @@ pub mod snapshot;
 pub mod stats;
 pub mod store;
 
+pub use backend::{DdsBackend, LocalBackend, SnapshotView};
+pub use channel::{ChannelBackend, ChannelSnapshot};
 pub use codec::{decode_value, encode_value};
 pub use contention::{simulate_balls_into_bins, BallsInBinsReport};
 pub use epoch::DdsChain;

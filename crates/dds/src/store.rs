@@ -131,6 +131,90 @@ impl ShardedStore {
         per_shard
     }
 
+    /// Partition write batches by destination shard **in parallel**: the
+    /// batch list is split into up to `threads` contiguous runs (balanced by
+    /// pair count), each worker partitions its run into private per-shard
+    /// buckets, and the bucket matrices come back in run order.
+    ///
+    /// `chunks[w][s]` holds worker `w`'s pairs for shard `s`; committing the
+    /// chunks in worker order ([`ShardedStore::commit_chunked`]) replays the
+    /// exact concatenation order of the input batches, so per-key
+    /// multi-value order is identical to [`ShardedStore::partition_writes`]
+    /// followed by [`ShardedStore::commit_partitioned`] — the buckets are
+    /// never physically merged, which is what makes the pass scale.
+    pub fn partition_writes_parallel(
+        &self,
+        batches: Vec<Vec<(Key, Value)>>,
+        threads: usize,
+    ) -> Vec<Vec<Vec<(Key, Value)>>> {
+        let total_pairs: usize = batches.iter().map(Vec::len).sum();
+        let threads = threads.max(1).min(batches.len().max(1));
+        if threads == 1 {
+            return vec![self.partition_writes(batches)];
+        }
+        // Contiguous ranges of batches with ~equal pair counts, preserving
+        // batch order across ranges.
+        let per_worker_target = total_pairs.div_ceil(threads).max(1);
+        let mut runs: Vec<Vec<Vec<(Key, Value)>>> = Vec::with_capacity(threads);
+        let mut run: Vec<Vec<(Key, Value)>> = Vec::new();
+        let mut run_pairs = 0usize;
+        for batch in batches {
+            run_pairs += batch.len();
+            run.push(batch);
+            if run_pairs >= per_worker_target && runs.len() + 1 < threads {
+                runs.push(std::mem::take(&mut run));
+                run_pairs = 0;
+            }
+        }
+        if !run.is_empty() {
+            runs.push(run);
+        }
+
+        type BucketMatrix = Vec<Vec<(Key, Value)>>;
+        let slots: Vec<Mutex<Option<BucketMatrix>>> =
+            runs.into_iter().map(|r| Mutex::new(Some(r))).collect();
+        let outputs: Vec<Mutex<Option<BucketMatrix>>> =
+            (0..slots.len()).map(|_| Mutex::new(None)).collect();
+        for_each_index_parallel(slots.len(), threads, |w| {
+            let run = slots[w].lock().take().expect("each run partitioned once");
+            *outputs[w].lock() = Some(self.partition_writes(run));
+        });
+        outputs
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("each run partitioned once"))
+            .collect()
+    }
+
+    /// Commit the bucket matrices of
+    /// [`ShardedStore::partition_writes_parallel`]: each shard's lock is
+    /// taken once, the shard consumes its bucket from every chunk in chunk
+    /// order (= original batch order), and distinct shards commit in
+    /// parallel on up to `threads` workers.
+    pub fn commit_chunked(&self, chunks: Vec<Vec<Vec<(Key, Value)>>>, threads: usize) {
+        for chunk in &chunks {
+            assert_eq!(
+                chunk.len(),
+                self.num_shards,
+                "one bucket per shard required"
+            );
+        }
+        for_each_index_parallel(self.num_shards, threads, |shard_idx| {
+            let pairs: usize = chunks.iter().map(|chunk| chunk[shard_idx].len()).sum();
+            if pairs == 0 {
+                return;
+            }
+            self.write_counts[shard_idx].fetch_add(pairs as u64, Ordering::Relaxed);
+            let mut shard = self.shards[shard_idx].lock();
+            shard.entries.reserve(pairs);
+            for chunk in &chunks {
+                for &(key, value) in &chunk[shard_idx] {
+                    debug_assert_eq!(self.shard_of(&key), shard_idx);
+                    shard.push(key, value);
+                }
+            }
+        });
+    }
+
     /// Commit shard-partitioned batches, locking each shard exactly once and
     /// committing distinct shards in parallel on up to `threads` workers.
     ///
@@ -469,6 +553,60 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn parallel_partition_pass_matches_serial_partition() {
+        // Many small machine batches with heavy key collisions: the chunked
+        // pass must replay the exact (batch, write) order per key.
+        let batches: Vec<Vec<(Key, Value)>> = (0..64u64)
+            .map(|machine| {
+                (0..50u64)
+                    .map(|i| {
+                        (
+                            k((machine * 50 + i) % 23),
+                            Value::scalar(machine * 1_000 + i),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let serial = ShardedStore::new(8);
+        let per_shard = serial.partition_writes(batches.clone());
+        serial.commit_partitioned(per_shard, 1);
+
+        for threads in [2, 4, 8] {
+            let parallel = ShardedStore::new(8);
+            let chunks = parallel.partition_writes_parallel(batches.clone(), threads);
+            parallel.commit_chunked(chunks, threads);
+            assert_eq!(serial.total_writes(), parallel.total_writes());
+            assert_eq!(serial.len(), parallel.len());
+            for key in 0..23u64 {
+                assert_eq!(serial.multiplicity(&k(key)), parallel.multiplicity(&k(key)));
+                for idx in 0..serial.multiplicity(&k(key)) {
+                    assert_eq!(
+                        serial.get_indexed(&k(key), idx),
+                        parallel.get_indexed(&k(key), idx),
+                        "key {key} index {idx} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_partition_handles_degenerate_shapes() {
+        let store = ShardedStore::new(4);
+        // No batches at all.
+        let chunks = store.partition_writes_parallel(Vec::new(), 4);
+        store.commit_chunked(chunks, 4);
+        assert!(store.is_empty());
+        // More threads than batches.
+        let chunks = store.partition_writes_parallel(vec![vec![(k(1), Value::scalar(1))]], 8);
+        store.commit_chunked(chunks, 8);
+        assert_eq!(store.get(&k(1)), Some(Value::scalar(1)));
+        assert_eq!(store.total_writes(), 1);
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Cross-backend conformance suite for the DDS trait pair.
+//!
+//! One parameterized battery drives `LocalBackend`, `ChannelBackend` and the
+//! executable specification `legacy::LegacyStore` through the same write
+//! scripts and holds every observable — `get`, `get_indexed`,
+//! `multiplicity`, `len`, `read_many` (order and content), multi-value index
+//! order, and the per-query read accounting — to identical results.  The
+//! property tests at the bottom extend the battery to arbitrary write
+//! interleavings.
+
+use ampc_dds::legacy::LegacyStore;
+use ampc_dds::{ChannelBackend, DdsBackend, Key, KeyTag, LocalBackend, SnapshotView, Value};
+use ampc_runtime::{AmpcConfig, AmpcRuntime, DdsBackendKind};
+use proptest::prelude::*;
+
+/// One round's writes: ordered batches (for the runtime: one per machine).
+type Script = Vec<Vec<Vec<(Key, Value)>>>;
+
+fn k(a: u64) -> Key {
+    Key::of(KeyTag::Scalar, a)
+}
+
+/// Apply every epoch of `script` to a backend, returning one view per epoch.
+fn run_script<B: DdsBackend>(script: &Script, shards: usize, threads: usize) -> Vec<B::View> {
+    let mut backend = B::with_shards(shards, threads);
+    script
+        .iter()
+        .map(|batches| {
+            backend.commit_round(batches.clone(), threads);
+            backend.advance(threads)
+        })
+        .collect()
+}
+
+/// Apply one epoch's batches to a fresh legacy store (the spec is
+/// single-epoch: each round starts empty, exactly like a fresh `D_i`).
+fn legacy_epochs(script: &Script, shards: usize) -> Vec<LegacyStore> {
+    script
+        .iter()
+        .map(|batches| {
+            let mut store = LegacyStore::new(shards);
+            for batch in batches {
+                for &(key, value) in batch {
+                    store.write(key, value);
+                }
+            }
+            store
+        })
+        .collect()
+}
+
+/// The conformance battery: every observable of `view` must match the
+/// legacy spec for the keys in `probe`, and batched reads must match point
+/// reads (content, order, and query accounting).
+fn assert_view_matches_legacy<V: SnapshotView>(view: &V, legacy: &LegacyStore, probe: &[Key]) {
+    assert_eq!(view.len(), legacy.len());
+    assert_eq!(view.is_empty(), legacy.is_empty());
+
+    let reads_before = view.total_reads();
+    let mut issued = 0u64;
+    for key in probe {
+        assert_eq!(view.get(key), legacy.get(key), "get({key})");
+        issued += 1;
+        let multiplicity = legacy.multiplicity(key);
+        assert_eq!(view.multiplicity(key), multiplicity, "multiplicity({key})");
+        issued += 1;
+        // Multi-value index order: every index, plus one past the end.
+        for index in 0..=multiplicity {
+            assert_eq!(
+                view.get_indexed(key, index),
+                legacy.get_indexed(key, index),
+                "get_indexed({key}, {index})"
+            );
+            issued += 1;
+        }
+    }
+
+    // Batched lookups: one entry per key, in key order, counted per key.
+    let mut batched = Vec::new();
+    view.get_many(probe, &mut batched);
+    let individual: Vec<Option<Value>> = probe.iter().map(|key| legacy.get(key)).collect();
+    assert_eq!(batched, individual, "get_many order/content");
+    issued += probe.len() as u64;
+
+    // Query accounting: every probe above debited exactly one query (the
+    // legacy spec predates read counters, so the ledger is checked on the
+    // view itself — identically for every backend).
+    assert_eq!(
+        view.total_reads() - reads_before,
+        issued,
+        "read accounting must debit one query per lookup"
+    );
+}
+
+/// Run the full battery for one script on all three backends.
+fn conformance_battery(script: Script, shards: usize, threads: usize) {
+    // Probe keys: everything ever written plus guaranteed misses.
+    let mut probe: Vec<Key> = script
+        .iter()
+        .flatten()
+        .flatten()
+        .map(|&(key, _)| key)
+        .collect();
+    probe.push(Key::of(KeyTag::Custom(999), u64::MAX));
+    probe.push(k(u64::MAX - 1));
+
+    let local = run_script::<LocalBackend>(&script, shards, threads);
+    let channel = run_script::<ChannelBackend>(&script, shards, threads);
+    let legacy = legacy_epochs(&script, shards);
+
+    assert_eq!(local.len(), legacy.len());
+    assert_eq!(channel.len(), legacy.len());
+    for epoch in 0..legacy.len() {
+        assert_view_matches_legacy(&local[epoch], &legacy[epoch], &probe);
+        assert_view_matches_legacy(&channel[epoch], &legacy[epoch], &probe);
+        // The two trait backends also agree on the unordered entry dump.
+        let mut local_entries = local[epoch].entries();
+        let mut channel_entries = channel[epoch].entries();
+        local_entries.sort_by_key(|&(key, _)| key);
+        channel_entries.sort_by_key(|&(key, _)| key);
+        assert_eq!(local_entries, channel_entries, "epoch {epoch} entries");
+    }
+}
+
+#[test]
+fn battery_single_epoch_singletons_and_multivalues() {
+    let script: Script = vec![vec![
+        (0..200u64).map(|i| (k(i % 60), Value::scalar(i))).collect(),
+        (0..40u64).map(|i| (k(i), Value::pair(i, i * 2))).collect(),
+    ]];
+    for &(shards, threads) in &[(1usize, 1usize), (8, 2), (16, 4), (64, 3)] {
+        conformance_battery(script.clone(), shards, threads);
+    }
+}
+
+#[test]
+fn battery_multi_epoch_isolation() {
+    let script: Script = vec![
+        vec![(0..50u64).map(|i| (k(i), Value::scalar(i))).collect()],
+        vec![(25..75u64)
+            .map(|i| (k(i), Value::scalar(i + 1000)))
+            .collect()],
+        vec![Vec::new()], // an empty round is a valid epoch
+        vec![(0..10u64).map(|_| (k(7), Value::scalar(7))).collect()],
+    ];
+    conformance_battery(script, 8, 2);
+}
+
+#[test]
+fn battery_machine_order_defines_multivalue_indices() {
+    // 16 "machines" all writing the same hot keys: index order must be
+    // (machine id, write order) on every backend.
+    let script: Script = vec![(0..16u64)
+        .map(|machine| {
+            (0..8u64)
+                .map(|i| (k(i % 4), Value::scalar(machine * 100 + i)))
+                .collect()
+        })
+        .collect()];
+    for &threads in &[1usize, 2, 8] {
+        conformance_battery(script.clone(), 8, threads);
+    }
+}
+
+#[test]
+fn battery_covers_every_key_tag() {
+    let tags = [
+        KeyTag::Degree,
+        KeyTag::Adjacency,
+        KeyTag::CycleNeighbors,
+        KeyTag::Sampled,
+        KeyTag::Priority,
+        KeyTag::Successor,
+        KeyTag::Weight,
+        KeyTag::WeightedAdjacency,
+        KeyTag::Scalar,
+        KeyTag::Custom(3),
+    ];
+    let script: Script = vec![vec![tags
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &tag)| {
+            let key = Key::with_index(tag, i as u64, (i as u64) % 3);
+            vec![(key, Value::scalar(i as u64)), (key, Value::pair(1, 2))]
+        })
+        .collect()]];
+    conformance_battery(script, 8, 2);
+}
+
+#[test]
+fn machine_context_budget_accounting_is_backend_independent() {
+    // The runtime-level half of the query-budget battery: the same round
+    // body must debit identical budgets (queries, violations) on every
+    // backend, including through read_many.
+    let run = |backend: DdsBackendKind| {
+        let config = AmpcConfig::for_graph(400, 400, 0.5)
+            .with_seed(11)
+            .with_threads(2)
+            .with_backend(backend);
+        ampc_runtime::with_dds_backend!(config, |rt| {
+            rt.load_input((0..100u64).map(|i| (k(i), Value::scalar(i))));
+            rt.run_round(4, |ctx| {
+                let id = ctx.machine_id() as u64;
+                let single = ctx.read(k(id)).map(|v| v.x);
+                let keys: Vec<Key> = (0..10u64).map(|i| k(id * 10 + i)).collect();
+                let batch: Vec<Option<u64>> = ctx
+                    .read_many(&keys)
+                    .into_iter()
+                    .map(|v| v.map(|v| v.x))
+                    .collect();
+                let indexed = ctx.read_indexed(k(id), 0).map(|v| v.x);
+                let mult = ctx.multiplicity(k(id));
+                (
+                    single,
+                    batch,
+                    indexed,
+                    mult,
+                    ctx.queries_issued(),
+                    ctx.remaining_budget(),
+                )
+            })
+            .unwrap()
+        })
+    };
+    assert_eq!(run(DdsBackendKind::Local), run(DdsBackendKind::Channel));
+}
+
+#[test]
+fn explicit_shard_override_flows_to_both_backends() {
+    for backend in [DdsBackendKind::Local, DdsBackendKind::Channel] {
+        let config = AmpcConfig::for_graph(100, 100, 0.5)
+            .with_backend(backend)
+            .with_num_shards(13)
+            .unwrap();
+        ampc_runtime::with_dds_backend!(config, |rt| {
+            rt.load_input((0..10u64).map(|i| (k(i), Value::scalar(i))));
+            assert_eq!(rt.snapshot().num_shards(), 13);
+        });
+    }
+}
+
+#[test]
+fn channel_backend_runs_a_full_runtime_program() {
+    // End-to-end smoke through AmpcRuntime<ChannelBackend> directly (not via
+    // the macro): adaptive pointer chasing, exactly as the model demands.
+    let config = AmpcConfig::for_graph(10_000, 0, 0.5).with_threads(3);
+    let mut runtime = AmpcRuntime::<ChannelBackend>::with_backend(config);
+    runtime.load_input((0..100u64).map(|x| (Key::of(KeyTag::Successor, x), Value::scalar(x + 1))));
+    let reached = runtime
+        .run_round(1, |ctx| {
+            let mut x = 0u64;
+            for _ in 0..50 {
+                x = ctx.read(Key::of(KeyTag::Successor, x)).unwrap().x;
+            }
+            x
+        })
+        .unwrap();
+    assert_eq!(reached, vec![50]);
+    assert_eq!(runtime.stats().rounds[0].total_queries, 50);
+}
+
+fn arbitrary_key() -> impl Strategy<Value = Key> {
+    (0u32..6, 0u64..40, 0u64..4).prop_map(|(tag, a, b)| Key {
+        tag: KeyTag::from_code(tag),
+        a,
+        b,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Observational equivalence of all three backends under arbitrary
+    /// write interleavings: any number of epochs, any number of machine
+    /// batches per epoch, colliding keys across tags, any shard/thread
+    /// shape.
+    #[test]
+    fn backends_are_observationally_equivalent_under_arbitrary_interleavings(
+        script in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec((arbitrary_key(), any::<u64>()), 0..30),
+                1..5
+            ),
+            1..4
+        ),
+        shards in 1usize..33,
+        threads in 1usize..5
+    ) {
+        let script: Script = script
+            .into_iter()
+            .map(|epoch| {
+                epoch
+                    .into_iter()
+                    .map(|batch| {
+                        batch.into_iter().map(|(key, x)| (key, Value::scalar(x))).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        conformance_battery(script, shards, threads);
+    }
+}
