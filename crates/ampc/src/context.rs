@@ -7,9 +7,13 @@
 //!   (`D_{i-1}`) — each read may depend on the values returned by earlier
 //!   reads, which is the defining "adaptive" capability of AMPC.  Reads of
 //!   *independent* keys can be batched into one flight with
-//!   [`MachineContext::read_many`]; a batch of `k` keys is accounted as
-//!   exactly `k` queries, so batching never changes budget semantics, only
-//!   wall-clock cost;
+//!   [`MachineContext::read_many`], or — when the independent keys are not
+//!   all in hand at once — queued into the **auto-batching window**
+//!   ([`MachineContext::queue_read`] / [`MachineContext::take_read`]),
+//!   which coalesces adjacent point reads into one `read_many` flight on
+//!   whatever backend serves the view.  Either way a batch of `k` keys is
+//!   accounted as exactly `k` queries, so batching never changes budget
+//!   semantics, only wall-clock cost;
 //! * buffered **writes** destined for the current round's store (`D_i`) —
 //!   they become visible only after the round completes, committed by the
 //!   runtime shard-parallel in deterministic (machine id, write order)
@@ -36,7 +40,20 @@ pub struct MachineContext<V: SnapshotView = Snapshot> {
     queries: u64,
     budget: u64,
     rng: StdRng,
+    /// Auto-batching window: keys queued by [`MachineContext::queue_read`]
+    /// but not yet flown.
+    queued_reads: Vec<Key>,
+    /// Results of every queued read resolved so far, indexed by ticket.
+    resolved_reads: Vec<Option<Value>>,
 }
+
+/// Handle to one read queued into the auto-batching window of a
+/// [`MachineContext`] (see [`MachineContext::queue_read`]).
+///
+/// Tickets are only meaningful on the context that issued them, within the
+/// round that issued them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadTicket(usize);
 
 impl<V: SnapshotView> MachineContext<V> {
     /// Create the context for `machine_id` in `round`, reading from
@@ -58,6 +75,8 @@ impl<V: SnapshotView> MachineContext<V> {
             queries: 0,
             budget: config.round_budget(),
             rng: StdRng::seed_from_u64(stream),
+            queued_reads: Vec::new(),
+            resolved_reads: Vec::new(),
         }
     }
 
@@ -138,6 +157,76 @@ impl<V: SnapshotView> MachineContext<V> {
         self.snapshot.get_many_slice(keys, out);
     }
 
+    /// Width of the auto-batching window: queuing this many reads flushes
+    /// the window even before a result is demanded, bounding both the
+    /// flight size and the pending-key buffer.
+    pub const READ_WINDOW: usize = 64;
+
+    /// Queue an adaptive point read into the auto-batching window, debiting
+    /// one query — exactly what [`MachineContext::read`] would debit.
+    ///
+    /// The read is not flown yet: it coalesces with every other queued read
+    /// into a single [`SnapshotView::get_many_slice`] flight when a result
+    /// is first demanded ([`MachineContext::take_read`]), when the window
+    /// fills ([`MachineContext::READ_WINDOW`] pending keys), or on an
+    /// explicit [`MachineContext::flush_reads`].  Queued reads must
+    /// therefore be *independent* — each key was known before any queued
+    /// result came back — which is precisely the condition under which the
+    /// model lets a real deployment pipeline lookups over the network.
+    /// Adaptivity is unaffected: the next window may depend on this
+    /// window's results.
+    ///
+    /// Tickets stay redeemable for the rest of the round, so the context
+    /// retains one resolved entry per queued read until it is consumed at
+    /// round end — for a model-conformant machine that is `O(S)` entries,
+    /// the same order as its write buffer.
+    pub fn queue_read(&mut self, key: Key) -> ReadTicket {
+        self.queries += 1;
+        let ticket = ReadTicket(self.resolved_reads.len() + self.queued_reads.len());
+        self.queued_reads.push(key);
+        if self.queued_reads.len() >= Self::READ_WINDOW {
+            self.flush_reads();
+        }
+        ticket
+    }
+
+    /// Result of a queued read, flushing the window in one batched flight if
+    /// the ticket is still pending.  Free of further query cost — the query
+    /// was debited by [`MachineContext::queue_read`].
+    ///
+    /// # Panics
+    /// May panic if `ticket` was issued by a *different* context (tickets
+    /// are only meaningful on the context — and therefore the round — that
+    /// issued them); a foreign ticket whose index happens to be in range
+    /// yields another read's value instead, so never carry tickets across
+    /// rounds.
+    pub fn take_read(&mut self, ticket: ReadTicket) -> Option<Value> {
+        if ticket.0 >= self.resolved_reads.len() {
+            self.flush_reads();
+        }
+        self.resolved_reads[ticket.0]
+    }
+
+    /// Fly every read still pending in the auto-batching window as one
+    /// batched lookup.  A no-op when nothing is pending; never debits
+    /// queries (queuing already did).
+    pub fn flush_reads(&mut self) {
+        if self.queued_reads.is_empty() {
+            return;
+        }
+        let base = self.resolved_reads.len();
+        self.resolved_reads
+            .resize(base + self.queued_reads.len(), None);
+        self.snapshot
+            .get_many_slice(&self.queued_reads, &mut self.resolved_reads[base..]);
+        self.queued_reads.clear();
+    }
+
+    /// Reads queued in the auto-batching window but not yet flown.
+    pub fn pending_reads(&self) -> usize {
+        self.queued_reads.len()
+    }
+
     /// Adaptive read of the `index`-th value stored under `key` (zero-based),
     /// the model's `(x, i)` multi-value addressing.
     pub fn read_indexed(&mut self, key: Key, index: usize) -> Option<Value> {
@@ -169,7 +258,14 @@ impl<V: SnapshotView> MachineContext<V> {
 
     /// Consume the context, returning its buffered writes and its counters
     /// `(writes, queries)`.
-    pub(crate) fn into_parts(self) -> (Vec<(Key, Value)>, u64) {
+    ///
+    /// Flies any reads still pending in the auto-batching window first:
+    /// their queries were debited at queue time, so the DDS-side read
+    /// accounting must see them even if the machine never redeemed the
+    /// tickets — otherwise per-shard read counters would under-count
+    /// relative to the budget ledger.
+    pub(crate) fn into_parts(mut self) -> (Vec<(Key, Value)>, u64) {
+        self.flush_reads();
         (self.writes, self.queries)
     }
 }
@@ -279,6 +375,88 @@ mod tests {
         ctx.read_many_into(&[], &mut buf);
         assert!(buf.is_empty());
         assert_eq!(ctx.queries_issued(), 1);
+    }
+
+    #[test]
+    fn queued_reads_debit_budgets_identically_to_point_reads() {
+        // The auto-batching window proof: the same key sequence through
+        // queue_read/take_read and through read must produce identical
+        // results AND identical budget ledgers at every step.
+        let pairs: Vec<(u64, u64)> = (0..40).map(|i| (i, i * 3)).collect();
+        let cfg = test_config();
+        let keys: Vec<Key> = (0..60u64).map(|i| Key::of(KeyTag::Scalar, i)).collect();
+
+        let mut point = MachineContext::new(0, 1, snapshot_with(&pairs), &cfg);
+        let mut windowed = MachineContext::new(0, 1, snapshot_with(&pairs), &cfg);
+
+        let point_results: Vec<Option<Value>> = keys.iter().map(|&k| point.read(k)).collect();
+        let tickets: Vec<ReadTicket> = keys.iter().map(|&k| windowed.queue_read(k)).collect();
+        // Queuing alone already debited every query, before any flight.
+        assert_eq!(windowed.queries_issued(), point.queries_issued());
+        assert_eq!(windowed.remaining_budget(), point.remaining_budget());
+        let windowed_results: Vec<Option<Value>> =
+            tickets.iter().map(|&t| windowed.take_read(t)).collect();
+
+        assert_eq!(windowed_results, point_results);
+        assert_eq!(windowed.queries_issued(), 60);
+        assert_eq!(windowed.queries_issued(), point.queries_issued());
+        assert_eq!(windowed.remaining_budget(), point.remaining_budget());
+        assert_eq!(windowed.budget_exhausted(), point.budget_exhausted());
+        // The view-side read accounting agrees too: one query per key on
+        // both paths.
+        assert_eq!(point.snapshot.total_reads(), 60);
+        assert_eq!(windowed.snapshot.total_reads(), 60);
+    }
+
+    #[test]
+    fn unredeemed_queued_reads_still_reach_the_view_accounting() {
+        // A machine may queue reads and return without taking them; the
+        // queries were debited at queue time, so the round-end teardown
+        // must fly them or the DDS-side read counters would under-count.
+        let snap = snapshot_with(&[(1, 10), (2, 20)]);
+        let cfg = test_config();
+        let mut ctx = MachineContext::new(0, 1, snap.clone(), &cfg);
+        let _ = ctx.queue_read(Key::of(KeyTag::Scalar, 1));
+        let _ = ctx.queue_read(Key::of(KeyTag::Scalar, 999));
+        assert_eq!(snap.total_reads(), 0, "window still pending");
+        let (_, queries) = ctx.into_parts();
+        assert_eq!(queries, 2);
+        assert_eq!(snap.total_reads(), 2, "teardown must flush the window");
+    }
+
+    #[test]
+    fn read_window_flushes_at_capacity_and_on_demand() {
+        let pairs: Vec<(u64, u64)> = (0..200).map(|i| (i, i + 1)).collect();
+        let cfg = AmpcConfig::for_graph(100_000, 0, 0.5);
+        let mut ctx = MachineContext::new(0, 1, snapshot_with(&pairs), &cfg);
+
+        // Below the window width nothing flies until a result is demanded.
+        let early = ctx.queue_read(Key::of(KeyTag::Scalar, 0));
+        assert_eq!(ctx.pending_reads(), 1);
+        assert_eq!(ctx.snapshot.total_reads(), 0);
+        assert_eq!(ctx.take_read(early), Some(Value::scalar(1)));
+        assert_eq!(ctx.pending_reads(), 0);
+        assert_eq!(ctx.snapshot.total_reads(), 1);
+
+        // Filling the window flushes it in one flight, unprompted.
+        type Ctx = MachineContext;
+        for i in 0..Ctx::READ_WINDOW as u64 - 1 {
+            let _ = ctx.queue_read(Key::of(KeyTag::Scalar, i));
+            assert_eq!(ctx.pending_reads(), i as usize + 1);
+        }
+        let last = ctx.queue_read(Key::of(KeyTag::Scalar, 99));
+        assert_eq!(ctx.pending_reads(), 0, "full window must auto-flush");
+        // Already resolved: taking it costs nothing further.
+        let queries_before = ctx.queries_issued();
+        assert_eq!(ctx.take_read(last), Some(Value::scalar(100)));
+        assert_eq!(ctx.queries_issued(), queries_before);
+
+        // Tickets stay redeemable (and stable) after later windows resolve.
+        let stale = ctx.queue_read(Key::of(KeyTag::Scalar, 10));
+        let _ = ctx.queue_read(Key::of(KeyTag::Scalar, 11));
+        ctx.flush_reads();
+        assert_eq!(ctx.take_read(stale), Some(Value::scalar(11)));
+        assert_eq!(ctx.take_read(last), Some(Value::scalar(100)));
     }
 
     #[test]

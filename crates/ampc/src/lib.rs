@@ -75,7 +75,7 @@ pub mod slackness;
 pub mod stats;
 
 pub use config::{AmpcConfig, BudgetMode, DdsBackendKind, DEFAULT_EPSILON, MAX_SHARDS};
-pub use context::MachineContext;
+pub use context::{MachineContext, ReadTicket};
 pub use error::AmpcError;
 pub use fault::FaultPlan;
 pub use runtime::AmpcRuntime;

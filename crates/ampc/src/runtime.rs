@@ -662,6 +662,49 @@ mod tests {
     }
 
     #[test]
+    fn auto_batching_window_is_backend_independent_and_costs_like_point_reads() {
+        use crate::config::DdsBackendKind;
+        // The same round body, once issuing point reads and once queuing the
+        // same keys through the auto-batching window, on both backends:
+        // results and every per-round statistic must coincide.
+        let run = |backend: DdsBackendKind, windowed: bool| {
+            let config = config(10_000).with_backend(backend);
+            crate::with_dds_backend!(config, |rt| {
+                rt.load_input((0..400u64).map(|i| (key(i), Value::scalar(i * 2))));
+                let sums = rt
+                    .run_round(4, move |ctx| {
+                        let base = ctx.machine_id() as u64 * 100;
+                        if windowed {
+                            let tickets: Vec<_> =
+                                (0..100u64).map(|i| ctx.queue_read(key(base + i))).collect();
+                            tickets
+                                .into_iter()
+                                .map(|t| ctx.take_read(t).unwrap().x)
+                                .sum::<u64>()
+                        } else {
+                            (0..100u64)
+                                .map(|i| ctx.read(key(base + i)).unwrap().x)
+                                .sum::<u64>()
+                        }
+                    })
+                    .unwrap();
+                let round = rt.stats().rounds[0].clone();
+                (
+                    sums,
+                    round.total_queries,
+                    round.max_queries_per_machine,
+                    round.budget_violations,
+                )
+            })
+        };
+        let baseline = run(DdsBackendKind::Local, false);
+        for backend in [DdsBackendKind::Local, DdsBackendKind::Channel] {
+            assert_eq!(run(backend, true), baseline, "windowed on {backend:?}");
+            assert_eq!(run(backend, false), baseline, "point on {backend:?}");
+        }
+    }
+
+    #[test]
     fn fault_restarts_are_backend_independent() {
         use crate::config::DdsBackendKind;
         use rand::Rng;

@@ -15,8 +15,8 @@
 //! The numbers printed by this binary are the source of EXPERIMENTS.md.
 
 use ampc_bench::{
-    commit_throughput, contention_experiment, density_series, diameter_series, epsilon_series,
-    figure1_table, read_latency, scaling_series,
+    backend_read_latency, commit_throughput, contention_experiment, density_series,
+    diameter_series, epsilon_series, figure1_table, read_latency, scaling_series,
 };
 use std::fmt::Write as _;
 
@@ -184,7 +184,22 @@ fn main() {
         latency.keys, latency.reads, latency.compact_ns_per_read, latency.legacy_ns_per_read
     );
 
-    write_bench_commit_json(&commit_points, &latency);
+    let backend_keys = if quick { 65_536 } else { 262_144 };
+    let backend_reads = backend_keys * 2;
+    let backend_points = backend_read_latency(backend_keys, backend_reads, 64, 0, seed);
+    println!("\n== Per-backend read latency: point vs batched vs windowed ==\n");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>14}",
+        "backend", "mode", "keys", "reads", "ns/read"
+    );
+    for point in &backend_points {
+        println!(
+            "{:>10} {:>10} {:>12} {:>12} {:>14.1}",
+            point.backend, point.mode, point.keys, point.reads, point.ns_per_read
+        );
+    }
+
+    write_bench_commit_json(&commit_points, &latency, &backend_points);
     println!("\nCommit/read series recorded in BENCH_commit.json.");
     println!("All verified rows compare against sequential reference algorithms.");
 }
@@ -195,6 +210,7 @@ fn main() {
 fn write_bench_commit_json(
     commits: &[ampc_bench::CommitThroughputPoint],
     latency: &ampc_bench::ReadLatencyPoint,
+    backend_reads: &[ampc_bench::BackendReadLatencyPoint],
 ) {
     let mut json = String::from("{\n  \"commit_throughput\": [\n");
     for (i, p) in commits.iter().enumerate() {
@@ -218,12 +234,27 @@ fn write_bench_commit_json(
             if i + 1 < commits.len() { "," } else { "" },
         );
     }
-    let _ = write!(
+    let _ = writeln!(
         json,
         "  ],\n  \"read_latency\": {{\"keys\": {}, \"reads\": {}, \"compact_ns_per_read\": {:.3}, \
-         \"legacy_ns_per_read\": {:.3}}}\n}}\n",
+         \"legacy_ns_per_read\": {:.3}}},",
         latency.keys, latency.reads, latency.compact_ns_per_read, latency.legacy_ns_per_read,
     );
+    let _ = writeln!(json, "  \"read_latency_backends\": [");
+    for (i, p) in backend_reads.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"backend\": \"{}\", \"mode\": \"{}\", \"keys\": {}, \"reads\": {}, \
+             \"ns_per_read\": {:.3}}}{}",
+            p.backend,
+            p.mode,
+            p.keys,
+            p.reads,
+            p.ns_per_read,
+            if i + 1 < backend_reads.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(json, "  ]\n}}\n");
     if let Err(err) = std::fs::write("BENCH_commit.json", json) {
         eprintln!("could not write BENCH_commit.json: {err}");
     }

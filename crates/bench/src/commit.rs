@@ -81,7 +81,7 @@ pub struct ReadLatencyPoint {
     pub checksum: u64,
 }
 
-fn workload(pairs: usize, seed: u64) -> Vec<(Key, Value)> {
+pub(crate) fn workload(pairs: usize, seed: u64) -> Vec<(Key, Value)> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..pairs)
         .map(|i| {

@@ -22,9 +22,11 @@
 //!   [`crate::Snapshot`] behind a [`crate::DdsChain`]), shared-memory and
 //!   lock-free on the read path.  This is the default and the fastest.
 //! * [`crate::ChannelBackend`] — a message-passing implementation: shard
-//!   groups are owned by dedicated worker threads and every read crosses an
-//!   in-process channel (batched per worker for `read_many`).  It simulates
-//!   the communication structure of a real multi-process deployment and is the
+//!   groups are owned by dedicated worker threads; commits and epoch
+//!   advances cross in-process channels, while each frozen epoch is
+//!   `Arc`-published at advance time so reads resolve lock-free against the
+//!   shared immutable maps with zero channel traffic.  It preserves the
+//!   communication structure of a real multi-process deployment and is the
 //!   stepping stone to a networked backend behind the same traits.
 //!
 //! Backend selection is a *configuration* concern: the runtime is generic

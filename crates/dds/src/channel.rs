@@ -1,69 +1,58 @@
-//! Message-passing DDS backend: shard groups owned by worker threads.
+//! Message-passing DDS backend: shard groups owned by worker threads,
+//! frozen epochs published as shared read-only views.
 //!
 //! [`ChannelBackend`] realises the [`crate::backend::DdsBackend`] surface
 //! the way a real multi-process deployment would: the shards are partitioned
 //! into groups, each group is owned by a dedicated worker thread, and every
-//! operation — commit, epoch advance, read — is a message over an in-process
-//! channel.  No shard data is ever touched by more than one thread, so the
-//! workers need no locks at all; ordering is carried entirely by channel
-//! FIFO:
+//! *write-side* operation — commit, epoch advance — is a message over an
+//! in-process channel.  No writable shard data is ever touched by more than
+//! one thread, so the owners need no locks; ordering is carried entirely by
+//! channel FIFO: the backend sends `Commit` batches in (machine id, write
+//! order) and the owner applies them in arrival order, so per-key
+//! multi-value indices are identical to [`crate::backend::LocalBackend`]'s.
 //!
-//! * the backend sends `Commit` batches in (machine id, write order) and the
-//!   owner applies them in arrival order, so per-key multi-value indices are
-//!   identical to [`crate::backend::LocalBackend`]'s;
-//! * `Advance` is fire-and-forget: any read for the new epoch is sent
-//!   *after* the advance on the same channel, so the owner is guaranteed to
-//!   have frozen the epoch before serving it.
+//! # Zero-copy epoch publication
 //!
-//! Reads from machine threads go through [`ChannelSnapshot`], a cheap
-//! cloneable handle.  A batched read ([`SnapshotView::get_many_slice`])
-//! groups its keys by owner and sends **one request per worker per flight**
-//! — the request/response batching a networked backend would use to hide
-//! latency — while still counting one query per key, exactly like every
-//! other backend.
+//! The *read* side does not message at all.  When the backend advances an
+//! epoch, each owner freezes its shard maps in place (the same in-place
+//! freeze as [`crate::ShardedStore::freeze`]) and **publishes the frozen
+//! epoch once** as an `Arc` snapshot in its `Advance` reply.  The frozen
+//! maps are immutable from that point on, so every [`ChannelSnapshot`]
+//! resolves `get` / `get_indexed` / `multiplicity` / `get_many` directly
+//! against the shared maps — lock-free, with zero channel traffic — while
+//! read accounting lands in per-shard atomics inside the shared epoch, where
+//! the owner can still see it.  Earlier revisions paid one channel
+//! round-trip to the owner per point read; the `read_latency_backends`
+//! series in `BENCH_commit.json` records the difference.
+//!
+//! Only `Commit`, `Advance`, `Loads`, `Dump` (and the backend-side
+//! `TotalWrites`) remain message-passing, which keeps the request protocol
+//! exactly the wire surface a networked backend needs: a remote deployment
+//! would replace the `Arc` hand-off with a fetched (or RDMA-mapped) replica
+//! of the frozen maps and leave the message protocol untouched.
 //!
 //! Worker threads exit when the last handle (backend or view) referencing
-//! their channel is dropped; views therefore stay valid for as long as the
-//! caller keeps them, even after the runtime that created them is gone.
+//! their channel is dropped; views keep both the shared epoch `Arc`s and the
+//! owner channels, so they stay valid — and their reads byte-identical — for
+//! as long as the caller keeps them, even after the backend is gone.
 
 use crate::backend::{DdsBackend, SnapshotView};
 use crate::hashing::{hash_words, FxHashMap};
 use crate::key::{Key, Value};
-use crate::slot::{Slot, WriteSlot};
+use crate::slot::Slot;
 use crate::stats::{ShardLoad, StoreStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
-
-/// One read operation inside a batched request.  The `u32` is the caller's
-/// position in its flight, echoed back so replies can arrive per worker.
-enum ReadOp {
-    Get(Key),
-    GetIndexed(Key, u64),
-    Multiplicity(Key),
-    GetAll(Key),
-}
-
-/// Reply to one [`ReadOp`], in the same order as the request's ops.
-enum ReadReply {
-    Value(Option<Value>),
-    Count(u64),
-    Values(Vec<Value>),
-}
 
 /// Messages a shard-group owner thread understands.
 enum Request {
     /// Apply shard-partitioned pairs to the current (writable) epoch.
     /// `batches[i]` = (local shard index, pairs in commit order).
     Commit(Vec<(usize, Vec<(Key, Value)>)>),
-    /// Freeze the writable epoch and open the next one.
-    Advance,
-    /// Serve a batch of reads against a completed epoch.
-    Read {
-        epoch: usize,
-        ops: Vec<(u32, ReadOp)>,
-        reply: Sender<Vec<(u32, ReadReply)>>,
-    },
+    /// Freeze the writable epoch in place, open the next one, and publish
+    /// the frozen epoch's shared view.
+    Advance { reply: Sender<Arc<WorkerEpoch>> },
     /// Report per-shard loads (keys/writes/reads) of a completed epoch,
     /// keyed by global shard id.
     Loads {
@@ -79,30 +68,33 @@ enum Request {
     TotalWrites { reply: Sender<u64> },
 }
 
-/// One frozen epoch inside a worker: compact maps plus its accounting.
-struct FrozenEpoch {
-    /// `shards[local]` — compact frozen map of the group's `local`-th shard.
+/// One frozen epoch of one owner, shared between the owner thread and every
+/// view of that epoch.
+///
+/// The maps are immutable once published (the owner freezes them in place
+/// and never touches them again); the read counters are atomics so that
+/// views probing the maps from machine threads and the owner serving
+/// `Loads` agree on the accounting without any messaging.
+struct WorkerEpoch {
+    /// `shards[local]` — frozen map of the group's `local`-th shard.
     shards: Vec<FxHashMap<Key, Slot>>,
     /// Writes that built each shard.
     writes: Vec<u64>,
     /// Reads served per shard since the epoch froze.
-    reads: Vec<u64>,
+    reads: Vec<AtomicU64>,
 }
 
 /// The single-threaded state of one shard-group owner.
 struct Worker {
-    /// Shards in the whole store (all workers together).
-    num_shards: usize,
-    /// Worker threads in the whole store (the ownership stride).
-    num_workers: usize,
     /// Global shard ids owned by this worker (ascending).
     shard_ids: Vec<usize>,
     /// Writable maps of the current epoch, one per owned shard.
-    writable: Vec<FxHashMap<Key, WriteSlot>>,
+    writable: Vec<FxHashMap<Key, Slot>>,
     /// Writes accepted into the current epoch, per owned shard.
     writable_writes: Vec<u64>,
-    /// Completed epochs, in order.
-    frozen: Vec<FrozenEpoch>,
+    /// Published epochs, in order; the owner keeps its own handle so it can
+    /// serve `Loads` / `Dump` for epochs whose views are long gone.
+    frozen: Vec<Arc<WorkerEpoch>>,
     /// Total writes accepted across all epochs.
     total_writes: u64,
 }
@@ -124,44 +116,32 @@ impl Worker {
                                     slot.get_mut().push(value)
                                 }
                                 std::collections::hash_map::Entry::Vacant(slot) => {
-                                    slot.insert(WriteSlot::One(value));
+                                    slot.insert(Slot::One(value));
                                 }
                             }
                         }
                     }
                 }
-                Request::Advance => {
+                Request::Advance { reply } => {
                     let shard_count = self.shard_ids.len();
-                    let shards = std::mem::replace(
+                    // In-place freeze: reuse the writable maps as the frozen
+                    // maps, only shrinking the rare multi-value slots.
+                    let mut shards = std::mem::replace(
                         &mut self.writable,
                         (0..shard_count).map(|_| FxHashMap::default()).collect(),
-                    )
-                    .into_iter()
-                    .map(|map| {
-                        let mut frozen =
-                            FxHashMap::with_capacity_and_hasher(map.len(), Default::default());
-                        for (key, slot) in map {
-                            frozen.insert(key, slot.freeze());
-                        }
-                        frozen
-                    })
-                    .collect();
+                    );
+                    for map in &mut shards {
+                        crate::slot::freeze_map_in_place(map);
+                    }
                     let writes = std::mem::replace(&mut self.writable_writes, vec![0; shard_count]);
-                    self.frozen.push(FrozenEpoch {
+                    let epoch = Arc::new(WorkerEpoch {
                         shards,
                         writes,
-                        reads: vec![0; shard_count],
+                        reads: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
                     });
-                }
-                Request::Read { epoch, ops, reply } => {
-                    let (num_shards, num_workers) = (self.num_shards, self.num_workers);
-                    let epoch = &mut self.frozen[epoch];
-                    let replies = ops
-                        .into_iter()
-                        .map(|(tag, op)| (tag, Self::serve(epoch, num_shards, num_workers, op)))
-                        .collect();
+                    self.frozen.push(epoch.clone());
                     // A dropped requester is not an error for the owner.
-                    let _ = reply.send(replies);
+                    let _ = reply.send(epoch);
                 }
                 Request::Loads { epoch, reply } => {
                     let epoch = &self.frozen[epoch];
@@ -173,7 +153,7 @@ impl Worker {
                             shard,
                             keys: epoch.shards[local].len() as u64,
                             writes: epoch.writes[local],
-                            reads: epoch.reads[local],
+                            reads: epoch.reads[local].load(Ordering::Relaxed),
                         })
                         .collect();
                     let _ = reply.send(loads);
@@ -191,53 +171,6 @@ impl Worker {
                 Request::TotalWrites { reply } => {
                     let _ = reply.send(self.total_writes);
                 }
-            }
-        }
-    }
-
-    /// Serve one read against a frozen epoch, debiting its read counters
-    /// with the same costs as [`crate::Snapshot`] (misses count too).
-    ///
-    /// Shard `s` is owned by worker `s % num_workers` as its local shard
-    /// `s / num_workers`, so the owner re-derives the local index from the
-    /// key alone — the sender already routed the key here, the hash agrees.
-    fn serve(
-        epoch: &mut FrozenEpoch,
-        num_shards: usize,
-        num_workers: usize,
-        op: ReadOp,
-    ) -> ReadReply {
-        let local_of = |key: &Key| {
-            (hash_words(key.tag.code(), key.a, key.b) % num_shards as u64) as usize / num_workers
-        };
-        match op {
-            ReadOp::Get(ref key) => {
-                let local = local_of(key);
-                epoch.reads[local] += 1;
-                ReadReply::Value(epoch.shards[local].get(key).map(Slot::first))
-            }
-            ReadOp::GetIndexed(ref key, index) => {
-                let local = local_of(key);
-                epoch.reads[local] += 1;
-                ReadReply::Value(
-                    epoch.shards[local]
-                        .get(key)
-                        .and_then(|slot| slot.get(index as usize)),
-                )
-            }
-            ReadOp::Multiplicity(ref key) => {
-                let local = local_of(key);
-                epoch.reads[local] += 1;
-                ReadReply::Count(epoch.shards[local].get(key).map_or(0, Slot::len) as u64)
-            }
-            ReadOp::GetAll(ref key) => {
-                let local = local_of(key);
-                let values = epoch.shards[local]
-                    .get(key)
-                    .map(|slot| slot.as_slice().to_vec())
-                    .unwrap_or_default();
-                epoch.reads[local] += values.len().max(1) as u64;
-                ReadReply::Values(values)
             }
         }
     }
@@ -283,8 +216,6 @@ impl ChannelBackend {
             let shard_ids: Vec<usize> = (worker..num_shards).step_by(workers).collect();
             let (tx, rx) = channel();
             let state = Worker {
-                num_shards,
-                num_workers: workers,
                 writable: (0..shard_ids.len()).map(|_| FxHashMap::default()).collect(),
                 writable_writes: vec![0; shard_ids.len()],
                 shard_ids,
@@ -334,6 +265,7 @@ impl DdsBackend for ChannelBackend {
             inner: Arc::new(ViewInner {
                 router: self.router.clone(),
                 epoch: None,
+                workers: Vec::new(),
                 empty_reads: (0..self.router.num_shards)
                     .map(|_| AtomicU64::new(0))
                     .collect(),
@@ -368,18 +300,27 @@ impl DdsBackend for ChannelBackend {
     }
 
     fn advance(&mut self, _threads: usize) -> ChannelSnapshot {
+        // Channel FIFO guarantees every `Commit` sent above is applied
+        // before the owner freezes; waiting for the published `Arc`s means
+        // the returned view needs no further synchronisation — its reads
+        // are plain probes of the shared immutable maps.
+        let mut receivers = Vec::with_capacity(self.router.senders.len());
         for worker in 0..self.router.senders.len() {
-            self.send(worker, Request::Advance);
+            let (tx, rx) = channel();
+            self.send(worker, Request::Advance { reply: tx });
+            receivers.push(rx);
         }
+        let workers = receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("DDS owner thread exited"))
+            .collect();
         let epoch = self.completed;
         self.completed += 1;
-        // Channel FIFO makes this safe without an ack: any read the caller
-        // issues through the returned view is sent after the `Advance` on
-        // the same channel, so the owner freezes the epoch first.
         ChannelSnapshot {
             inner: Arc::new(ViewInner {
                 router: self.router.clone(),
                 epoch: Some(epoch),
+                workers,
                 empty_reads: Vec::new(),
             }),
         }
@@ -409,52 +350,37 @@ struct ViewInner {
     router: Arc<Router>,
     /// Completed epoch served, or `None` for the pre-input empty view.
     epoch: Option<usize>,
-    /// Read accounting of the empty view (per shard); frozen epochs count
-    /// inside their owner instead.
+    /// The epoch's shared frozen data, one entry per owner (`workers[w]` is
+    /// owner `w`'s shard group).  Empty for the pre-input empty view.
+    workers: Vec<Arc<WorkerEpoch>>,
+    /// Read accounting of the empty view (per shard); published epochs count
+    /// inside their shared [`WorkerEpoch`] instead.
     empty_reads: Vec<AtomicU64>,
 }
 
 /// Read view of one completed [`ChannelBackend`] epoch.
 ///
-/// Cloning is an `Arc` bump; clones share the owner channels and therefore
-/// the read accounting.  Every lookup is a channel round-trip to the shard's
-/// owner thread; batched lookups coalesce into one request per owner.
+/// Cloning is an `Arc` bump; clones share the published epoch data and
+/// therefore the read accounting.  Every lookup is a lock-free probe of the
+/// epoch's shared immutable maps — no channel traffic; only the driver-side
+/// operations (`shard_loads`, `entries`, `len`) message the owner threads.
 #[derive(Clone)]
 pub struct ChannelSnapshot {
     inner: Arc<ViewInner>,
 }
 
 impl ChannelSnapshot {
-    /// Send one read op for `key` and wait for the reply.
-    fn request_one(&self, op: ReadOp) -> ReadReply {
-        let key = match &op {
-            ReadOp::Get(key)
-            | ReadOp::GetIndexed(key, _)
-            | ReadOp::Multiplicity(key)
-            | ReadOp::GetAll(key) => key,
-        };
-        let Some(epoch) = self.inner.epoch else {
-            // Empty view: every lookup misses; count one query per op, like
-            // an empty Snapshot does (a missing key's get_all costs 1).
+    /// The shared epoch data owning `key`, with the key's local shard index
+    /// inside it, or `None` on the empty view (which counts the miss).
+    #[inline]
+    fn probe(&self, key: &Key) -> Option<(&WorkerEpoch, usize)> {
+        if self.inner.epoch.is_none() {
             let shard = self.inner.router.shard_of(key);
             self.inner.empty_reads[shard].fetch_add(1, Ordering::Relaxed);
-            return match op {
-                ReadOp::Get(_) | ReadOp::GetIndexed(_, _) => ReadReply::Value(None),
-                ReadOp::Multiplicity(_) => ReadReply::Count(0),
-                ReadOp::GetAll(_) => ReadReply::Values(Vec::new()),
-            };
-        };
-        let (worker, _) = self.inner.router.route(key);
-        let (tx, rx) = channel();
-        self.inner.router.senders[worker]
-            .send(Request::Read {
-                epoch,
-                ops: vec![(0, op)],
-                reply: tx,
-            })
-            .expect("DDS owner thread exited while a view is alive");
-        let mut replies = rx.recv().expect("DDS owner thread exited");
-        replies.pop().expect("one reply per op").1
+            return None;
+        }
+        let (worker, local) = self.inner.router.route(key);
+        Some((&self.inner.workers[worker], local))
     }
 
     fn loads(&self) -> Vec<ShardLoad> {
@@ -495,31 +421,37 @@ impl SnapshotView for ChannelSnapshot {
     }
 
     fn get(&self, key: &Key) -> Option<Value> {
-        match self.request_one(ReadOp::Get(*key)) {
-            ReadReply::Value(value) => value,
-            _ => unreachable!("Get replies with Value"),
-        }
+        let (epoch, local) = self.probe(key)?;
+        epoch.reads[local].fetch_add(1, Ordering::Relaxed);
+        epoch.shards[local].get(key).map(Slot::first)
     }
 
     fn get_indexed(&self, key: &Key, index: usize) -> Option<Value> {
-        match self.request_one(ReadOp::GetIndexed(*key, index as u64)) {
-            ReadReply::Value(value) => value,
-            _ => unreachable!("GetIndexed replies with Value"),
-        }
+        let (epoch, local) = self.probe(key)?;
+        epoch.reads[local].fetch_add(1, Ordering::Relaxed);
+        epoch.shards[local]
+            .get(key)
+            .and_then(|slot| slot.get(index))
     }
 
     fn get_all(&self, key: &Key) -> Vec<Value> {
-        match self.request_one(ReadOp::GetAll(*key)) {
-            ReadReply::Values(values) => values,
-            _ => unreachable!("GetAll replies with Values"),
-        }
+        let Some((epoch, local)) = self.probe(key) else {
+            return Vec::new();
+        };
+        let values = epoch.shards[local]
+            .get(key)
+            .map(|slot| slot.as_slice().to_vec())
+            .unwrap_or_default();
+        epoch.reads[local].fetch_add(values.len().max(1) as u64, Ordering::Relaxed);
+        values
     }
 
     fn multiplicity(&self, key: &Key) -> usize {
-        match self.request_one(ReadOp::Multiplicity(*key)) {
-            ReadReply::Count(count) => count as usize,
-            _ => unreachable!("Multiplicity replies with Count"),
-        }
+        let Some((epoch, local)) = self.probe(key) else {
+            return 0;
+        };
+        epoch.reads[local].fetch_add(1, Ordering::Relaxed);
+        epoch.shards[local].get(key).map_or(0, Slot::len)
     }
 
     fn len(&self) -> usize {
@@ -531,44 +463,35 @@ impl SnapshotView for ChannelSnapshot {
             out.len() >= keys.len(),
             "output slice shorter than key batch"
         );
-        let Some(epoch) = self.inner.epoch else {
+        if self.inner.epoch.is_none() {
             for (key, slot) in keys.iter().zip(out.iter_mut()) {
                 let shard = self.inner.router.shard_of(key);
                 self.inner.empty_reads[shard].fetch_add(1, Ordering::Relaxed);
                 *slot = None;
             }
             return;
-        };
-        // One request per owner, all in flight at once — the batching a
-        // networked deployment would use to hide round-trip latency.
-        let workers = self.inner.router.senders.len();
-        let mut per_worker: Vec<Vec<(u32, ReadOp)>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, key) in keys.iter().enumerate() {
-            let (worker, _) = self.inner.router.route(key);
-            per_worker[worker].push((i as u32, ReadOp::Get(*key)));
         }
-        let mut receivers = Vec::new();
-        for (worker, ops) in per_worker.into_iter().enumerate() {
-            if ops.is_empty() {
-                continue;
+        // Every key resolves against the shared maps directly; coalesce
+        // read-counter updates over runs of same-shard keys (totals are
+        // identical to per-key counting), mirroring `Snapshot`.
+        let mut run: Option<(usize, usize)> = None;
+        let mut run_len = 0u64;
+        for (key, slot) in keys.iter().zip(out.iter_mut()) {
+            let (worker, local) = self.inner.router.route(key);
+            if run != Some((worker, local)) {
+                if let Some((w, l)) = run {
+                    self.inner.workers[w].reads[l].fetch_add(run_len, Ordering::Relaxed);
+                }
+                run = Some((worker, local));
+                run_len = 0;
             }
-            let (tx, rx) = channel();
-            self.inner.router.senders[worker]
-                .send(Request::Read {
-                    epoch,
-                    ops,
-                    reply: tx,
-                })
-                .expect("DDS owner thread exited while a view is alive");
-            receivers.push(rx);
+            run_len += 1;
+            *slot = self.inner.workers[worker].shards[local]
+                .get(key)
+                .map(Slot::first);
         }
-        for rx in receivers {
-            for (i, reply) in rx.recv().expect("DDS owner thread exited") {
-                let ReadReply::Value(value) = reply else {
-                    unreachable!("Get replies with Value");
-                };
-                out[i as usize] = value;
-            }
+        if let Some((w, l)) = run {
+            self.inner.workers[w].reads[l].fetch_add(run_len, Ordering::Relaxed);
         }
     }
 
@@ -642,13 +565,28 @@ mod tests {
     }
 
     #[test]
-    fn reads_round_trip_through_owner_threads() {
+    fn reads_resolve_against_the_published_epoch() {
         let mut backend = backend_with(&[(1, 10), (2, 20), (3, 30)], 8, 3);
         let view = backend.advance(1);
         assert_eq!(view.get(&k(1)), Some(Value::scalar(10)));
         assert_eq!(view.get(&k(4)), None);
         assert_eq!(view.len(), 3);
         assert_eq!(view.total_reads(), 2);
+    }
+
+    #[test]
+    fn shared_view_reads_are_visible_to_owner_served_loads() {
+        // Reads land in the shared epoch's atomics; the owner-served Loads
+        // protocol must observe them without any extra synchronisation.
+        let mut backend = backend_with(&[(1, 1), (2, 2), (3, 3), (4, 4)], 8, 2);
+        let view = backend.advance(1);
+        for i in 1..=4u64 {
+            let _ = view.get(&k(i));
+            let _ = view.multiplicity(&k(i));
+        }
+        let loads = view.shard_loads();
+        assert_eq!(loads.iter().map(|l| l.reads).sum::<u64>(), 8);
+        assert_eq!(loads.iter().map(|l| l.writes).sum::<u64>(), 4);
     }
 
     #[test]
@@ -688,7 +626,7 @@ mod tests {
     }
 
     #[test]
-    fn batched_reads_fan_out_per_owner_and_count_per_key() {
+    fn batched_reads_resolve_locally_and_count_per_key() {
         let pairs: Vec<(u64, u64)> = (0..200).map(|i| (i, i * 7)).collect();
         let mut backend = backend_with(&pairs, 16, 4);
         let view = backend.advance(1);
@@ -712,9 +650,11 @@ mod tests {
             let mut backend = backend_with(&[(5, 50)], 4, 2);
             backend.advance(1)
         };
-        // The backend (and runtime) are gone; the owners stay alive for the
-        // view's reads.
+        // The backend (and runtime) are gone; the view holds the published
+        // epoch directly, and the owners stay alive for Loads/Dump.
         assert_eq!(view.get(&k(5)), Some(Value::scalar(50)));
+        assert_eq!(view.len(), 1);
+        assert_eq!(view.total_reads(), 1);
     }
 
     #[test]
@@ -728,7 +668,7 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_clones_share_owners() {
+    fn concurrent_clones_share_the_published_epoch() {
         let pairs: Vec<(u64, u64)> = (0..500).map(|i| (i, i)).collect();
         let mut backend = backend_with(&pairs, 8, 4);
         let view = backend.advance(1);

@@ -87,8 +87,9 @@ impl DdsChain {
         }
     }
 
-    /// Freeze the current epoch and open the next one, building the compact
-    /// frozen layout on up to one worker per available CPU.
+    /// Freeze the current epoch **in place** and open the next one; the
+    /// write-side shard maps become the snapshot's frozen maps without a
+    /// rebuild, shrunk shard-parallel on up to one worker per available CPU.
     ///
     /// Returns the snapshot of the epoch that just completed; subsequent
     /// reads in the next round go against that snapshot.  Callers with a

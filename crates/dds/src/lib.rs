@@ -27,20 +27,36 @@
 //! * [`contention`] — the weighted balls-into-bins experiment behind
 //!   Lemma 2.1 of the paper.
 //!
-//! # Epoch lifecycle
+//! # Epoch lifecycle: freeze → publish → read
 //!
-//! An epoch moves through three stages, each with its own representation:
+//! An epoch moves through three stages, all sharing **one representation**
+//! — the write-side shard maps are the frozen maps:
 //!
 //! 1. **Accumulate** — machines buffer writes; the runtime commits them into
 //!    the writable [`ShardedStore`], grouped by destination shard so each
 //!    shard lock is taken once per batch, with distinct shards committed in
 //!    parallel ([`ShardedStore::commit_partitioned`]).  Singleton keys are
 //!    stored inline; only multi-value keys allocate.
-//! 2. **Freeze** — [`ShardedStore::freeze`] builds the compact read-only
-//!    layout (inline singletons, `Box<[Value]>` multi-values) shard-parallel
-//!    and hands back a [`Snapshot`].
-//! 3. **Serve** — the frozen [`Snapshot`] answers point lookups and batched
-//!    lookups ([`Snapshot::get_many`]) lock-free until the run drops it.
+//! 2. **Freeze, in place** — epoch advance no longer rebuilds anything:
+//!    [`ShardedStore::freeze`] reuses every shard map allocation outright
+//!    and merely shrinks the spare capacity of the rare multi-value slots
+//!    (the write and frozen sides share the [`slot`] layout, which costs no
+//!    extra width — the discriminant hides in the `Vec` pointer niche).
+//!    Shards are shrunk in parallel for large epochs.
+//! 3. **Publish & serve** — the frozen maps are immutable from here on, so
+//!    they are published behind one `Arc` per epoch and served lock-free.
+//!    On [`LocalBackend`] that `Arc` is the [`Snapshot`] itself (cloned to
+//!    every machine thread); on [`ChannelBackend`] each owner thread hands
+//!    its frozen shard group's `Arc` to the backend in its `Advance` reply,
+//!    so point and batched reads resolve against the shared maps with
+//!    **zero channel traffic** — only commits, advances, and driver-side
+//!    loads/dumps remain message-passing.  Reads are counted in per-shard
+//!    atomics inside the published epoch, keeping the Lemma 2.1 contention
+//!    accounting observable from both sides.
+//!
+//! Views hand-for-hand outlive the stores that made them: a snapshot taken
+//! at epoch `i` stays valid and byte-identical across later epochs and
+//! after its backend is dropped (pinned by `tests/backend_conformance.rs`).
 //!
 //! The pre-refactor `Vec<Value>`-per-key layout survives as
 //! [`legacy::LegacyStore`], an executable specification the property tests

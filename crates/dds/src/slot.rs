@@ -3,66 +3,81 @@
 //! Profiling the algorithm suite shows that ~99% of DDS keys hold exactly
 //! one value (degrees, statuses, successor pointers, per-slot adjacency
 //! entries, …).  The original layout paid a heap-allocated `Vec<Value>` for
-//! every key; these slot types keep the singleton case inline in the shard's
-//! hash map and only touch the heap once a key becomes multi-valued.
+//! every key; [`Slot`] keeps the singleton case inline in the shard's hash
+//! map and only touches the heap once a key becomes multi-valued.
 //!
-//! [`WriteSlot`] is the growable variant used by the writable
-//! [`crate::ShardedStore`]; [`Slot`] is the compact frozen variant built at
-//! `freeze()` time for [`crate::Snapshot`], with `Box<[Value]>` instead of
-//! `Vec<Value>` so multi-value entries carry no spare capacity.
+//! # One layout for both sides of the freeze
+//!
+//! Earlier revisions used two types: a growable `WriteSlot` (`Vec<Value>`
+//! multi-values) for the writable store and a compact frozen `Slot`
+//! (`Box<[Value]>`) for snapshots, which forced `freeze()` to **rebuild
+//! every shard map** just to change the value type.  [`Slot`] is now the
+//! single layout shared by the write side and the frozen side: freeze became
+//! an *in-place* pass ([`Slot::shrink_to_fit`] on the few multi-value
+//! entries) that reuses the write-side map allocation outright.
+//!
+//! The anticipated cost — a `Vec` header carries a capacity word a
+//! `Box<[Value]>` does not — never materialises: the discriminant lives in
+//! the `Vec` pointer's non-null niche, so the unified slot is exactly as
+//! wide as the old frozen slot (24 bytes, pinned by the size test below).
+//! The only residual trade is the spare multi-value capacity dropped by
+//! [`Slot::shrink_to_fit`]; the `read_latency` series in
+//! `BENCH_commit.json` keeps the read-side cost of the layout visible
+//! against the legacy `Vec`-per-key baseline.
 
-use crate::key::Value;
+use crate::hashing::FxHashMap;
+use crate::key::{Key, Value};
 
-/// Growable per-key slot of the writable store.
+/// Freeze one shard map **in place**: reuse the map allocation (and every
+/// inline singleton slot) as-is, dropping only the spare `Vec` capacity of
+/// the rare multi-value slots.
+///
+/// The single freeze pass shared by [`crate::ShardedStore::freeze`] and the
+/// [`crate::ChannelBackend`] owner threads' `Advance`, so the two epoch
+/// pipelines cannot drift apart.
+pub(crate) fn freeze_map_in_place(map: &mut FxHashMap<Key, Slot>) {
+    for slot in map.values_mut() {
+        slot.shrink_to_fit();
+    }
+}
+
+/// Per-key slot used by both the writable store and frozen snapshots.
+///
+/// On the write side slots grow via [`Slot::push`]; at freeze time
+/// [`Slot::shrink_to_fit`] drops the spare capacity of multi-value entries
+/// and the slot (and the map holding it) is served read-only from then on.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub(crate) enum WriteSlot {
+pub(crate) enum Slot {
     /// The common case: exactly one value, stored inline.
     One(Value),
     /// Two or more values, in commit order.
     Many(Vec<Value>),
 }
 
-impl WriteSlot {
+impl Slot {
     /// Append `value`, upgrading a singleton to a heap list when needed.
     #[inline]
     pub fn push(&mut self, value: Value) {
         match self {
-            WriteSlot::One(first) => {
-                *self = WriteSlot::Many(vec![*first, value]);
+            Slot::One(first) => {
+                *self = Slot::Many(vec![*first, value]);
             }
-            WriteSlot::Many(values) => values.push(value),
+            Slot::Many(values) => values.push(value),
         }
     }
 
-    /// All values, in commit order.
+    /// Drop the spare capacity of a multi-value slot (no-op for singletons).
+    ///
+    /// This is the entire per-slot work of the in-place freeze: the slot is
+    /// not moved, re-hashed, or re-allocated unless the `Vec` actually holds
+    /// spare capacity.
     #[inline]
-    pub fn as_slice(&self) -> &[Value] {
-        match self {
-            WriteSlot::One(value) => std::slice::from_ref(value),
-            WriteSlot::Many(values) => values,
+    pub fn shrink_to_fit(&mut self) {
+        if let Slot::Many(values) = self {
+            values.shrink_to_fit();
         }
     }
 
-    /// Convert into the compact frozen representation.
-    #[inline]
-    pub fn freeze(self) -> Slot {
-        match self {
-            WriteSlot::One(value) => Slot::One(value),
-            WriteSlot::Many(values) => Slot::Many(values.into_boxed_slice()),
-        }
-    }
-}
-
-/// Compact frozen per-key slot of a [`crate::Snapshot`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub(crate) enum Slot {
-    /// The common case: exactly one value, stored inline.
-    One(Value),
-    /// Two or more values, in commit order, without spare capacity.
-    Many(Box<[Value]>),
-}
-
-impl Slot {
     /// All values, in commit order.
     #[inline]
     pub fn as_slice(&self) -> &[Value] {
@@ -106,8 +121,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn write_slot_upgrades_to_many() {
-        let mut slot = WriteSlot::One(Value::scalar(1));
+    fn slot_upgrades_to_many() {
+        let mut slot = Slot::One(Value::scalar(1));
         assert_eq!(slot.as_slice(), &[Value::scalar(1)]);
         slot.push(Value::scalar(2));
         slot.push(Value::scalar(3));
@@ -118,18 +133,17 @@ mod tests {
     }
 
     #[test]
-    fn frozen_slot_exposes_indexed_access() {
-        let single = WriteSlot::One(Value::pair(1, 2)).freeze();
+    fn slot_exposes_indexed_access() {
+        let single = Slot::One(Value::pair(1, 2));
         assert_eq!(single.len(), 1);
         assert_eq!(single.first(), Value::pair(1, 2));
         assert_eq!(single.get(0), Some(Value::pair(1, 2)));
         assert_eq!(single.get(1), None);
 
-        let mut multi = WriteSlot::One(Value::scalar(0));
+        let mut multi = Slot::One(Value::scalar(0));
         for i in 1..5u64 {
             multi.push(Value::scalar(i));
         }
-        let multi = multi.freeze();
         assert_eq!(multi.len(), 5);
         for i in 0..5u64 {
             assert_eq!(multi.get(i as usize), Some(Value::scalar(i)));
@@ -138,13 +152,35 @@ mod tests {
     }
 
     #[test]
+    fn shrink_to_fit_drops_spare_capacity_and_keeps_contents() {
+        let mut slot = Slot::One(Value::scalar(0));
+        for i in 1..9u64 {
+            slot.push(Value::scalar(i));
+        }
+        slot.shrink_to_fit();
+        let Slot::Many(values) = &slot else {
+            panic!("multi-value slot expected");
+        };
+        assert_eq!(values.capacity(), values.len());
+        for i in 0..9u64 {
+            assert_eq!(slot.get(i as usize), Some(Value::scalar(i)));
+        }
+        // Shrinking a singleton is a no-op.
+        let mut single = Slot::One(Value::scalar(7));
+        single.shrink_to_fit();
+        assert_eq!(single, Slot::One(Value::scalar(7)));
+    }
+
+    #[test]
     fn singleton_slots_are_inline() {
         // The whole point of the layout: a singleton entry is no bigger than
-        // the multi-value header, and needs no heap allocation.
+        // the multi-value header, and needs no heap allocation.  The shared
+        // write/freeze layout is no wider than the old frozen `Box<[Value]>`
+        // slot either — the discriminant hides in the `Vec` pointer niche.
         assert!(std::mem::size_of::<Slot>() <= 24);
         assert_eq!(
             std::mem::size_of::<Slot>(),
-            std::mem::size_of::<Box<[Value]>>() + std::mem::size_of::<u64>()
+            std::mem::size_of::<Vec<Value>>()
         );
     }
 }

@@ -12,10 +12,11 @@
 //! The frozen maps store [`crate::slot::Slot`] entries: the ~99% of keys
 //! that hold a single value keep it **inline in the hash-map entry**, so a
 //! point lookup is one hash probe with no pointer chase and no per-key heap
-//! allocation; only multi-value keys reference a compact `Box<[Value]>`.
-//! The layout is built once, shard-parallel, at freeze time (see
-//! [`crate::ShardedStore::freeze`]).  The pre-refactor layout
-//! (`Vec<Value>` per key) is kept reachable as [`crate::legacy::LegacyStore`]
+//! allocation; only multi-value keys reference a shrunk-to-fit
+//! `Vec<Value>`.  The maps are the write-side shard maps themselves, frozen
+//! **in place** at epoch advance (see [`crate::ShardedStore::freeze`]) — no
+//! rebuild, no copy.  The pre-refactor layout (`Vec<Value>` per key, one
+//! heap list per key) is kept reachable as [`crate::legacy::LegacyStore`]
 //! for the equivalence property tests.
 
 use crate::hashing::{hash_words, FxHashMap};

@@ -259,6 +259,86 @@ fn channel_backend_runs_a_full_runtime_program() {
     assert_eq!(runtime.stats().rounds[0].total_queries, 50);
 }
 
+/// Everything a view can tell us about an epoch: key count, sorted entry
+/// dump, and the flattened results of every probe lookup.
+type EpochObservation = (usize, Vec<(Key, Vec<Value>)>, Vec<u64>);
+
+/// Capture an [`EpochObservation`] for byte-equality checks across the
+/// epoch's lifetime (minus read counters, which by design keep advancing as
+/// we re-probe).
+fn observe<V: SnapshotView>(view: &V, probe: &[Key]) -> EpochObservation {
+    let mut entries = view.entries();
+    entries.sort_by_key(|&(key, _)| key);
+    let mut observations = Vec::new();
+    for key in probe {
+        observations.push(view.get(key).map_or(u64::MAX, |v| v.x));
+        observations.push(view.multiplicity(key) as u64);
+        for index in 0..=view.multiplicity(key) {
+            observations.push(view.get_indexed(key, index).map_or(u64::MAX, |v| v.x));
+        }
+    }
+    let mut batched = Vec::new();
+    view.get_many(probe, &mut batched);
+    observations.extend(batched.iter().map(|v| v.map_or(u64::MAX, |v| v.x)));
+    (view.len(), entries, observations)
+}
+
+/// Snapshot lifetime: a view taken at one epoch must stay valid — and
+/// byte-identical — while later epochs commit and advance, and after the
+/// backend itself is dropped.
+fn snapshot_lifetime_battery<B: DdsBackend>(shards: usize, threads: usize) {
+    let mut backend = B::with_shards(shards, threads);
+    backend.commit_round(
+        vec![
+            (0..120u64).map(|i| (k(i % 40), Value::scalar(i))).collect(),
+            (0..20u64).map(|i| (k(i), Value::pair(i, i * 9))).collect(),
+        ],
+        threads,
+    );
+    let early = backend.advance(threads);
+    let probe: Vec<Key> = (0..50u64).map(k).collect();
+    let baseline = observe(&early, &probe);
+    assert!(baseline.0 > 0, "epoch 0 must hold data");
+
+    // Later epochs overwrite the same keys with different values; the early
+    // view must not see any of it.
+    for round in 0..3u64 {
+        backend.commit_round(
+            vec![(0..60u64)
+                .map(|i| (k(i), Value::scalar(1_000_000 + round * 1_000 + i)))
+                .collect()],
+            threads,
+        );
+        let _ = backend.advance(threads);
+        assert_eq!(
+            observe(&early, &probe),
+            baseline,
+            "early view changed after advance {round}"
+        );
+    }
+
+    // The backend (and with it the runtime that owned it) goes away; the
+    // view must keep serving the identical epoch.
+    drop(backend);
+    assert_eq!(
+        observe(&early, &probe),
+        baseline,
+        "early view changed after the backend was dropped"
+    );
+}
+
+#[test]
+fn local_views_stay_valid_across_epochs_and_backend_drop() {
+    snapshot_lifetime_battery::<LocalBackend>(8, 2);
+    snapshot_lifetime_battery::<LocalBackend>(1, 1);
+}
+
+#[test]
+fn channel_views_stay_valid_across_epochs_and_backend_drop() {
+    snapshot_lifetime_battery::<ChannelBackend>(8, 3);
+    snapshot_lifetime_battery::<ChannelBackend>(16, 1);
+}
+
 fn arbitrary_key() -> impl Strategy<Value = Key> {
     (0u32..6, 0u64..40, 0u64..4).prop_map(|(tag, a, b)| Key {
         tag: KeyTag::from_code(tag),
