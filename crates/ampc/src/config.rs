@@ -9,6 +9,7 @@
 
 use crate::error::AmpcError;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Default space exponent ε used when the caller does not care.
 pub const DEFAULT_EPSILON: f64 = 0.5;
@@ -37,9 +38,45 @@ pub enum DdsBackendKind {
     #[default]
     Local,
     /// Message-passing store ([`ampc_dds::ChannelBackend`]): shard groups
-    /// owned by dedicated threads, every read a channel round-trip, batched
-    /// per owner.  Simulates a multi-process deployment.
+    /// owned by dedicated threads, write-side requests crossing in-process
+    /// channels as `ampc_dds::proto` messages, frozen epochs published
+    /// zero-copy.  Simulates a multi-process deployment.
     Channel,
+    /// Socket-backed store ([`ampc_dds::TcpBackend`]): the identical owner
+    /// protocol spoken as length-prefixed `ampc_dds::proto` frames over
+    /// localhost TCP, frozen epochs fetched and rebuilt as local replicas.
+    /// The deployable shape of the store.
+    Remote,
+}
+
+impl fmt::Display for DdsBackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DdsBackendKind::Local => "local",
+            DdsBackendKind::Channel => "channel",
+            DdsBackendKind::Remote => "remote",
+        };
+        f.write_str(name)
+    }
+}
+
+impl std::str::FromStr for DdsBackendKind {
+    type Err = AmpcError;
+
+    /// Parse a backend name (`local` / `channel` / `remote`, case- and
+    /// whitespace-insensitive; `tcp` is accepted as an alias for `remote`),
+    /// so binaries and examples can select the backend from a CLI argument
+    /// or environment variable.
+    fn from_str(name: &str) -> Result<Self, AmpcError> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "local" => Ok(DdsBackendKind::Local),
+            "channel" => Ok(DdsBackendKind::Channel),
+            "remote" | "tcp" => Ok(DdsBackendKind::Remote),
+            _ => Err(AmpcError::UnknownBackend {
+                requested: name.to_string(),
+            }),
+        }
+    }
 }
 
 /// How budget violations are handled by the runtime.
@@ -309,6 +346,29 @@ mod tests {
         assert_eq!(derived.threads, 3);
         assert_eq!(derived.backend, DdsBackendKind::Channel);
         assert_eq!(derived.budget_factor, 2.5);
+    }
+
+    #[test]
+    fn backend_kinds_round_trip_through_strings() {
+        let kinds = [
+            DdsBackendKind::Local,
+            DdsBackendKind::Channel,
+            DdsBackendKind::Remote,
+        ];
+        for kind in kinds {
+            assert_eq!(kind.to_string().parse::<DdsBackendKind>(), Ok(kind));
+        }
+        // Parsing is forgiving about case and whitespace, plus one alias…
+        assert_eq!(" Remote\n".parse(), Ok(DdsBackendKind::Remote));
+        assert_eq!("TCP".parse(), Ok(DdsBackendKind::Remote));
+        assert_eq!("LOCAL".parse(), Ok(DdsBackendKind::Local));
+        // …but unknown names fail with the typed error naming the input.
+        assert_eq!(
+            "mpsc".parse::<DdsBackendKind>(),
+            Err(AmpcError::UnknownBackend {
+                requested: "mpsc".to_string()
+            })
+        );
     }
 
     #[test]

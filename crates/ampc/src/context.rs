@@ -20,6 +20,13 @@
 //!   order;
 //! * per-machine randomness and the query/write accounting the model's
 //!   `O(S)` budgets are stated in.
+//!
+//! The context is generic over the [`SnapshotView`] it reads, and machine
+//! code cannot tell what serves it: the local shared-memory snapshot, a
+//! zero-copy epoch published by a channel owner thread, or a replica
+//! fetched over the `ampc_dds::proto` wire protocol from a socket-backed
+//! owner — the budget ledger and results are identical by construction on
+//! all of them.
 
 use crate::config::AmpcConfig;
 use ampc_dds::{Key, Snapshot, SnapshotView, Value};

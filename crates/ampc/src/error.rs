@@ -38,6 +38,28 @@ pub enum AmpcError {
     /// An algorithm-level invariant failed (used by drivers to surface
     /// unexpected states without panicking inside worker threads).
     Algorithm(String),
+    /// The DDS backend failed underneath the runtime — a transport error or
+    /// an owner-thread panic, surfaced through the round boundary instead
+    /// of a hung or cryptically broken channel.  Convert a
+    /// [`ampc_dds::TransportError`] with `From`.
+    Backend {
+        /// Human-readable failure description (worker, cause, and any
+        /// harvested owner panic payload).
+        message: String,
+    },
+    /// A backend name did not parse (`DdsBackendKind::from_str`).
+    UnknownBackend {
+        /// The unrecognized name.
+        requested: String,
+    },
+}
+
+impl From<ampc_dds::TransportError> for AmpcError {
+    fn from(err: ampc_dds::TransportError) -> Self {
+        AmpcError::Backend {
+            message: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for AmpcError {
@@ -54,6 +76,13 @@ impl fmt::Display for AmpcError {
                 write!(f, "round requested {requested} machines but only {available} are available")
             }
             AmpcError::Algorithm(msg) => write!(f, "algorithm error: {msg}"),
+            AmpcError::Backend { message } => write!(f, "DDS backend failure: {message}"),
+            AmpcError::UnknownBackend { requested } => {
+                write!(
+                    f,
+                    "unknown DDS backend {requested:?} (expected local, channel or remote)"
+                )
+            }
         }
     }
 }
@@ -94,6 +123,25 @@ mod tests {
         };
         assert!(e.to_string().contains("4096"));
         assert!(e.to_string().contains("1..=1024"));
+
+        let e = AmpcError::UnknownBackend {
+            requested: "bigtable".into(),
+        };
+        assert!(e.to_string().contains("bigtable"));
+        assert!(e.to_string().contains("remote"));
+    }
+
+    #[test]
+    fn transport_errors_convert_to_typed_backend_errors() {
+        let transport = ampc_dds::TransportError::PeerClosed {
+            worker: 2,
+            panic: Some("owner asked to dump unknown epoch 9".into()),
+        };
+        let err: AmpcError = transport.into();
+        let text = err.to_string();
+        assert!(text.contains("backend failure"), "{text}");
+        assert!(text.contains("owner 2 panicked"), "{text}");
+        assert!(text.contains("unknown epoch 9"), "{text}");
     }
 
     #[test]

@@ -3,17 +3,34 @@
 //! Section 2.1 of the paper argues AMPC is as fault tolerant as MPC: because
 //! the contents of `D_{i-1}` never change within round `i`, a failed machine
 //! can simply be re-executed from scratch against the same snapshot.  The
-//! [`FaultPlan`] lets tests and benches schedule machine failures at chosen
-//! `(round, machine)` coordinates; the runtime discards the failed attempt's
-//! writes and re-runs the machine, and tests then assert that results are
-//! identical to a failure-free run.
+//! [`FaultPlan`] lets tests and benches schedule two classes of fault:
+//!
+//! * **Machine failures** at chosen `(round, machine)` coordinates — the
+//!   runtime discards the failed attempt's writes and re-runs the machine.
+//! * **Request-level faults** at chosen `(epoch, worker)` coordinates — a
+//!   write-side protocol request (`Commit` / `Advance`) is delivered, its
+//!   reply is lost in transit, and the transport layer of a
+//!   message-passing backend retransmits it, so the owner must apply the
+//!   duplicate exactly once (see [`ampc_dds::RequestFaults`]).  Backends
+//!   without a transport have nothing to retransmit and ignore these
+//!   entries.
+//!
+//! In both cases the accompanying tests assert results are byte-identical
+//! to a fault-free run — the immutable-epoch property that makes restarts
+//! and retries safe.
 
+use ampc_dds::proto::RequestKind;
+use ampc_dds::RequestFaults;
 use std::collections::HashSet;
 
-/// A deterministic schedule of machine failures.
+/// A deterministic schedule of machine failures and request-level faults.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     failures: HashSet<(usize, usize)>,
+    /// Scheduled request drops: (kind, epoch, worker).  Epoch coordinates
+    /// name the epoch the request targets: `load_input` builds epoch 0, the
+    /// round-`r` commit of a run that loaded input builds epoch `r + 1`.
+    request_drops: HashSet<(RequestKind, usize, usize)>,
 }
 
 impl FaultPlan {
@@ -36,19 +53,53 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule the `Commit` request targeting `epoch` on owner `worker`
+    /// to lose its reply in transit, forcing the transport to retransmit
+    /// it (the owner must apply the duplicate exactly once).  Fires only
+    /// if that owner actually receives pairs for the epoch.
+    pub fn drop_commit(mut self, epoch: usize, worker: usize) -> Self {
+        self.request_drops
+            .insert((RequestKind::Commit, epoch, worker));
+        self
+    }
+
+    /// Schedule the `Advance` request freezing `epoch` on owner `worker`
+    /// to lose its reply in transit, forcing the transport to retransmit
+    /// it (the owner republishes the already-frozen epoch).
+    pub fn drop_advance(mut self, epoch: usize, worker: usize) -> Self {
+        self.request_drops
+            .insert((RequestKind::Advance, epoch, worker));
+        self
+    }
+
     /// Does the first attempt of `machine` in `round` fail?
     pub fn should_fail(&self, round: usize, machine: usize) -> bool {
         self.failures.contains(&(round, machine))
     }
 
-    /// Number of scheduled failures.
-    pub fn len(&self) -> usize {
-        self.failures.len()
+    /// The scheduled request drops as a transport-level fault schedule
+    /// (empty if none are scheduled).
+    pub fn request_faults(&self) -> RequestFaults {
+        let faults = RequestFaults::none();
+        for &(kind, epoch, worker) in &self.request_drops {
+            faults.schedule_drop(kind, epoch, worker);
+        }
+        faults
     }
 
-    /// `true` if no failures are scheduled.
+    /// `true` if any request-level faults are scheduled.
+    pub fn has_request_faults(&self) -> bool {
+        !self.request_drops.is_empty()
+    }
+
+    /// Number of scheduled faults (machine failures plus request drops).
+    pub fn len(&self) -> usize {
+        self.failures.len() + self.request_drops.len()
+    }
+
+    /// `true` if no faults are scheduled.
     pub fn is_empty(&self) -> bool {
-        self.failures.is_empty()
+        self.failures.is_empty() && self.request_drops.is_empty()
     }
 }
 
@@ -62,6 +113,8 @@ mod tests {
         assert!(plan.is_empty());
         assert!(!plan.should_fail(0, 0));
         assert!(!plan.should_fail(5, 3));
+        assert!(!plan.has_request_faults());
+        assert!(plan.request_faults().is_empty());
     }
 
     #[test]
@@ -83,5 +136,31 @@ mod tests {
         }
         assert!(!plan.should_fail(1, 4));
         assert!(!plan.should_fail(0, 0));
+    }
+
+    #[test]
+    fn request_drops_translate_to_a_transport_schedule() {
+        let plan = FaultPlan::none()
+            .drop_commit(1, 0)
+            .drop_advance(2, 3)
+            .fail(0, 0);
+        assert_eq!(plan.len(), 3);
+        assert!(plan.has_request_faults());
+        assert!(!plan.is_empty());
+
+        let faults = plan.request_faults();
+        assert!(!faults.is_empty());
+        // Exactly the scheduled coordinates fire, each exactly once.
+        assert!(!faults.should_drop(RequestKind::Commit, 1, 1));
+        assert!(!faults.should_drop(RequestKind::Advance, 1, 0));
+        assert!(faults.should_drop(RequestKind::Commit, 1, 0));
+        assert!(!faults.should_drop(RequestKind::Commit, 1, 0));
+        assert!(faults.should_drop(RequestKind::Advance, 2, 3));
+        assert_eq!(faults.dropped(), 2);
+        assert!(faults.is_empty());
+
+        // The plan is a pure schedule: converting again starts fresh.
+        assert_eq!(plan.request_faults().dropped(), 0);
+        assert!(!plan.request_faults().is_empty());
     }
 }

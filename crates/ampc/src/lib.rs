@@ -13,8 +13,9 @@
 //!   is generic over the [`DdsBackend`] serving the stores; the
 //!   [`with_dds_backend!`] macro instantiates it from
 //!   [`AmpcConfig::backend`](config::AmpcConfig), so the backend (in-process
-//!   [`LocalBackend`] or message-passing [`ChannelBackend`]) is purely a
-//!   configuration choice.
+//!   [`LocalBackend`], message-passing [`ChannelBackend`], or socket-backed
+//!   [`TcpBackend`]) is purely a configuration choice — and parseable from
+//!   CLI/env strings via `DdsBackendKind::from_str`.
 //! * [`RunStats`] / [`RoundStats`] record the quantities the paper's theorems
 //!   bound: number of rounds, queries and writes in total and per machine,
 //!   budget violations and fault-injection restarts.
@@ -83,4 +84,6 @@ pub use stats::{RoundStats, RunStats};
 
 // Backend surface, re-exported so the `with_dds_backend!` macro (and
 // algorithm crates) can name everything through `ampc_runtime`.
-pub use ampc_dds::{ChannelBackend, DdsBackend, LocalBackend, SnapshotView};
+pub use ampc_dds::{
+    ChannelBackend, DdsBackend, LocalBackend, RemoteBackend, SnapshotView, TcpBackend,
+};

@@ -70,7 +70,15 @@ impl<B: DdsBackend> AmpcRuntime<B> {
     }
 
     /// Install a fault-injection plan (see [`FaultPlan`]).
+    ///
+    /// Machine failures are replayed by the runtime itself; request-level
+    /// faults (scheduled lost-reply retransmissions of `Commit` /
+    /// `Advance`) are handed to the backend, whose transport layer honors
+    /// them.  Backends without a transport ignore that part of the plan.
+    /// Installing a new plan replaces any previously installed request
+    /// faults, so a later empty plan clears an earlier schedule.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.backend.install_request_faults(plan.request_faults());
         self.fault_plan = plan;
         self
     }
@@ -106,6 +114,12 @@ impl<B: DdsBackend> AmpcRuntime<B> {
     /// The backend serving this runtime's stores.
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// Requests dropped (and retried) by transport-level fault injection so
+    /// far (always 0 on backends without a transport).
+    pub fn dropped_requests(&self) -> u64 {
+        self.backend.dropped_requests()
     }
 
     /// Worker threads used for end-of-round shard-parallel commits.
@@ -277,8 +291,24 @@ impl<B: DdsBackend> AmpcRuntime<B> {
             results.push(o.result);
         }
         let commit_threads = self.commit_threads();
-        self.backend.commit_round(batches, commit_threads);
-        self.snapshot = self.backend.advance(commit_threads);
+        // A backend failure (e.g. a message-passing owner thread dying)
+        // panics inside the backend with a typed transport message; catch
+        // it at the round boundary and surface it as an `AmpcError` instead
+        // of tearing the driver down.  The runtime must not be reused after
+        // this error — the backend's epoch state is indeterminate.
+        let backend = &mut self.backend;
+        let advanced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            backend.commit_round(batches, commit_threads);
+            backend.advance(commit_threads)
+        }));
+        self.snapshot = match advanced {
+            Ok(view) => view,
+            Err(payload) => {
+                return Err(AmpcError::Backend {
+                    message: panic_message(payload),
+                })
+            }
+        };
 
         self.stats.push(RoundStats {
             round,
@@ -316,6 +346,12 @@ impl<B: DdsBackend> AmpcRuntime<B> {
             self.rounds_executed += 1;
         }
     }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    ampc_dds::transport::panic_message(payload.as_ref())
+        .unwrap_or_else(|| "backend panicked with a non-string payload".to_string())
 }
 
 impl<B: DdsBackend> std::fmt::Debug for AmpcRuntime<B> {
@@ -361,6 +397,12 @@ macro_rules! with_dds_backend {
                 #[allow(unused_mut)]
                 let mut $runtime =
                     $crate::AmpcRuntime::<$crate::ChannelBackend>::with_backend(__config);
+                $body
+            }
+            $crate::DdsBackendKind::Remote => {
+                #[allow(unused_mut)]
+                let mut $runtime =
+                    $crate::AmpcRuntime::<$crate::TcpBackend>::with_backend(__config);
                 $body
             }
         }
@@ -653,7 +695,9 @@ mod tests {
         };
         let local = run(DdsBackendKind::Local);
         let channel = run(DdsBackendKind::Channel);
+        let remote = run(DdsBackendKind::Remote);
         assert_eq!(local, channel);
+        assert_eq!(local, remote);
         // Pin the multi-value index order itself (machine-id order), not
         // just cross-backend agreement.
         let (_, _, ref multi) = local.1[0];
@@ -698,7 +742,11 @@ mod tests {
             })
         };
         let baseline = run(DdsBackendKind::Local, false);
-        for backend in [DdsBackendKind::Local, DdsBackendKind::Channel] {
+        for backend in [
+            DdsBackendKind::Local,
+            DdsBackendKind::Channel,
+            DdsBackendKind::Remote,
+        ] {
             assert_eq!(run(backend, true), baseline, "windowed on {backend:?}");
             assert_eq!(run(backend, false), baseline, "point on {backend:?}");
         }
@@ -724,8 +772,119 @@ mod tests {
         };
         let local = run(DdsBackendKind::Local);
         let channel = run(DdsBackendKind::Channel);
+        let remote = run(DdsBackendKind::Remote);
         assert_eq!(local, channel);
+        assert_eq!(local, remote);
         assert_eq!(local.1, 1);
+    }
+
+    #[test]
+    fn dropped_and_retried_requests_leave_results_byte_identical() {
+        use crate::config::DdsBackendKind;
+        use ampc_dds::SnapshotView;
+        // The ROADMAP "dropped/retried requests" fault story: schedule the
+        // transport to lose (and retry) one Commit and one Advance, and the
+        // run must be byte-identical to an undisturbed one.  Epoch
+        // coordinates: load_input builds epoch 0, round r builds epoch
+        // r + 1.
+        let run = |backend: DdsBackendKind, plan: FaultPlan| {
+            let config = config(1_000).with_backend(backend);
+            crate::with_dds_backend!(config, |rt| {
+                let mut rt = rt.with_fault_plan(plan);
+                rt.load_input((0..100u64).map(|i| (key(i), Value::scalar(i))));
+                let sums = rt
+                    .run_round(8, |ctx| {
+                        let id = ctx.machine_id() as u64;
+                        let mut sum = 0;
+                        for i in 0..8u64 {
+                            let k = id * 8 + i;
+                            sum += ctx.read(key(k)).map_or(0, |v| v.x);
+                            ctx.write(key(1_000 + k), Value::scalar(k * 3));
+                        }
+                        sum
+                    })
+                    .unwrap();
+                let echoed = rt
+                    .run_round(8, |ctx| {
+                        let id = ctx.machine_id() as u64;
+                        (0..8u64)
+                            .map(|i| ctx.read(key(1_000 + id * 8 + i)).map(|v| v.x))
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap();
+                let mut entries = rt.snapshot().entries();
+                entries.sort_by_key(|&(key, _)| key);
+                (sums, echoed, entries, rt.dropped_requests())
+            })
+        };
+        for backend in [DdsBackendKind::Channel, DdsBackendKind::Remote] {
+            let (sums, echoed, entries, dropped) = run(backend, FaultPlan::none());
+            assert_eq!(dropped, 0);
+            let faulty_plan = FaultPlan::none()
+                .drop_commit(1, 0) // round 0's writes, owner 0
+                .drop_advance(2, 1); // round 1's freeze, owner 1
+            let (f_sums, f_echoed, f_entries, f_dropped) = run(backend, faulty_plan);
+            assert_eq!(
+                f_dropped, 2,
+                "both scheduled drops must fire on {backend:?}"
+            );
+            assert_eq!(sums, f_sums, "round results diverged on {backend:?}");
+            assert_eq!(echoed, f_echoed, "reads diverged on {backend:?}");
+            assert_eq!(entries, f_entries, "final store diverged on {backend:?}");
+        }
+        // A transport-free backend has nothing to drop: the plan installs
+        // as a no-op and the run is simply clean.
+        let (_, _, _, dropped) = run(
+            DdsBackendKind::Local,
+            FaultPlan::none().drop_commit(1, 0).drop_advance(2, 1),
+        );
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn backend_panics_surface_as_typed_errors_at_the_round_boundary() {
+        use ampc_dds::Snapshot;
+
+        /// A backend whose owner "dies" mid-commit, the way a transport
+        /// failure panics out of the infallible `DdsBackend` surface.
+        struct PanickyBackend;
+        impl DdsBackend for PanickyBackend {
+            type View = Snapshot;
+            fn with_shards(_: usize, _: usize) -> Self {
+                PanickyBackend
+            }
+            fn num_shards(&self) -> usize {
+                1
+            }
+            fn empty_view(&self) -> Snapshot {
+                Snapshot::empty(1)
+            }
+            fn commit_round(&mut self, _: Vec<Vec<(Key, Value)>>, _: usize) {
+                panic!("DDS transport failure: DDS owner 0 panicked: boom");
+            }
+            fn advance(&mut self, _: usize) -> Snapshot {
+                Snapshot::empty(1)
+            }
+            fn completed_epochs(&self) -> usize {
+                0
+            }
+            fn total_writes(&mut self) -> u64 {
+                0
+            }
+            fn backend_name(&self) -> &'static str {
+                "panicky"
+            }
+        }
+
+        let mut rt = AmpcRuntime::<PanickyBackend>::with_backend(config(100));
+        let err = rt.run_round(2, |ctx| ctx.machine_id()).unwrap_err();
+        match err {
+            AmpcError::Backend { message } => {
+                assert!(message.contains("owner 0 panicked"), "{message}");
+                assert!(message.contains("boom"), "{message}");
+            }
+            other => panic!("expected a typed backend error, got {other:?}"),
+        }
     }
 
     #[test]

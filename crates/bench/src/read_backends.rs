@@ -1,5 +1,5 @@
-//! Per-backend read-latency experiment: Local vs Channel, point vs batched
-//! vs auto-batching window.
+//! Per-backend read-latency experiment: Local vs Channel vs Remote (TCP),
+//! point vs batched vs auto-batching window.
 //!
 //! The AMPC model charges algorithms per adaptive query, so the DDS read
 //! path is the hot loop of every algorithm round.  This experiment probes
@@ -10,7 +10,9 @@
 //!   adaptive read.  On `ChannelBackend` this used to be a full channel
 //!   round-trip to the shard's owner thread; since the zero-copy epoch
 //!   publication it is a lock-free probe of the `Arc`-shared frozen maps,
-//!   which is exactly what this series quantifies.
+//!   which is exactly what this series quantifies.  On `TcpBackend` the
+//!   probe hits the replica fetched over the wire at advance time — the
+//!   `remote` series keeps that read path honest from day one.
 //! * **batched** — [`SnapshotView::get_many_slice`] flights of
 //!   [`FLIGHT`] keys, the explicit batching algorithms use when a whole key
 //!   set is in hand.
@@ -24,7 +26,7 @@
 //! requires within 2× of each other.
 
 use crate::commit::workload;
-use ampc_dds::{ChannelBackend, DdsBackend, Key, KeyTag, LocalBackend, SnapshotView};
+use ampc_dds::{ChannelBackend, DdsBackend, Key, KeyTag, LocalBackend, SnapshotView, TcpBackend};
 use ampc_runtime::{AmpcConfig, AmpcRuntime, ReadTicket};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,7 +38,7 @@ const FLIGHT: usize = 256;
 /// One (backend, read mode) latency measurement against a frozen epoch.
 #[derive(Clone, Debug)]
 pub struct BackendReadLatencyPoint {
-    /// Backend name (`"local"` / `"channel"`).
+    /// Backend name (`"local"` / `"channel"` / `"remote"`).
     pub backend: &'static str,
     /// Read mode (`"point"` / `"batched"` / `"windowed"`).
     pub mode: &'static str,
@@ -187,6 +189,12 @@ pub fn backend_read_latency(
     points.push(measure_windowed::<ChannelBackend>(
         "channel", keys, reads, shards, threads, seed,
     ));
+    points.extend(measure_view::<TcpBackend>(
+        "remote", keys, reads, shards, threads, seed,
+    ));
+    points.push(measure_windowed::<TcpBackend>(
+        "remote", keys, reads, shards, threads, seed,
+    ));
     let checksum = points[0].checksum;
     assert!(
         points.iter().all(|p| p.checksum == checksum),
@@ -212,6 +220,9 @@ mod tests {
                 ("channel", "point"),
                 ("channel", "batched"),
                 ("channel", "windowed"),
+                ("remote", "point"),
+                ("remote", "batched"),
+                ("remote", "windowed"),
             ]
         );
         for point in &points {

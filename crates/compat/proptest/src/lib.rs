@@ -232,6 +232,7 @@ impl_tuple_strategy! {
     (A, B, C)
     (A, B, C, D)
     (A, B, C, D, E)
+    (A, B, C, D, E, F)
 }
 
 /// Collection strategies.

@@ -16,18 +16,23 @@
 //!   ordered write batches of a round, advance the epoch, hand out the new
 //!   epoch's view.
 //!
-//! Two implementations ship in-tree:
+//! Three implementations ship in-tree:
 //!
 //! * [`LocalBackend`] — the compact sharded store ([`crate::ShardedStore`] /
 //!   [`crate::Snapshot`] behind a [`crate::DdsChain`]), shared-memory and
 //!   lock-free on the read path.  This is the default and the fastest.
-//! * [`crate::ChannelBackend`] — a message-passing implementation: shard
-//!   groups are owned by dedicated worker threads; commits and epoch
-//!   advances cross in-process channels, while each frozen epoch is
-//!   `Arc`-published at advance time so reads resolve lock-free against the
-//!   shared immutable maps with zero channel traffic.  It preserves the
-//!   communication structure of a real multi-process deployment and is the
-//!   stepping stone to a networked backend behind the same traits.
+//! * [`crate::ChannelBackend`] — the message-passing
+//!   [`crate::RemoteBackend`] over in-process channels
+//!   ([`crate::MpscTransport`]): shard groups are owned by dedicated worker
+//!   threads; commits and epoch advances cross the transport as
+//!   [`crate::proto`] messages, while each frozen epoch is `Arc`-published
+//!   at advance time so reads resolve lock-free against the shared
+//!   immutable maps with zero channel traffic.
+//! * [`crate::TcpBackend`] — the same [`crate::RemoteBackend`] over
+//!   localhost sockets ([`crate::TcpTransport`]): every request and reply
+//!   round-trips through the byte codec as length-prefixed frames, and
+//!   frozen epochs are fetched as [`crate::proto::EpochFrame`]s and
+//!   rebuilt into local replicas — the deployable shape of the store.
 //!
 //! Backend selection is a *configuration* concern: the runtime is generic
 //! over `B: DdsBackend` and `ampc_runtime::AmpcConfig` picks the
@@ -40,6 +45,7 @@ use crate::epoch::DdsChain;
 use crate::key::{Key, Value};
 use crate::snapshot::Snapshot;
 use crate::stats::{ShardLoad, StoreStats};
+use crate::transport::RequestFaults;
 
 /// Read-only view of a completed epoch (`D_{i-1}` as seen from round `i`).
 ///
@@ -147,10 +153,28 @@ pub trait DdsBackend: Send + 'static {
     fn completed_epochs(&self) -> usize;
 
     /// Total writes accepted across all epochs.
-    fn total_writes(&self) -> u64;
+    ///
+    /// Takes `&mut self`: message-passing backends ask their owners over
+    /// the transport, which is an exclusive-access operation.
+    fn total_writes(&mut self) -> u64;
 
     /// Short human-readable backend name (for logs and test labels).
     fn backend_name(&self) -> &'static str;
+
+    /// Install a request-level fault schedule (scheduled drop-then-retry of
+    /// write-side protocol requests; see
+    /// [`crate::transport::RequestFaults`]).
+    ///
+    /// Backends without a transport have nothing to drop and ignore the
+    /// schedule — the default does exactly that.
+    fn install_request_faults(&mut self, faults: RequestFaults) {
+        let _ = faults;
+    }
+
+    /// Requests dropped (and retried) by fault injection so far.
+    fn dropped_requests(&self) -> u64 {
+        0
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -262,7 +286,7 @@ impl DdsBackend for LocalBackend {
         self.chain.completed_epochs()
     }
 
-    fn total_writes(&self) -> u64 {
+    fn total_writes(&mut self) -> u64 {
         self.chain.total_writes()
     }
 
@@ -332,6 +356,11 @@ mod tests {
     #[test]
     fn channel_backend_satisfies_the_trait_surface() {
         exercise::<crate::ChannelBackend>();
+    }
+
+    #[test]
+    fn tcp_backend_satisfies_the_trait_surface() {
+        exercise::<crate::TcpBackend>();
     }
 
     #[test]

@@ -1,554 +1,59 @@
-//! Message-passing DDS backend: shard groups owned by worker threads,
-//! frozen epochs published as shared read-only views.
+//! The in-process message-passing backend: [`RemoteBackend`] over
+//! [`MpscTransport`].
 //!
-//! [`ChannelBackend`] realises the [`crate::backend::DdsBackend`] surface
-//! the way a real multi-process deployment would: the shards are partitioned
-//! into groups, each group is owned by a dedicated worker thread, and every
-//! *write-side* operation — commit, epoch advance — is a message over an
-//! in-process channel.  No writable shard data is ever touched by more than
-//! one thread, so the owners need no locks; ordering is carried entirely by
-//! channel FIFO: the backend sends `Commit` batches in (machine id, write
-//! order) and the owner applies them in arrival order, so per-key
-//! multi-value indices are identical to [`crate::backend::LocalBackend`]'s.
+//! Before the transport split this module owned a private `enum Request`
+//! with reply channels baked into the variants — an API that could not
+//! leave the process.  The protocol now lives in [`crate::proto`] as plain
+//! serializable data, the owner loop in [`crate::remote`] is generic over
+//! any [`crate::transport::Transport`], and this module is simply the
+//! in-process instantiation:
 //!
-//! # Zero-copy epoch publication
+//! ```text
+//! ChannelBackend  =  RemoteBackend<MpscTransport>
+//! ```
 //!
-//! The *read* side does not message at all.  When the backend advances an
-//! epoch, each owner freezes its shard maps in place (the same in-place
-//! freeze as [`crate::ShardedStore::freeze`]) and **publishes the frozen
-//! epoch once** as an `Arc` snapshot in its `Advance` reply.  The frozen
-//! maps are immutable from that point on, so every [`ChannelSnapshot`]
-//! resolves `get` / `get_indexed` / `multiplicity` / `get_many` directly
-//! against the shared maps — lock-free, with zero channel traffic — while
-//! read accounting lands in per-shard atomics inside the shared epoch, where
-//! the owner can still see it.  Earlier revisions paid one channel
-//! round-trip to the owner per point read; the `read_latency_backends`
-//! series in `BENCH_commit.json` records the difference.
+//! What is specific to this instantiation is the *shared-memory capability*
+//! of its transport: requests travel as typed values (no serialization),
+//! and on `Advance` the owner publishes the frozen epoch **once** as an
+//! `Arc` in its reply — the zero-copy fast path.  Every
+//! [`ChannelSnapshot`] then resolves `get` / `get_indexed` /
+//! `multiplicity` / `get_many` directly against the shared immutable maps —
+//! lock-free, with zero channel traffic — while read accounting lands in
+//! per-shard atomics inside the shared epoch, where the owner can still see
+//! it (`RemoteBackend::epoch_loads` serves the owner's view of the same
+//! counters).
 //!
-//! Only `Commit`, `Advance`, `Loads`, `Dump` (and the backend-side
-//! `TotalWrites`) remain message-passing, which keeps the request protocol
-//! exactly the wire surface a networked backend needs: a remote deployment
-//! would replace the `Arc` hand-off with a fetched (or RDMA-mapped) replica
-//! of the frozen maps and leave the message protocol untouched.
+//! Swap the transport for [`crate::TcpTransport`] and the identical owner
+//! loop speaks length-prefixed [`crate::proto`] frames over sockets, with
+//! the `Arc` hand-off replaced by a fetched [`crate::proto::EpochFrame`]
+//! replica — that instantiation is [`crate::TcpBackend`], and the
+//! conformance suites hold both to byte-identical behaviour.
 //!
-//! Worker threads exit when the last handle (backend or view) referencing
-//! their channel is dropped; views keep both the shared epoch `Arc`s and the
-//! owner channels, so they stay valid — and their reads byte-identical — for
-//! as long as the caller keeps them, even after the backend is gone.
+//! Owner threads are reaped when the backend drops; views keep the shared
+//! epoch `Arc`s, so they stay valid — and their reads byte-identical — for
+//! as long as the caller keeps them, even after the backend is gone.  An
+//! owner thread that dies mid-run (a panic, a poisoned request) surfaces as
+//! a typed [`crate::TransportError`] carrying the panic payload, not a hung
+//! or cryptically broken channel.
 
-use crate::backend::{DdsBackend, SnapshotView};
-use crate::hashing::{hash_words, FxHashMap};
-use crate::key::{Key, Value};
-use crate::slot::Slot;
-use crate::stats::{ShardLoad, StoreStats};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
-
-/// Messages a shard-group owner thread understands.
-enum Request {
-    /// Apply shard-partitioned pairs to the current (writable) epoch.
-    /// `batches[i]` = (local shard index, pairs in commit order).
-    Commit(Vec<(usize, Vec<(Key, Value)>)>),
-    /// Freeze the writable epoch in place, open the next one, and publish
-    /// the frozen epoch's shared view.
-    Advance { reply: Sender<Arc<WorkerEpoch>> },
-    /// Report per-shard loads (keys/writes/reads) of a completed epoch,
-    /// keyed by global shard id.
-    Loads {
-        epoch: usize,
-        reply: Sender<Vec<ShardLoad>>,
-    },
-    /// Dump every (key, values) pair of a completed epoch (driver/tests).
-    Dump {
-        epoch: usize,
-        reply: Sender<Vec<(Key, Vec<Value>)>>,
-    },
-    /// Report total writes accepted so far (all epochs, incl. writable).
-    TotalWrites { reply: Sender<u64> },
-}
-
-/// One frozen epoch of one owner, shared between the owner thread and every
-/// view of that epoch.
-///
-/// The maps are immutable once published (the owner freezes them in place
-/// and never touches them again); the read counters are atomics so that
-/// views probing the maps from machine threads and the owner serving
-/// `Loads` agree on the accounting without any messaging.
-struct WorkerEpoch {
-    /// `shards[local]` — frozen map of the group's `local`-th shard.
-    shards: Vec<FxHashMap<Key, Slot>>,
-    /// Writes that built each shard.
-    writes: Vec<u64>,
-    /// Reads served per shard since the epoch froze.
-    reads: Vec<AtomicU64>,
-}
-
-/// The single-threaded state of one shard-group owner.
-struct Worker {
-    /// Global shard ids owned by this worker (ascending).
-    shard_ids: Vec<usize>,
-    /// Writable maps of the current epoch, one per owned shard.
-    writable: Vec<FxHashMap<Key, Slot>>,
-    /// Writes accepted into the current epoch, per owned shard.
-    writable_writes: Vec<u64>,
-    /// Published epochs, in order; the owner keeps its own handle so it can
-    /// serve `Loads` / `Dump` for epochs whose views are long gone.
-    frozen: Vec<Arc<WorkerEpoch>>,
-    /// Total writes accepted across all epochs.
-    total_writes: u64,
-}
-
-impl Worker {
-    fn run(mut self, requests: Receiver<Request>) {
-        // Exit when every sender (backend + all views) is gone.
-        while let Ok(request) = requests.recv() {
-            match request {
-                Request::Commit(batches) => {
-                    for (local, pairs) in batches {
-                        self.writable_writes[local] += pairs.len() as u64;
-                        self.total_writes += pairs.len() as u64;
-                        let map = &mut self.writable[local];
-                        map.reserve(pairs.len());
-                        for (key, value) in pairs {
-                            match map.entry(key) {
-                                std::collections::hash_map::Entry::Occupied(mut slot) => {
-                                    slot.get_mut().push(value)
-                                }
-                                std::collections::hash_map::Entry::Vacant(slot) => {
-                                    slot.insert(Slot::One(value));
-                                }
-                            }
-                        }
-                    }
-                }
-                Request::Advance { reply } => {
-                    let shard_count = self.shard_ids.len();
-                    // In-place freeze: reuse the writable maps as the frozen
-                    // maps, only shrinking the rare multi-value slots.
-                    let mut shards = std::mem::replace(
-                        &mut self.writable,
-                        (0..shard_count).map(|_| FxHashMap::default()).collect(),
-                    );
-                    for map in &mut shards {
-                        crate::slot::freeze_map_in_place(map);
-                    }
-                    let writes = std::mem::replace(&mut self.writable_writes, vec![0; shard_count]);
-                    let epoch = Arc::new(WorkerEpoch {
-                        shards,
-                        writes,
-                        reads: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
-                    });
-                    self.frozen.push(epoch.clone());
-                    // A dropped requester is not an error for the owner.
-                    let _ = reply.send(epoch);
-                }
-                Request::Loads { epoch, reply } => {
-                    let epoch = &self.frozen[epoch];
-                    let loads = self
-                        .shard_ids
-                        .iter()
-                        .enumerate()
-                        .map(|(local, &shard)| ShardLoad {
-                            shard,
-                            keys: epoch.shards[local].len() as u64,
-                            writes: epoch.writes[local],
-                            reads: epoch.reads[local].load(Ordering::Relaxed),
-                        })
-                        .collect();
-                    let _ = reply.send(loads);
-                }
-                Request::Dump { epoch, reply } => {
-                    let epoch = &self.frozen[epoch];
-                    let mut entries = Vec::new();
-                    for shard in &epoch.shards {
-                        for (key, slot) in shard {
-                            entries.push((*key, slot.as_slice().to_vec()));
-                        }
-                    }
-                    let _ = reply.send(entries);
-                }
-                Request::TotalWrites { reply } => {
-                    let _ = reply.send(self.total_writes);
-                }
-            }
-        }
-    }
-}
-
-/// Routing data shared by the backend and every view it hands out.
-struct Router {
-    senders: Vec<Sender<Request>>,
-    num_shards: usize,
-}
-
-impl Router {
-    #[inline]
-    fn shard_of(&self, key: &Key) -> usize {
-        (hash_words(key.tag.code(), key.a, key.b) % self.num_shards as u64) as usize
-    }
-
-    /// (worker, local shard index) owning `key`.
-    #[inline]
-    fn route(&self, key: &Key) -> (usize, usize) {
-        let shard = self.shard_of(key);
-        (shard % self.senders.len(), shard / self.senders.len())
-    }
-}
+use crate::remote::{RemoteBackend, RemoteSnapshot};
+use crate::transport::MpscTransport;
 
 /// A multi-worker, message-passing DDS backend over in-process channels.
 ///
 /// See the [module docs](self) for the design; select it through
 /// `ampc_runtime::AmpcConfig` rather than constructing it directly.
-pub struct ChannelBackend {
-    router: Arc<Router>,
-    completed: usize,
-}
+pub type ChannelBackend = RemoteBackend<MpscTransport>;
 
-impl ChannelBackend {
-    /// Spawn a backend with `num_shards` shards owned by up to `workers`
-    /// threads (clamped to `[1, num_shards]`).
-    pub fn new(num_shards: usize, workers: usize) -> Self {
-        let num_shards = num_shards.max(1);
-        let workers = workers.clamp(1, num_shards);
-        let mut senders = Vec::with_capacity(workers);
-        for worker in 0..workers {
-            let shard_ids: Vec<usize> = (worker..num_shards).step_by(workers).collect();
-            let (tx, rx) = channel();
-            let state = Worker {
-                writable: (0..shard_ids.len()).map(|_| FxHashMap::default()).collect(),
-                writable_writes: vec![0; shard_ids.len()],
-                shard_ids,
-                frozen: Vec::new(),
-                total_writes: 0,
-            };
-            std::thread::Builder::new()
-                .name(format!("dds-owner-{worker}"))
-                .spawn(move || state.run(rx))
-                .expect("spawning DDS owner thread");
-            senders.push(tx);
-        }
-        ChannelBackend {
-            router: Arc::new(Router {
-                senders,
-                num_shards,
-            }),
-            completed: 0,
-        }
-    }
-
-    /// Number of owner threads serving the shards.
-    pub fn num_workers(&self) -> usize {
-        self.router.senders.len()
-    }
-
-    fn send(&self, worker: usize, request: Request) {
-        self.router.senders[worker]
-            .send(request)
-            .expect("DDS owner thread exited while the backend is alive");
-    }
-}
-
-impl DdsBackend for ChannelBackend {
-    type View = ChannelSnapshot;
-
-    fn with_shards(num_shards: usize, threads: usize) -> Self {
-        ChannelBackend::new(num_shards, threads)
-    }
-
-    fn num_shards(&self) -> usize {
-        self.router.num_shards
-    }
-
-    fn empty_view(&self) -> ChannelSnapshot {
-        ChannelSnapshot {
-            inner: Arc::new(ViewInner {
-                router: self.router.clone(),
-                epoch: None,
-                workers: Vec::new(),
-                empty_reads: (0..self.router.num_shards)
-                    .map(|_| AtomicU64::new(0))
-                    .collect(),
-            }),
-        }
-    }
-
-    fn commit_round(&mut self, batches: Vec<Vec<(Key, Value)>>, _threads: usize) {
-        // Partition the ordered batches into per-(worker, local shard)
-        // buckets.  Concatenation order is preserved bucket-wise, which —
-        // keys living on exactly one shard — preserves every key's
-        // multi-value index order.
-        let workers = self.router.senders.len();
-        type WorkerBuckets = Vec<(usize, Vec<(Key, Value)>)>;
-        let mut buckets: Vec<WorkerBuckets> = vec![Vec::new(); workers];
-        let mut bucket_index: FxHashMap<(usize, usize), usize> = FxHashMap::default();
-        for batch in batches {
-            for (key, value) in batch {
-                let (worker, local) = self.router.route(&key);
-                let slot = *bucket_index.entry((worker, local)).or_insert_with(|| {
-                    buckets[worker].push((local, Vec::new()));
-                    buckets[worker].len() - 1
-                });
-                buckets[worker][slot].1.push((key, value));
-            }
-        }
-        for (worker, batches) in buckets.into_iter().enumerate() {
-            if !batches.is_empty() {
-                self.send(worker, Request::Commit(batches));
-            }
-        }
-    }
-
-    fn advance(&mut self, _threads: usize) -> ChannelSnapshot {
-        // Channel FIFO guarantees every `Commit` sent above is applied
-        // before the owner freezes; waiting for the published `Arc`s means
-        // the returned view needs no further synchronisation — its reads
-        // are plain probes of the shared immutable maps.
-        let mut receivers = Vec::with_capacity(self.router.senders.len());
-        for worker in 0..self.router.senders.len() {
-            let (tx, rx) = channel();
-            self.send(worker, Request::Advance { reply: tx });
-            receivers.push(rx);
-        }
-        let workers = receivers
-            .into_iter()
-            .map(|rx| rx.recv().expect("DDS owner thread exited"))
-            .collect();
-        let epoch = self.completed;
-        self.completed += 1;
-        ChannelSnapshot {
-            inner: Arc::new(ViewInner {
-                router: self.router.clone(),
-                epoch: Some(epoch),
-                workers,
-                empty_reads: Vec::new(),
-            }),
-        }
-    }
-
-    fn completed_epochs(&self) -> usize {
-        self.completed
-    }
-
-    fn total_writes(&self) -> u64 {
-        let mut total = 0;
-        for worker in 0..self.router.senders.len() {
-            let (tx, rx) = channel();
-            self.send(worker, Request::TotalWrites { reply: tx });
-            total += rx.recv().expect("DDS owner thread exited");
-        }
-        total
-    }
-
-    fn backend_name(&self) -> &'static str {
-        "channel"
-    }
-}
-
-/// State shared by every clone of a [`ChannelSnapshot`].
-struct ViewInner {
-    router: Arc<Router>,
-    /// Completed epoch served, or `None` for the pre-input empty view.
-    epoch: Option<usize>,
-    /// The epoch's shared frozen data, one entry per owner (`workers[w]` is
-    /// owner `w`'s shard group).  Empty for the pre-input empty view.
-    workers: Vec<Arc<WorkerEpoch>>,
-    /// Read accounting of the empty view (per shard); published epochs count
-    /// inside their shared [`WorkerEpoch`] instead.
-    empty_reads: Vec<AtomicU64>,
-}
-
-/// Read view of one completed [`ChannelBackend`] epoch.
-///
-/// Cloning is an `Arc` bump; clones share the published epoch data and
-/// therefore the read accounting.  Every lookup is a lock-free probe of the
-/// epoch's shared immutable maps — no channel traffic; only the driver-side
-/// operations (`shard_loads`, `entries`, `len`) message the owner threads.
-#[derive(Clone)]
-pub struct ChannelSnapshot {
-    inner: Arc<ViewInner>,
-}
-
-impl ChannelSnapshot {
-    /// The shared epoch data owning `key`, with the key's local shard index
-    /// inside it, or `None` on the empty view (which counts the miss).
-    #[inline]
-    fn probe(&self, key: &Key) -> Option<(&WorkerEpoch, usize)> {
-        if self.inner.epoch.is_none() {
-            let shard = self.inner.router.shard_of(key);
-            self.inner.empty_reads[shard].fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        let (worker, local) = self.inner.router.route(key);
-        Some((&self.inner.workers[worker], local))
-    }
-
-    fn loads(&self) -> Vec<ShardLoad> {
-        let Some(epoch) = self.inner.epoch else {
-            return self
-                .inner
-                .empty_reads
-                .iter()
-                .enumerate()
-                .map(|(shard, reads)| ShardLoad {
-                    shard,
-                    keys: 0,
-                    writes: 0,
-                    reads: reads.load(Ordering::Relaxed),
-                })
-                .collect();
-        };
-        let mut receivers = Vec::new();
-        for sender in &self.inner.router.senders {
-            let (tx, rx) = channel();
-            sender
-                .send(Request::Loads { epoch, reply: tx })
-                .expect("DDS owner thread exited while a view is alive");
-            receivers.push(rx);
-        }
-        let mut loads: Vec<ShardLoad> = receivers
-            .into_iter()
-            .flat_map(|rx| rx.recv().expect("DDS owner thread exited"))
-            .collect();
-        loads.sort_by_key(|load| load.shard);
-        loads
-    }
-}
-
-impl SnapshotView for ChannelSnapshot {
-    fn num_shards(&self) -> usize {
-        self.inner.router.num_shards
-    }
-
-    fn get(&self, key: &Key) -> Option<Value> {
-        let (epoch, local) = self.probe(key)?;
-        epoch.reads[local].fetch_add(1, Ordering::Relaxed);
-        epoch.shards[local].get(key).map(Slot::first)
-    }
-
-    fn get_indexed(&self, key: &Key, index: usize) -> Option<Value> {
-        let (epoch, local) = self.probe(key)?;
-        epoch.reads[local].fetch_add(1, Ordering::Relaxed);
-        epoch.shards[local]
-            .get(key)
-            .and_then(|slot| slot.get(index))
-    }
-
-    fn get_all(&self, key: &Key) -> Vec<Value> {
-        let Some((epoch, local)) = self.probe(key) else {
-            return Vec::new();
-        };
-        let values = epoch.shards[local]
-            .get(key)
-            .map(|slot| slot.as_slice().to_vec())
-            .unwrap_or_default();
-        epoch.reads[local].fetch_add(values.len().max(1) as u64, Ordering::Relaxed);
-        values
-    }
-
-    fn multiplicity(&self, key: &Key) -> usize {
-        let Some((epoch, local)) = self.probe(key) else {
-            return 0;
-        };
-        epoch.reads[local].fetch_add(1, Ordering::Relaxed);
-        epoch.shards[local].get(key).map_or(0, Slot::len)
-    }
-
-    fn len(&self) -> usize {
-        self.loads().iter().map(|load| load.keys as usize).sum()
-    }
-
-    fn get_many_slice(&self, keys: &[Key], out: &mut [Option<Value>]) {
-        assert!(
-            out.len() >= keys.len(),
-            "output slice shorter than key batch"
-        );
-        if self.inner.epoch.is_none() {
-            for (key, slot) in keys.iter().zip(out.iter_mut()) {
-                let shard = self.inner.router.shard_of(key);
-                self.inner.empty_reads[shard].fetch_add(1, Ordering::Relaxed);
-                *slot = None;
-            }
-            return;
-        }
-        // Every key resolves against the shared maps directly; coalesce
-        // read-counter updates over runs of same-shard keys (totals are
-        // identical to per-key counting), mirroring `Snapshot`.
-        let mut run: Option<(usize, usize)> = None;
-        let mut run_len = 0u64;
-        for (key, slot) in keys.iter().zip(out.iter_mut()) {
-            let (worker, local) = self.inner.router.route(key);
-            if run != Some((worker, local)) {
-                if let Some((w, l)) = run {
-                    self.inner.workers[w].reads[l].fetch_add(run_len, Ordering::Relaxed);
-                }
-                run = Some((worker, local));
-                run_len = 0;
-            }
-            run_len += 1;
-            *slot = self.inner.workers[worker].shards[local]
-                .get(key)
-                .map(Slot::first);
-        }
-        if let Some((w, l)) = run {
-            self.inner.workers[w].reads[l].fetch_add(run_len, Ordering::Relaxed);
-        }
-    }
-
-    fn total_reads(&self) -> u64 {
-        self.loads().iter().map(|load| load.reads).sum()
-    }
-
-    fn shard_loads(&self) -> Vec<ShardLoad> {
-        self.loads()
-    }
-
-    fn stats(&self) -> StoreStats {
-        StoreStats::from_loads(self.loads())
-    }
-
-    fn entries(&self) -> Vec<(Key, Vec<Value>)> {
-        let Some(epoch) = self.inner.epoch else {
-            return Vec::new();
-        };
-        let mut receivers = Vec::new();
-        for sender in &self.inner.router.senders {
-            let (tx, rx) = channel();
-            sender
-                .send(Request::Dump { epoch, reply: tx })
-                .expect("DDS owner thread exited while a view is alive");
-            receivers.push(rx);
-        }
-        receivers
-            .into_iter()
-            .flat_map(|rx| rx.recv().expect("DDS owner thread exited"))
-            .collect()
-    }
-}
-
-impl std::fmt::Debug for ChannelSnapshot {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ChannelSnapshot")
-            .field("num_shards", &self.inner.router.num_shards)
-            .field("epoch", &self.inner.epoch)
-            .finish()
-    }
-}
-
-impl std::fmt::Debug for ChannelBackend {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ChannelBackend")
-            .field("num_shards", &self.router.num_shards)
-            .field("workers", &self.router.senders.len())
-            .field("completed_epochs", &self.completed)
-            .finish()
-    }
-}
+/// Read view of one completed [`ChannelBackend`] epoch (the shared-memory
+/// instantiation of [`RemoteSnapshot`]).
+pub type ChannelSnapshot = RemoteSnapshot;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::key::KeyTag;
+    use crate::backend::{DdsBackend, SnapshotView};
+    use crate::key::{Key, KeyTag, Value};
 
     fn k(a: u64) -> Key {
         Key::of(KeyTag::Scalar, a)
@@ -577,16 +82,19 @@ mod tests {
     #[test]
     fn shared_view_reads_are_visible_to_owner_served_loads() {
         // Reads land in the shared epoch's atomics; the owner-served Loads
-        // protocol must observe them without any extra synchronisation.
+        // protocol must observe them without any extra synchronisation —
+        // the shared-memory capability wire transports do not have.
         let mut backend = backend_with(&[(1, 1), (2, 2), (3, 3), (4, 4)], 8, 2);
         let view = backend.advance(1);
         for i in 1..=4u64 {
             let _ = view.get(&k(i));
             let _ = view.multiplicity(&k(i));
         }
-        let loads = view.shard_loads();
-        assert_eq!(loads.iter().map(|l| l.reads).sum::<u64>(), 8);
-        assert_eq!(loads.iter().map(|l| l.writes).sum::<u64>(), 4);
+        let owner_loads = backend.epoch_loads(0).unwrap();
+        assert_eq!(owner_loads.iter().map(|l| l.reads).sum::<u64>(), 8);
+        assert_eq!(owner_loads.iter().map(|l| l.writes).sum::<u64>(), 4);
+        // The view computes the same loads locally from the shared epoch.
+        assert_eq!(view.shard_loads(), owner_loads);
     }
 
     #[test]
@@ -650,8 +158,8 @@ mod tests {
             let mut backend = backend_with(&[(5, 50)], 4, 2);
             backend.advance(1)
         };
-        // The backend (and runtime) are gone; the view holds the published
-        // epoch directly, and the owners stay alive for Loads/Dump.
+        // The backend (and its owner threads) are gone; the view holds the
+        // published epoch directly and serves everything locally.
         assert_eq!(view.get(&k(5)), Some(Value::scalar(50)));
         assert_eq!(view.len(), 1);
         assert_eq!(view.total_reads(), 1);
@@ -684,5 +192,13 @@ mod tests {
             }
         });
         assert_eq!(view.total_reads(), 500);
+    }
+
+    #[test]
+    fn worker_counts_are_clamped() {
+        let backend = ChannelBackend::new(4, 64);
+        assert_eq!(backend.num_workers(), 4);
+        let backend = ChannelBackend::new(8, 0);
+        assert_eq!(backend.num_workers(), 1);
     }
 }

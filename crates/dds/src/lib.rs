@@ -22,8 +22,8 @@
 //! * [`DdsChain`] — the sequence `D_0, D_1, …` of stores produced by a run.
 //! * [`backend`] — the [`SnapshotView`] / [`DdsBackend`] trait pair that
 //!   makes the store surface pluggable: [`LocalBackend`] wraps the chain
-//!   above, [`ChannelBackend`] serves the same surface over message-passing
-//!   owner threads (the stepping stone to a networked store).
+//!   above, while [`ChannelBackend`] and [`TcpBackend`] serve the same
+//!   surface over the message-passing wire protocol (see below).
 //! * [`contention`] — the weighted balls-into-bins experiment behind
 //!   Lemma 2.1 of the paper.
 //!
@@ -58,14 +58,40 @@
 //! at epoch `i` stays valid and byte-identical across later epochs and
 //! after its backend is dropped (pinned by `tests/backend_conformance.rs`).
 //!
+//! # The wire protocol
+//!
+//! The write-side backend surface is small enough to be a *network
+//! protocol*, and since the transport split it literally is one, layered in
+//! three modules:
+//!
+//! * [`proto`] — the protocol as data: serializable [`proto::Request`] /
+//!   [`proto::Reply`] types (`Commit` / `Advance` / `Loads` / `Dump` /
+//!   `TotalWrites`), a byte codec built on the constant-size pair encoding
+//!   of [`codec`], a framed epoch-snapshot payload ([`proto::EpochFrame`])
+//!   for fetching frozen maps across a process boundary, and
+//!   length-prefixed framing with a hard size cap.
+//! * [`transport`] — one connection between a backend and one shard-group
+//!   owner: the [`Transport`] / [`transport::ServerTransport`] trait pair,
+//!   with [`MpscTransport`] (typed in-process channels, zero-copy `Arc`
+//!   epoch publication) and [`TcpTransport`] (localhost sockets speaking
+//!   the codec) shipping in-tree.  Transports also honor request-level
+//!   fault injection ([`RequestFaults`]: scheduled drop-then-retry) and
+//!   turn dead peers into typed [`TransportError`]s instead of hangs.
+//! * [`remote`] — the client and server of the protocol:
+//!   [`RemoteBackend`]`<T>` drives any transport behind the [`DdsBackend`]
+//!   surface; the owner loop is transport-generic.  [`ChannelBackend`] is
+//!   `RemoteBackend<MpscTransport>`, [`TcpBackend`] is
+//!   `RemoteBackend<TcpTransport>`, and the conformance + determinism
+//!   suites hold both (and [`LocalBackend`]) to byte-identical behaviour.
+//!
+//! Reads never touch the wire: every view holds the frozen epoch locally
+//! (shared `Arc` or fetched replica) and probes it lock-free, so the
+//! protocol carries only the write-side and driver-side traffic — exactly
+//! the deployment shape the paper assumes for its RDMA/Bigtable-style DHT.
+//!
 //! The pre-refactor `Vec<Value>`-per-key layout survives as
 //! [`legacy::LegacyStore`], an executable specification the property tests
 //! compare against.
-//!
-//! The paper's deployment target is an RDMA/Bigtable-style distributed hash
-//! table.  We substitute a laptop-scale simulation with identical semantics:
-//! key-value lookups with per-shard load accounting and a hard read-only
-//! boundary between rounds.
 
 #![warn(missing_docs)]
 
@@ -77,10 +103,13 @@ pub mod epoch;
 pub mod hashing;
 pub mod key;
 pub mod legacy;
+pub mod proto;
+pub mod remote;
 mod slot;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
+pub mod transport;
 
 pub use backend::{DdsBackend, LocalBackend, SnapshotView};
 pub use channel::{ChannelBackend, ChannelSnapshot};
@@ -89,6 +118,8 @@ pub use contention::{simulate_balls_into_bins, BallsInBinsReport};
 pub use epoch::DdsChain;
 pub use hashing::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use key::{Key, KeyTag, Value};
+pub use remote::{FrozenEpoch, RemoteBackend, RemoteSnapshot, TcpBackend};
 pub use snapshot::Snapshot;
 pub use stats::{ShardLoad, StoreStats};
 pub use store::{default_parallelism, ShardedStore};
+pub use transport::{MpscTransport, RequestFaults, TcpTransport, Transport, TransportError};

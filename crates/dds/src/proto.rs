@@ -1,0 +1,761 @@
+//! The DDS backend wire protocol: serializable requests, replies and frames.
+//!
+//! [`crate::ChannelBackend`] deliberately shrank the write-side backend
+//! surface to a handful of message types so that a multi-process deployment
+//! could speak it over a network.  This module promotes that protocol to a
+//! first-class, *wire-level* API:
+//!
+//! * [`Request`] / [`Reply`] — the owner protocol as plain data.  Unlike the
+//!   old private `enum Request` in `channel.rs`, no variant carries a reply
+//!   channel: every request is answered by exactly one reply, and the
+//!   pairing is positional (FIFO per connection), exactly like a
+//!   length-prefixed RPC stream.
+//! * [`encode_request`] / [`decode_request`] and [`encode_reply`] /
+//!   [`decode_reply`] — the byte codec, built on the constant-size pair
+//!   encoding of [`crate::codec`] (20-byte keys, 16-byte values).  Every
+//!   integer is little-endian; every collection is a `u32` count followed by
+//!   its elements.  Decoders reject truncated buffers, unknown tags and
+//!   trailing garbage with a typed [`ProtoError`].
+//! * [`EpochFrame`] — the framed payload of a frozen epoch: per-shard write
+//!   counts plus every `(key, values)` entry.  This is how a remote peer
+//!   fetches the frozen maps that the in-process transport hands over as an
+//!   `Arc` (see [`crate::transport`]).
+//! * [`write_frame`] / [`read_frame`] — length-prefixed framing over any
+//!   `Write`/`Read`, with a hard [`MAX_FRAME_BYTES`] cap so a corrupt or
+//!   hostile length prefix can never trigger an unbounded allocation.
+//!
+//! The protocol is versioned implicitly by the conformance suites: a remote
+//! backend speaking these frames must produce byte-identical results to the
+//! in-process backends (`tests/backend_conformance.rs`,
+//! `tests/backend_determinism.rs`), and `crates/dds/tests/proto_roundtrip.rs`
+//! pins the codec itself with property tests.
+
+use crate::codec::{
+    decode_key, decode_value, encode_key, encode_value, ENCODED_KEY_BYTES, ENCODED_PAIR_BYTES,
+    ENCODED_VALUE_BYTES,
+};
+use crate::key::{Key, Value};
+use crate::stats::ShardLoad;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Hard ceiling on the size of a single protocol frame (payload bytes).
+///
+/// Large enough for any epoch this simulation produces (a frame of `k`
+/// singleton entries costs ~40 bytes per entry), small enough that a corrupt
+/// length prefix cannot drive an unbounded allocation.
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// The kind of a [`Request`], without its payload.
+///
+/// Used by the fault-injection schedule ([`crate::transport::RequestFaults`])
+/// to address "drop the `Commit` of epoch 3 on worker 1"-style coordinates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RequestKind {
+    /// [`Request::Commit`].
+    Commit,
+    /// [`Request::Advance`].
+    Advance,
+    /// [`Request::Loads`].
+    Loads,
+    /// [`Request::Dump`].
+    Dump,
+    /// [`Request::TotalWrites`].
+    TotalWrites,
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RequestKind::Commit => "commit",
+            RequestKind::Advance => "advance",
+            RequestKind::Loads => "loads",
+            RequestKind::Dump => "dump",
+            RequestKind::TotalWrites => "total_writes",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A request to one shard-group owner.
+///
+/// `epoch` coordinates always name the epoch the request targets: `Commit`
+/// and `Advance` target the *writable* epoch (the number of epochs the owner
+/// has frozen so far — owners validate this and panic on a protocol
+/// violation), `Loads` and `Dump` target a *completed* epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Apply shard-partitioned pairs to the writable epoch.
+    Commit {
+        /// Index of the writable epoch the pairs belong to.
+        epoch: usize,
+        /// Per-connection monotone sequence number.  Owners acknowledge a
+        /// retransmitted commit (same `seq` as the last one applied)
+        /// without re-applying it, which is what makes the transport's
+        /// retry-on-lost-ack safe — at-least-once delivery, exactly-once
+        /// application.
+        seq: u64,
+        /// `batches[i]` = (local shard index within the owner's group,
+        /// pairs in commit order).
+        batches: Vec<(usize, Vec<(Key, Value)>)>,
+    },
+    /// Freeze the writable epoch in place, open the next one, and publish
+    /// the frozen epoch (as a shared `Arc` in-process, as an
+    /// [`EpochFrame`] over the wire).
+    Advance {
+        /// Index of the epoch being frozen.
+        epoch: usize,
+    },
+    /// Report per-shard loads of a completed epoch (keyed by global shard
+    /// id).
+    Loads {
+        /// Completed epoch to report on.
+        epoch: usize,
+    },
+    /// Dump every `(key, values)` pair of a completed epoch (driver/tests).
+    Dump {
+        /// Completed epoch to dump.
+        epoch: usize,
+    },
+    /// Report total writes accepted so far (all epochs, incl. writable).
+    TotalWrites,
+}
+
+impl Request {
+    /// The kind of this request.
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            Request::Commit { .. } => RequestKind::Commit,
+            Request::Advance { .. } => RequestKind::Advance,
+            Request::Loads { .. } => RequestKind::Loads,
+            Request::Dump { .. } => RequestKind::Dump,
+            Request::TotalWrites => RequestKind::TotalWrites,
+        }
+    }
+}
+
+/// The reply to one [`Request`] (same variant order as the request kinds).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// [`Request::Commit`] acknowledged.
+    Committed {
+        /// Epoch the pairs were applied to.
+        epoch: usize,
+        /// Number of pairs accepted by this owner.
+        accepted: u64,
+    },
+    /// [`Request::Advance`] answered with the frozen epoch's serialized
+    /// contents (wire transports only; in-process transports publish the
+    /// epoch as a shared `Arc` instead and never materialize this variant).
+    Epoch(EpochFrame),
+    /// [`Request::Loads`] answered.
+    Loads(Vec<ShardLoad>),
+    /// [`Request::Dump`] answered.
+    Dump(Vec<(Key, Vec<Value>)>),
+    /// [`Request::TotalWrites`] answered.
+    TotalWrites(u64),
+}
+
+/// Serialized frozen epoch of one owner's shard group: the payload a remote
+/// peer fetches in place of the in-process `Arc` hand-off.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct EpochFrame {
+    /// `shards[local]` — the owner's `local`-th shard.
+    pub shards: Vec<ShardFrame>,
+}
+
+/// One shard of an [`EpochFrame`].
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ShardFrame {
+    /// Writes that built the shard.
+    pub writes: u64,
+    /// Every `(key, values)` entry of the shard, values in commit order.
+    /// Entry order is unspecified (hash-map iteration order) — lookups are
+    /// keyed, so replicas rebuilt from a frame read identically.
+    pub entries: Vec<(Key, Vec<Value>)>,
+}
+
+/// Typed decode failure of a protocol frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The buffer ended before the message did.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// An unknown message tag.
+    UnknownTag {
+        /// `"request"` or `"reply"`.
+        kind: &'static str,
+        /// The tag byte found.
+        tag: u8,
+    },
+    /// The message decoded but the buffer kept going.
+    Trailing {
+        /// Bytes left over after the message.
+        remaining: usize,
+    },
+    /// A frame (or a declared frame length) exceeds [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The offending length.
+        len: usize,
+        /// The cap it exceeds.
+        max: usize,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated { context } => {
+                write!(f, "frame truncated while decoding {context}")
+            }
+            ProtoError::UnknownTag { kind, tag } => {
+                write!(f, "unknown {kind} tag {tag}")
+            }
+            ProtoError::Trailing { remaining } => {
+                write!(f, "{remaining} trailing bytes after the message")
+            }
+            ProtoError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+const TAG_COMMIT: u8 = 0;
+const TAG_ADVANCE: u8 = 1;
+const TAG_LOADS: u8 = 2;
+const TAG_DUMP: u8 = 3;
+const TAG_TOTAL_WRITES: u8 = 4;
+
+const TAG_COMMITTED: u8 = 0;
+const TAG_EPOCH: u8 = 1;
+const TAG_LOADS_REPLY: u8 = 2;
+const TAG_DUMP_REPLY: u8 = 3;
+const TAG_TOTAL_WRITES_REPLY: u8 = 4;
+
+fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_key(buf: &mut Vec<u8>, key: &Key) {
+    buf.extend_from_slice(&encode_key(key));
+}
+
+fn put_value(buf: &mut Vec<u8>, value: &Value) {
+    buf.extend_from_slice(&encode_value(value));
+}
+
+fn put_entries(buf: &mut Vec<u8>, entries: &[(Key, Vec<Value>)]) {
+    put_u32(buf, entries.len() as u32);
+    for (key, values) in entries {
+        put_key(buf, key);
+        put_u32(buf, values.len() as u32);
+        for value in values {
+            put_value(buf, value);
+        }
+    }
+}
+
+/// Encode a [`Request`] into its wire payload (no length prefix).
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16);
+    match request {
+        Request::Commit {
+            epoch,
+            seq,
+            batches,
+        } => {
+            buf.push(TAG_COMMIT);
+            put_u64(&mut buf, *epoch as u64);
+            put_u64(&mut buf, *seq);
+            put_u32(&mut buf, batches.len() as u32);
+            for (local, pairs) in batches {
+                put_u32(&mut buf, *local as u32);
+                put_u32(&mut buf, pairs.len() as u32);
+                for (key, value) in pairs {
+                    put_key(&mut buf, key);
+                    put_value(&mut buf, value);
+                }
+            }
+        }
+        Request::Advance { epoch } => {
+            buf.push(TAG_ADVANCE);
+            put_u64(&mut buf, *epoch as u64);
+        }
+        Request::Loads { epoch } => {
+            buf.push(TAG_LOADS);
+            put_u64(&mut buf, *epoch as u64);
+        }
+        Request::Dump { epoch } => {
+            buf.push(TAG_DUMP);
+            put_u64(&mut buf, *epoch as u64);
+        }
+        Request::TotalWrites => buf.push(TAG_TOTAL_WRITES),
+    }
+    buf
+}
+
+/// Encode a [`Reply`] into its wire payload (no length prefix).
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16);
+    match reply {
+        Reply::Committed { epoch, accepted } => {
+            buf.push(TAG_COMMITTED);
+            put_u64(&mut buf, *epoch as u64);
+            put_u64(&mut buf, *accepted);
+        }
+        Reply::Epoch(frame) => {
+            buf.push(TAG_EPOCH);
+            put_u32(&mut buf, frame.shards.len() as u32);
+            for shard in &frame.shards {
+                put_u64(&mut buf, shard.writes);
+                put_entries(&mut buf, &shard.entries);
+            }
+        }
+        Reply::Loads(loads) => {
+            buf.push(TAG_LOADS_REPLY);
+            put_u32(&mut buf, loads.len() as u32);
+            for load in loads {
+                put_u64(&mut buf, load.shard as u64);
+                put_u64(&mut buf, load.keys);
+                put_u64(&mut buf, load.writes);
+                put_u64(&mut buf, load.reads);
+            }
+        }
+        Reply::Dump(entries) => {
+            buf.push(TAG_DUMP_REPLY);
+            put_entries(&mut buf, entries);
+        }
+        Reply::TotalWrites(total) => {
+            buf.push(TAG_TOTAL_WRITES_REPLY);
+            put_u64(&mut buf, *total);
+        }
+    }
+    buf
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Byte cursor that turns out-of-bytes into typed [`ProtoError::Truncated`].
+struct Cursor<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], ProtoError> {
+        if self.bytes.len() < n {
+            return Err(ProtoError::Truncated { context });
+        }
+        let (head, rest) = self.bytes.split_at(n);
+        self.bytes = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, ProtoError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, ProtoError> {
+        let bytes = self.take(4, context)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte take")))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, ProtoError> {
+        let bytes = self.take(8, context)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte take")))
+    }
+
+    fn key(&mut self) -> Result<Key, ProtoError> {
+        let bytes = self.take(ENCODED_KEY_BYTES, "key")?;
+        decode_key(bytes).ok_or(ProtoError::Truncated { context: "key" })
+    }
+
+    fn value(&mut self) -> Result<Value, ProtoError> {
+        let bytes = self.take(ENCODED_VALUE_BYTES, "value")?;
+        decode_value(bytes).ok_or(ProtoError::Truncated { context: "value" })
+    }
+
+    /// A `u32` element count, validated against the bytes actually left
+    /// (each element needs at least `min_element_bytes`), so a corrupt
+    /// count can neither over-allocate nor masquerade as a short message.
+    fn count(
+        &mut self,
+        min_element_bytes: usize,
+        context: &'static str,
+    ) -> Result<usize, ProtoError> {
+        let count = self.u32(context)? as usize;
+        if count.saturating_mul(min_element_bytes) > self.bytes.len() {
+            return Err(ProtoError::Truncated { context });
+        }
+        Ok(count)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtoError::Trailing {
+                remaining: self.bytes.len(),
+            })
+        }
+    }
+}
+
+fn get_values(cursor: &mut Cursor<'_>) -> Result<Vec<Value>, ProtoError> {
+    let count = cursor.count(ENCODED_VALUE_BYTES, "values")?;
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        values.push(cursor.value()?);
+    }
+    Ok(values)
+}
+
+fn get_entries(cursor: &mut Cursor<'_>) -> Result<Vec<(Key, Vec<Value>)>, ProtoError> {
+    let count = cursor.count(ENCODED_KEY_BYTES + 4, "entries")?;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = cursor.key()?;
+        entries.push((key, get_values(cursor)?));
+    }
+    Ok(entries)
+}
+
+/// Decode a [`Request`] from its wire payload.
+///
+/// The whole buffer must be one message: truncated buffers, unknown tags and
+/// trailing bytes are all rejected.
+pub fn decode_request(bytes: &[u8]) -> Result<Request, ProtoError> {
+    let mut cursor = Cursor::new(bytes);
+    let request = match cursor.u8("request tag")? {
+        TAG_COMMIT => {
+            let epoch = cursor.u64("commit epoch")? as usize;
+            let seq = cursor.u64("commit seq")?;
+            let batch_count = cursor.count(8, "commit batches")?;
+            let mut batches = Vec::with_capacity(batch_count);
+            for _ in 0..batch_count {
+                let local = cursor.u32("batch shard")? as usize;
+                let pair_count = cursor.count(ENCODED_PAIR_BYTES, "batch pairs")?;
+                let mut pairs = Vec::with_capacity(pair_count);
+                for _ in 0..pair_count {
+                    let key = cursor.key()?;
+                    let value = cursor.value()?;
+                    pairs.push((key, value));
+                }
+                batches.push((local, pairs));
+            }
+            Request::Commit {
+                epoch,
+                seq,
+                batches,
+            }
+        }
+        TAG_ADVANCE => Request::Advance {
+            epoch: cursor.u64("advance epoch")? as usize,
+        },
+        TAG_LOADS => Request::Loads {
+            epoch: cursor.u64("loads epoch")? as usize,
+        },
+        TAG_DUMP => Request::Dump {
+            epoch: cursor.u64("dump epoch")? as usize,
+        },
+        TAG_TOTAL_WRITES => Request::TotalWrites,
+        tag => {
+            return Err(ProtoError::UnknownTag {
+                kind: "request",
+                tag,
+            })
+        }
+    };
+    cursor.finish()?;
+    Ok(request)
+}
+
+/// Decode a [`Reply`] from its wire payload (same contract as
+/// [`decode_request`]).
+pub fn decode_reply(bytes: &[u8]) -> Result<Reply, ProtoError> {
+    let mut cursor = Cursor::new(bytes);
+    let reply = match cursor.u8("reply tag")? {
+        TAG_COMMITTED => Reply::Committed {
+            epoch: cursor.u64("committed epoch")? as usize,
+            accepted: cursor.u64("committed count")?,
+        },
+        TAG_EPOCH => {
+            let shard_count = cursor.count(12, "epoch shards")?;
+            let mut shards = Vec::with_capacity(shard_count);
+            for _ in 0..shard_count {
+                let writes = cursor.u64("shard writes")?;
+                let entries = get_entries(&mut cursor)?;
+                shards.push(ShardFrame { writes, entries });
+            }
+            Reply::Epoch(EpochFrame { shards })
+        }
+        TAG_LOADS_REPLY => {
+            let count = cursor.count(32, "loads")?;
+            let mut loads = Vec::with_capacity(count);
+            for _ in 0..count {
+                loads.push(ShardLoad {
+                    shard: cursor.u64("load shard")? as usize,
+                    keys: cursor.u64("load keys")?,
+                    writes: cursor.u64("load writes")?,
+                    reads: cursor.u64("load reads")?,
+                });
+            }
+            Reply::Loads(loads)
+        }
+        TAG_DUMP_REPLY => Reply::Dump(get_entries(&mut cursor)?),
+        TAG_TOTAL_WRITES_REPLY => Reply::TotalWrites(cursor.u64("total writes")?),
+        tag => return Err(ProtoError::UnknownTag { kind: "reply", tag }),
+    };
+    cursor.finish()?;
+    Ok(reply)
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Write one length-prefixed frame (`u32` little-endian payload length, then
+/// the payload).
+///
+/// # Errors
+/// `InvalidData` if the payload exceeds [`MAX_FRAME_BYTES`]; otherwise any
+/// I/O error of the underlying writer.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            ProtoError::Oversized {
+                len: payload.len(),
+                max: MAX_FRAME_BYTES,
+            }
+            .to_string(),
+        ));
+    }
+    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+    writer.write_all(payload)
+}
+
+/// Read one length-prefixed frame written by [`write_frame`].
+///
+/// # Errors
+/// `InvalidData` if the declared length exceeds [`MAX_FRAME_BYTES`] (the
+/// payload is not read, let alone allocated); `UnexpectedEof` if the stream
+/// ends mid-frame; otherwise any I/O error of the underlying reader.
+pub fn read_frame<R: Read>(reader: &mut R) -> std::io::Result<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    reader.read_exact(&mut prefix)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            ProtoError::Oversized {
+                len,
+                max: MAX_FRAME_BYTES,
+            }
+            .to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyTag;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Commit {
+                epoch: 3,
+                seq: 41,
+                batches: vec![
+                    (0, vec![(Key::of(KeyTag::Scalar, 1), Value::scalar(10))]),
+                    (
+                        2,
+                        vec![
+                            (Key::with_index(KeyTag::Adjacency, 7, 1), Value::pair(1, 2)),
+                            (Key::of(KeyTag::Custom(9), u64::MAX), Value::scalar(0)),
+                        ],
+                    ),
+                    (5, Vec::new()),
+                ],
+            },
+            Request::Advance { epoch: 0 },
+            Request::Loads { epoch: 17 },
+            Request::Dump {
+                epoch: usize::MAX >> 8,
+            },
+            Request::TotalWrites,
+        ]
+    }
+
+    fn sample_replies() -> Vec<Reply> {
+        vec![
+            Reply::Committed {
+                epoch: 4,
+                accepted: 1234,
+            },
+            Reply::Epoch(EpochFrame {
+                shards: vec![
+                    ShardFrame {
+                        writes: 3,
+                        entries: vec![
+                            (Key::of(KeyTag::Degree, 0), vec![Value::scalar(1)]),
+                            (
+                                Key::of(KeyTag::Scalar, 9),
+                                vec![Value::scalar(2), Value::pair(3, 4)],
+                            ),
+                        ],
+                    },
+                    ShardFrame {
+                        writes: 0,
+                        entries: Vec::new(),
+                    },
+                ],
+            }),
+            Reply::Loads(vec![
+                ShardLoad {
+                    shard: 0,
+                    keys: 1,
+                    writes: 2,
+                    reads: 3,
+                },
+                ShardLoad {
+                    shard: 9,
+                    keys: 0,
+                    writes: 0,
+                    reads: u64::MAX,
+                },
+            ]),
+            Reply::Dump(vec![(
+                Key::of(KeyTag::Successor, 5),
+                vec![Value::scalar(6), Value::scalar(7)],
+            )]),
+            Reply::TotalWrites(42),
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for request in sample_requests() {
+            let bytes = encode_request(&request);
+            assert_eq!(decode_request(&bytes), Ok(request));
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for reply in sample_replies() {
+            let bytes = encode_reply(&reply);
+            assert_eq!(decode_reply(&bytes), Ok(reply));
+        }
+    }
+
+    #[test]
+    fn truncated_messages_are_rejected_at_every_length() {
+        for request in sample_requests() {
+            let bytes = encode_request(&request);
+            for len in 0..bytes.len() {
+                assert!(
+                    decode_request(&bytes[..len]).is_err(),
+                    "request prefix of {len} bytes must not decode"
+                );
+            }
+        }
+        for reply in sample_replies() {
+            let bytes = encode_reply(&reply);
+            for len in 0..bytes.len() {
+                assert!(
+                    decode_reply(&bytes[..len]).is_err(),
+                    "reply prefix of {len} bytes must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_request(&Request::TotalWrites);
+        bytes.push(0);
+        assert_eq!(
+            decode_request(&bytes),
+            Err(ProtoError::Trailing { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert_eq!(
+            decode_request(&[200]),
+            Err(ProtoError::UnknownTag {
+                kind: "request",
+                tag: 200
+            })
+        );
+        assert_eq!(
+            decode_reply(&[99]),
+            Err(ProtoError::UnknownTag {
+                kind: "reply",
+                tag: 99
+            })
+        );
+    }
+
+    #[test]
+    fn corrupt_counts_cannot_over_allocate() {
+        // A Dump reply declaring u32::MAX entries in a 9-byte buffer must be
+        // rejected by the count validation, not by an allocation attempt.
+        let mut bytes = vec![TAG_DUMP_REPLY];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0; 4]);
+        assert_eq!(
+            decode_reply(&bytes),
+            Err(ProtoError::Truncated { context: "entries" })
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let payload = encode_request(&Request::Advance { epoch: 2 });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        assert_eq!(wire.len(), payload.len() + 4);
+        let mut reader: &[u8] = &wire;
+        assert_eq!(read_frame(&mut reader).unwrap(), payload);
+        assert!(reader.is_empty());
+
+        // A length prefix past the cap is rejected without reading further.
+        let huge = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes();
+        let mut reader: &[u8] = &huge;
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // A frame cut short mid-payload is an UnexpectedEof.
+        let mut short = Vec::new();
+        write_frame(&mut short, &payload).unwrap();
+        short.truncate(short.len() - 1);
+        let mut reader: &[u8] = &short;
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,1020 @@
+//! The transport-generic message-passing backend: [`RemoteBackend`].
+//!
+//! This is the client ("backend") and server ("owner") realization of the
+//! [`crate::proto`] wire protocol.  Shards are partitioned into groups, each
+//! group is owned by a dedicated worker, and the backend talks to each owner
+//! over one [`crate::transport::Transport`] connection:
+//!
+//! * `RemoteBackend<MpscTransport>` is the in-process
+//!   [`crate::ChannelBackend`] — typed messages over channels, frozen epochs
+//!   published zero-copy as shared `Arc`s;
+//! * `RemoteBackend<TcpTransport>` ([`TcpBackend`]) runs the identical owner
+//!   loop behind localhost sockets — every request and reply round-trips
+//!   through the byte codec, and frozen epochs are fetched as
+//!   [`crate::proto::EpochFrame`]s and rebuilt into local replicas.
+//!
+//! Either way, a round's reads resolve **locally and lock-free**: the view
+//! holds one [`FrozenEpoch`] per owner (shared or replicated — machine code
+//! cannot tell) and probes its immutable maps directly.  Only the
+//! write-side protocol (`Commit`, `Advance`) and the driver-side requests
+//! (`Loads`, `Dump`, `TotalWrites`) cross the transport.
+//!
+//! Owner failures surface as typed [`TransportError`]s: when a connection
+//! drops because the owner thread panicked, the backend joins the thread
+//! and attaches the panic payload to the error instead of hanging or dying
+//! on an opaque broken channel.
+
+use crate::backend::{DdsBackend, SnapshotView};
+use crate::hashing::{hash_words, FxHashMap};
+use crate::key::{Key, Value};
+use crate::proto::{EpochFrame, Reply, Request, ShardFrame};
+use crate::slot::Slot;
+use crate::stats::{ShardLoad, StoreStats};
+use crate::transport::{
+    ClientReply, OwnerReply, RequestFaults, ServerTransport, TcpTransport, Transport,
+    TransportError,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// [`RemoteBackend`] over localhost TCP sockets — the deployable backend.
+///
+/// Select it through `ampc_runtime::AmpcConfig` (`DdsBackendKind::Remote`)
+/// rather than constructing it directly.
+pub type TcpBackend = RemoteBackend<TcpTransport>;
+
+// ---------------------------------------------------------------------------
+// FrozenEpoch — one owner's published epoch
+// ---------------------------------------------------------------------------
+
+/// One frozen epoch of one owner's shard group.
+///
+/// On shared-memory transports the owner and every view hold the *same*
+/// allocation (the zero-copy publication); on wire transports each view
+/// holds a replica rebuilt from the fetched [`EpochFrame`].  The maps are
+/// immutable once published; the read counters are atomics so concurrent
+/// machine threads and the accounting agree without locks.
+pub struct FrozenEpoch {
+    /// `shards[local]` — frozen map of the group's `local`-th shard.
+    pub(crate) shards: Vec<FxHashMap<Key, Slot>>,
+    /// Writes that built each shard.
+    pub(crate) writes: Vec<u64>,
+    /// Reads served per shard since the epoch froze.
+    pub(crate) reads: Vec<AtomicU64>,
+}
+
+impl FrozenEpoch {
+    /// Serialize for the wire ([`Reply::Epoch`]).
+    pub(crate) fn to_frame(&self) -> EpochFrame {
+        EpochFrame {
+            shards: self
+                .shards
+                .iter()
+                .zip(&self.writes)
+                .map(|(map, &writes)| ShardFrame {
+                    writes,
+                    entries: map
+                        .iter()
+                        .map(|(key, slot)| (*key, slot.as_slice().to_vec()))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a local replica from a fetched frame.
+    pub(crate) fn from_frame(frame: EpochFrame) -> FrozenEpoch {
+        let mut shards = Vec::with_capacity(frame.shards.len());
+        let mut writes = Vec::with_capacity(frame.shards.len());
+        for shard in frame.shards {
+            let mut map = FxHashMap::default();
+            map.reserve(shard.entries.len());
+            for (key, mut values) in shard.entries {
+                let slot = if values.len() == 1 {
+                    Slot::One(values[0])
+                } else if values.is_empty() {
+                    // Owners never emit empty entries; skip defensively.
+                    continue;
+                } else {
+                    values.shrink_to_fit();
+                    Slot::Many(values)
+                };
+                map.insert(key, slot);
+            }
+            shards.push(map);
+            writes.push(shard.writes);
+        }
+        let reads = (0..shards.len()).map(|_| AtomicU64::new(0)).collect();
+        FrozenEpoch {
+            shards,
+            writes,
+            reads,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker — the owner-side state machine
+// ---------------------------------------------------------------------------
+
+/// The single-threaded state of one shard-group owner, serving
+/// [`crate::proto`] requests over any [`ServerTransport`].
+pub(crate) struct Worker {
+    /// Global shard ids owned by this worker (ascending).
+    shard_ids: Vec<usize>,
+    /// Writable maps of the current epoch, one per owned shard.
+    writable: Vec<FxHashMap<Key, Slot>>,
+    /// Writes accepted into the current epoch, per owned shard.
+    writable_writes: Vec<u64>,
+    /// Published epochs, in order; the owner keeps its own handle so it can
+    /// serve `Loads` / `Dump` for epochs whose views are long gone.
+    frozen: Vec<Arc<FrozenEpoch>>,
+    /// Total writes accepted across all epochs.
+    total_writes: u64,
+    /// `(seq, accepted)` of the last commit applied, so a retransmitted
+    /// commit (its ack was lost in transit) is re-acknowledged without
+    /// being re-applied — at-least-once delivery, exactly-once application.
+    last_commit: Option<(u64, u64)>,
+}
+
+impl Worker {
+    pub(crate) fn new(shard_ids: Vec<usize>) -> Worker {
+        Worker {
+            writable: (0..shard_ids.len()).map(|_| FxHashMap::default()).collect(),
+            writable_writes: vec![0; shard_ids.len()],
+            shard_ids,
+            frozen: Vec::new(),
+            total_writes: 0,
+            last_commit: None,
+        }
+    }
+
+    /// Serve requests until the client goes away.  Transport-generic: the
+    /// identical loop runs behind in-process channels and sockets.
+    pub(crate) fn serve<S: ServerTransport>(mut self, mut transport: S) {
+        while let Some(request) = transport.recv_request() {
+            let reply = self.handle(request);
+            if !transport.send_reply(reply) {
+                break;
+            }
+        }
+    }
+
+    /// A completed epoch, validated (protocol violations are owner bugs or a
+    /// confused client and panic — the transport layer turns the dead
+    /// connection into a typed error on the client side).
+    fn completed(&self, epoch: usize, what: &str) -> &Arc<FrozenEpoch> {
+        assert!(
+            epoch < self.frozen.len(),
+            "owner asked to {what} unknown epoch {epoch} ({} completed)",
+            self.frozen.len()
+        );
+        &self.frozen[epoch]
+    }
+
+    fn handle(&mut self, request: Request) -> OwnerReply {
+        match request {
+            Request::Commit {
+                epoch,
+                seq,
+                batches,
+            } => {
+                assert_eq!(
+                    epoch,
+                    self.frozen.len(),
+                    "commit must target the writable epoch"
+                );
+                if let Some((last_seq, accepted)) = self.last_commit {
+                    if last_seq == seq {
+                        // Retransmission of a commit already applied (its
+                        // ack was lost): re-acknowledge, apply nothing.
+                        return OwnerReply::Wire(Reply::Committed { epoch, accepted });
+                    }
+                }
+                let mut accepted = 0u64;
+                for (local, pairs) in batches {
+                    accepted += pairs.len() as u64;
+                    self.writable_writes[local] += pairs.len() as u64;
+                    self.total_writes += pairs.len() as u64;
+                    let map = &mut self.writable[local];
+                    map.reserve(pairs.len());
+                    for (key, value) in pairs {
+                        match map.entry(key) {
+                            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                                slot.get_mut().push(value)
+                            }
+                            std::collections::hash_map::Entry::Vacant(slot) => {
+                                slot.insert(Slot::One(value));
+                            }
+                        }
+                    }
+                }
+                self.last_commit = Some((seq, accepted));
+                OwnerReply::Wire(Reply::Committed { epoch, accepted })
+            }
+            Request::Advance { epoch } => {
+                if epoch + 1 == self.frozen.len() {
+                    // Retransmission of the advance that froze the last
+                    // epoch (its reply was lost): republish it unchanged.
+                    let replay = self.frozen.last().expect("a frozen epoch exists").clone();
+                    return OwnerReply::Epoch(replay);
+                }
+                assert_eq!(
+                    epoch,
+                    self.frozen.len(),
+                    "advance must freeze the writable epoch"
+                );
+                let shard_count = self.shard_ids.len();
+                // In-place freeze: reuse the writable maps as the frozen
+                // maps, only shrinking the rare multi-value slots.
+                let mut shards = std::mem::replace(
+                    &mut self.writable,
+                    (0..shard_count).map(|_| FxHashMap::default()).collect(),
+                );
+                for map in &mut shards {
+                    crate::slot::freeze_map_in_place(map);
+                }
+                let writes = std::mem::replace(&mut self.writable_writes, vec![0; shard_count]);
+                let epoch = Arc::new(FrozenEpoch {
+                    shards,
+                    writes,
+                    reads: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+                });
+                self.frozen.push(epoch.clone());
+                OwnerReply::Epoch(epoch)
+            }
+            Request::Loads { epoch } => {
+                let epoch = self.completed(epoch, "report loads of");
+                let loads = self
+                    .shard_ids
+                    .iter()
+                    .enumerate()
+                    .map(|(local, &shard)| ShardLoad {
+                        shard,
+                        keys: epoch.shards[local].len() as u64,
+                        writes: epoch.writes[local],
+                        reads: epoch.reads[local].load(Ordering::Relaxed),
+                    })
+                    .collect();
+                OwnerReply::Wire(Reply::Loads(loads))
+            }
+            Request::Dump { epoch } => {
+                let epoch = self.completed(epoch, "dump");
+                let mut entries = Vec::new();
+                for shard in &epoch.shards {
+                    for (key, slot) in shard {
+                        entries.push((*key, slot.as_slice().to_vec()));
+                    }
+                }
+                OwnerReply::Wire(Reply::Dump(entries))
+            }
+            Request::TotalWrites => OwnerReply::Wire(Reply::TotalWrites(self.total_writes)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+/// Key → (worker, local shard) routing, shared by backend and views.
+#[derive(Clone, Copy, Debug)]
+struct Routing {
+    num_shards: usize,
+    workers: usize,
+}
+
+impl Routing {
+    #[inline]
+    fn shard_of(&self, key: &Key) -> usize {
+        (hash_words(key.tag.code(), key.a, key.b) % self.num_shards as u64) as usize
+    }
+
+    /// (worker, local shard index) owning `key`.
+    #[inline]
+    fn route(&self, key: &Key) -> (usize, usize) {
+        let shard = self.shard_of(key);
+        (shard % self.workers, shard / self.workers)
+    }
+
+    /// Inverse of [`Routing::route`] for whole-epoch iteration.
+    #[inline]
+    fn placement(&self, shard: usize) -> (usize, usize) {
+        (shard % self.workers, shard / self.workers)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RemoteBackend
+// ---------------------------------------------------------------------------
+
+/// A multi-owner, message-passing DDS backend, generic over the
+/// [`Transport`] carrying the [`crate::proto`] protocol.
+///
+/// See the [module docs](self) for the design; select it through
+/// `ampc_runtime::AmpcConfig` rather than constructing it directly.
+pub struct RemoteBackend<T: Transport> {
+    clients: Vec<T>,
+    handles: Vec<Option<JoinHandle<()>>>,
+    routing: Routing,
+    completed: usize,
+    faults: RequestFaults,
+    /// Monotone sequence numbers for `Commit` requests (owners use them to
+    /// deduplicate retransmissions).
+    next_seq: u64,
+}
+
+impl<T: Transport> RemoteBackend<T> {
+    /// Spawn a backend with `num_shards` shards owned by up to `workers`
+    /// owner threads (clamped to `[1, num_shards]`).
+    pub fn new(num_shards: usize, workers: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let workers = workers.clamp(1, num_shards);
+        let mut clients = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let shard_ids: Vec<usize> = (worker..num_shards).step_by(workers).collect();
+            let (client, server) = T::connect(worker);
+            let state = Worker::new(shard_ids);
+            let handle = std::thread::Builder::new()
+                .name(format!("dds-owner-{worker}"))
+                .spawn(move || state.serve(server))
+                .expect("spawning DDS owner thread");
+            clients.push(client);
+            handles.push(Some(handle));
+        }
+        RemoteBackend {
+            clients,
+            handles,
+            routing: Routing {
+                num_shards,
+                workers,
+            },
+            completed: 0,
+            faults: RequestFaults::none(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of owner threads serving the shards.
+    pub fn num_workers(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// When a connection died without a panic payload, join the owner and
+    /// harvest its panic message so the caller sees *why*, not just that the
+    /// channel broke.
+    fn harvest(&mut self, err: TransportError) -> TransportError {
+        let TransportError::PeerClosed {
+            worker,
+            panic: None,
+        } = &err
+        else {
+            return err;
+        };
+        let worker = *worker;
+        let Some(handle) = self.handles.get_mut(worker).and_then(Option::take) else {
+            return err;
+        };
+        match handle.join() {
+            Ok(()) => err,
+            Err(payload) => {
+                let message = crate::transport::panic_message(payload.as_ref())
+                    .unwrap_or_else(|| "owner panicked with a non-string payload".to_string());
+                TransportError::PeerClosed {
+                    worker,
+                    panic: Some(message),
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, worker: usize, request: Request) -> Result<(), TransportError> {
+        let result = self.clients[worker].send(request);
+        result.map_err(|err| self.harvest(err))
+    }
+
+    fn recv(&mut self, worker: usize) -> Result<ClientReply, TransportError> {
+        let result = self.clients[worker].recv();
+        result.map_err(|err| self.harvest(err))
+    }
+
+    fn recv_wire(&mut self, worker: usize) -> Result<Reply, TransportError> {
+        match self.recv(worker)? {
+            ClientReply::Wire(reply) => Ok(reply),
+            ClientReply::SharedEpoch(_) => Err(TransportError::Protocol {
+                worker,
+                message: "unsolicited epoch publication".to_string(),
+            }),
+        }
+    }
+
+    /// Fallible [`DdsBackend::commit_round`]: partition the ordered batches
+    /// by owner, pipeline one `Commit` per owner, then collect the acks.
+    /// Returns the number of pairs accepted.
+    pub fn try_commit_round(
+        &mut self,
+        batches: Vec<Vec<(Key, Value)>>,
+    ) -> Result<u64, TransportError> {
+        // Partition into per-(worker, local shard) buckets.  Concatenation
+        // order is preserved bucket-wise, which — keys living on exactly one
+        // shard — preserves every key's multi-value index order.
+        let workers = self.clients.len();
+        type WorkerBuckets = Vec<(usize, Vec<(Key, Value)>)>;
+        let mut buckets: Vec<WorkerBuckets> = vec![Vec::new(); workers];
+        let mut bucket_index: FxHashMap<(usize, usize), usize> = FxHashMap::default();
+        for batch in batches {
+            for (key, value) in batch {
+                let (worker, local) = self.routing.route(&key);
+                let slot = *bucket_index.entry((worker, local)).or_insert_with(|| {
+                    buckets[worker].push((local, Vec::new()));
+                    buckets[worker].len() - 1
+                });
+                buckets[worker][slot].1.push((key, value));
+            }
+        }
+        let epoch = self.completed;
+        let mut pending = Vec::with_capacity(workers);
+        for (worker, batches) in buckets.into_iter().enumerate() {
+            if !batches.is_empty() {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.send(
+                    worker,
+                    Request::Commit {
+                        epoch,
+                        seq,
+                        batches,
+                    },
+                )?;
+                pending.push(worker);
+            }
+        }
+        let mut accepted = 0u64;
+        for worker in pending {
+            match self.recv_wire(worker)? {
+                Reply::Committed { accepted: n, .. } => accepted += n,
+                other => {
+                    return Err(TransportError::Protocol {
+                        worker,
+                        message: format!("expected a commit ack, got {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(accepted)
+    }
+
+    /// Fallible [`DdsBackend::advance`]: pipeline one `Advance` per owner,
+    /// then collect each frozen epoch — shared when the transport can, a
+    /// replica rebuilt from the fetched frame when it cannot.
+    pub fn try_advance(&mut self) -> Result<RemoteSnapshot, TransportError> {
+        let epoch = self.completed;
+        for worker in 0..self.clients.len() {
+            self.send(worker, Request::Advance { epoch })?;
+        }
+        let mut groups = Vec::with_capacity(self.clients.len());
+        for worker in 0..self.clients.len() {
+            match self.recv(worker)? {
+                ClientReply::SharedEpoch(shared) => groups.push(shared),
+                ClientReply::Wire(Reply::Epoch(frame)) => {
+                    groups.push(Arc::new(FrozenEpoch::from_frame(frame)))
+                }
+                ClientReply::Wire(other) => {
+                    return Err(TransportError::Protocol {
+                        worker,
+                        message: format!("expected a frozen epoch, got {other:?}"),
+                    })
+                }
+            }
+        }
+        self.completed += 1;
+        Ok(RemoteSnapshot {
+            inner: Arc::new(ViewInner {
+                routing: self.routing,
+                epoch: Some(epoch),
+                groups,
+                empty_reads: Vec::new(),
+            }),
+        })
+    }
+
+    /// Fallible [`DdsBackend::total_writes`].
+    pub fn try_total_writes(&mut self) -> Result<u64, TransportError> {
+        for worker in 0..self.clients.len() {
+            self.send(worker, Request::TotalWrites)?;
+        }
+        let mut total = 0;
+        for worker in 0..self.clients.len() {
+            match self.recv_wire(worker)? {
+                Reply::TotalWrites(writes) => total += writes,
+                other => {
+                    return Err(TransportError::Protocol {
+                        worker,
+                        message: format!("expected a total-writes reply, got {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Owner-served per-shard loads of completed epoch `epoch`, sorted by
+    /// global shard id.
+    ///
+    /// Note the accounting asymmetry on wire transports: reads resolve
+    /// against client-side replicas, so the owner's read counters stay at
+    /// zero there; on shared-memory transports owner and views count in the
+    /// same atomics.  Views therefore serve [`SnapshotView::shard_loads`]
+    /// from their own epoch data; this request exists for drivers and tests
+    /// that audit the owner side.
+    pub fn epoch_loads(&mut self, epoch: usize) -> Result<Vec<ShardLoad>, TransportError> {
+        for worker in 0..self.clients.len() {
+            self.send(worker, Request::Loads { epoch })?;
+        }
+        let mut loads = Vec::new();
+        for worker in 0..self.clients.len() {
+            match self.recv_wire(worker)? {
+                Reply::Loads(worker_loads) => loads.extend(worker_loads),
+                other => {
+                    return Err(TransportError::Protocol {
+                        worker,
+                        message: format!("expected a loads reply, got {other:?}"),
+                    })
+                }
+            }
+        }
+        loads.sort_by_key(|load| load.shard);
+        Ok(loads)
+    }
+
+    /// Owner-served dump of completed epoch `epoch` (no particular order).
+    pub fn epoch_entries(
+        &mut self,
+        epoch: usize,
+    ) -> Result<Vec<(Key, Vec<Value>)>, TransportError> {
+        for worker in 0..self.clients.len() {
+            self.send(worker, Request::Dump { epoch })?;
+        }
+        let mut entries = Vec::new();
+        for worker in 0..self.clients.len() {
+            match self.recv_wire(worker)? {
+                Reply::Dump(worker_entries) => entries.extend(worker_entries),
+                other => {
+                    return Err(TransportError::Protocol {
+                        worker,
+                        message: format!("expected a dump reply, got {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(entries)
+    }
+}
+
+/// Unwrap a transport result inside the infallible [`DdsBackend`] surface.
+///
+/// The panic message carries the full typed error (worker, cause, any owner
+/// panic payload); `ampc_runtime` catches it at the round boundary and
+/// surfaces it as a typed `AmpcError::Backend`.
+fn expect_transport<V>(result: Result<V, TransportError>) -> V {
+    match result {
+        Ok(value) => value,
+        Err(err) => panic!("DDS transport failure: {err}"),
+    }
+}
+
+impl<T: Transport> DdsBackend for RemoteBackend<T> {
+    type View = RemoteSnapshot;
+
+    fn with_shards(num_shards: usize, threads: usize) -> Self {
+        RemoteBackend::new(num_shards, threads)
+    }
+
+    fn num_shards(&self) -> usize {
+        self.routing.num_shards
+    }
+
+    fn empty_view(&self) -> RemoteSnapshot {
+        RemoteSnapshot {
+            inner: Arc::new(ViewInner {
+                routing: self.routing,
+                epoch: None,
+                groups: Vec::new(),
+                empty_reads: (0..self.routing.num_shards)
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
+            }),
+        }
+    }
+
+    fn commit_round(&mut self, batches: Vec<Vec<(Key, Value)>>, _threads: usize) {
+        expect_transport(self.try_commit_round(batches));
+    }
+
+    fn advance(&mut self, _threads: usize) -> RemoteSnapshot {
+        expect_transport(self.try_advance())
+    }
+
+    fn completed_epochs(&self) -> usize {
+        self.completed
+    }
+
+    fn total_writes(&mut self) -> u64 {
+        expect_transport(self.try_total_writes())
+    }
+
+    fn backend_name(&self) -> &'static str {
+        T::NAME
+    }
+
+    fn install_request_faults(&mut self, faults: RequestFaults) {
+        self.faults = faults.clone();
+        for client in &mut self.clients {
+            client.install_faults(faults.clone());
+        }
+    }
+
+    fn dropped_requests(&self) -> u64 {
+        self.faults.dropped()
+    }
+}
+
+impl<T: Transport> Drop for RemoteBackend<T> {
+    fn drop(&mut self) {
+        // Disconnect every owner (their serve loops exit on a gone client),
+        // then reap the threads so nothing is left detached.  Panic payloads
+        // were either harvested during operation or are deliberately
+        // swallowed here — propagating from `drop` would abort.
+        self.clients.clear();
+        for handle in self.handles.iter_mut().filter_map(Option::take) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Transport> std::fmt::Debug for RemoteBackend<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteBackend")
+            .field("transport", &T::NAME)
+            .field("num_shards", &self.routing.num_shards)
+            .field("workers", &self.clients.len())
+            .field("completed_epochs", &self.completed)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RemoteSnapshot
+// ---------------------------------------------------------------------------
+
+/// State shared by every clone of a [`RemoteSnapshot`].
+struct ViewInner {
+    routing: Routing,
+    /// Completed epoch served, or `None` for the pre-input empty view.
+    epoch: Option<usize>,
+    /// The epoch's frozen data, one entry per owner (`groups[w]` is owner
+    /// `w`'s shard group) — shared with the owner on in-process transports,
+    /// a local replica on wire transports.  Empty for the empty view.
+    groups: Vec<Arc<FrozenEpoch>>,
+    /// Read accounting of the empty view (per shard); published epochs
+    /// count inside their [`FrozenEpoch`] instead.
+    empty_reads: Vec<AtomicU64>,
+}
+
+/// Read view of one completed [`RemoteBackend`] epoch.
+///
+/// Cloning is an `Arc` bump; clones share the epoch data and therefore the
+/// read accounting.  Every operation — lookups *and* the driver-side
+/// `shard_loads` / `entries` / `len` — resolves locally against the frozen
+/// epoch, with no transport traffic; views therefore stay valid, and their
+/// reads byte-identical, for as long as the caller keeps them, even after
+/// the backend (and its owner threads) are gone.
+#[derive(Clone)]
+pub struct RemoteSnapshot {
+    inner: Arc<ViewInner>,
+}
+
+impl RemoteSnapshot {
+    /// The frozen group data owning `key`, with the key's local shard index
+    /// inside it, or `None` on the empty view (which counts the miss).
+    #[inline]
+    fn probe(&self, key: &Key) -> Option<(&FrozenEpoch, usize)> {
+        if self.inner.epoch.is_none() {
+            let shard = self.inner.routing.shard_of(key);
+            self.inner.empty_reads[shard].fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let (worker, local) = self.inner.routing.route(key);
+        Some((&self.inner.groups[worker], local))
+    }
+
+    fn loads(&self) -> Vec<ShardLoad> {
+        if self.inner.epoch.is_none() {
+            return self
+                .inner
+                .empty_reads
+                .iter()
+                .enumerate()
+                .map(|(shard, reads)| ShardLoad {
+                    shard,
+                    keys: 0,
+                    writes: 0,
+                    reads: reads.load(Ordering::Relaxed),
+                })
+                .collect();
+        }
+        (0..self.inner.routing.num_shards)
+            .map(|shard| {
+                let (worker, local) = self.inner.routing.placement(shard);
+                let group = &self.inner.groups[worker];
+                ShardLoad {
+                    shard,
+                    keys: group.shards[local].len() as u64,
+                    writes: group.writes[local],
+                    reads: group.reads[local].load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+}
+
+impl SnapshotView for RemoteSnapshot {
+    fn num_shards(&self) -> usize {
+        self.inner.routing.num_shards
+    }
+
+    fn get(&self, key: &Key) -> Option<Value> {
+        let (epoch, local) = self.probe(key)?;
+        epoch.reads[local].fetch_add(1, Ordering::Relaxed);
+        epoch.shards[local].get(key).map(Slot::first)
+    }
+
+    fn get_indexed(&self, key: &Key, index: usize) -> Option<Value> {
+        let (epoch, local) = self.probe(key)?;
+        epoch.reads[local].fetch_add(1, Ordering::Relaxed);
+        epoch.shards[local]
+            .get(key)
+            .and_then(|slot| slot.get(index))
+    }
+
+    fn get_all(&self, key: &Key) -> Vec<Value> {
+        let Some((epoch, local)) = self.probe(key) else {
+            return Vec::new();
+        };
+        let values = epoch.shards[local]
+            .get(key)
+            .map(|slot| slot.as_slice().to_vec())
+            .unwrap_or_default();
+        epoch.reads[local].fetch_add(values.len().max(1) as u64, Ordering::Relaxed);
+        values
+    }
+
+    fn multiplicity(&self, key: &Key) -> usize {
+        let Some((epoch, local)) = self.probe(key) else {
+            return 0;
+        };
+        epoch.reads[local].fetch_add(1, Ordering::Relaxed);
+        epoch.shards[local].get(key).map_or(0, Slot::len)
+    }
+
+    fn len(&self) -> usize {
+        self.inner
+            .groups
+            .iter()
+            .map(|group| group.shards.iter().map(FxHashMap::len).sum::<usize>())
+            .sum()
+    }
+
+    fn get_many_slice(&self, keys: &[Key], out: &mut [Option<Value>]) {
+        assert!(
+            out.len() >= keys.len(),
+            "output slice shorter than key batch"
+        );
+        if self.inner.epoch.is_none() {
+            for (key, slot) in keys.iter().zip(out.iter_mut()) {
+                let shard = self.inner.routing.shard_of(key);
+                self.inner.empty_reads[shard].fetch_add(1, Ordering::Relaxed);
+                *slot = None;
+            }
+            return;
+        }
+        // Every key resolves against the frozen maps directly; coalesce
+        // read-counter updates over runs of same-shard keys (totals are
+        // identical to per-key counting), mirroring `Snapshot`.
+        let mut run: Option<(usize, usize)> = None;
+        let mut run_len = 0u64;
+        for (key, slot) in keys.iter().zip(out.iter_mut()) {
+            let (worker, local) = self.inner.routing.route(key);
+            if run != Some((worker, local)) {
+                if let Some((w, l)) = run {
+                    self.inner.groups[w].reads[l].fetch_add(run_len, Ordering::Relaxed);
+                }
+                run = Some((worker, local));
+                run_len = 0;
+            }
+            run_len += 1;
+            *slot = self.inner.groups[worker].shards[local]
+                .get(key)
+                .map(Slot::first);
+        }
+        if let Some((w, l)) = run {
+            self.inner.groups[w].reads[l].fetch_add(run_len, Ordering::Relaxed);
+        }
+    }
+
+    fn total_reads(&self) -> u64 {
+        self.loads().iter().map(|load| load.reads).sum()
+    }
+
+    fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.loads()
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats::from_loads(self.loads())
+    }
+
+    fn entries(&self) -> Vec<(Key, Vec<Value>)> {
+        let mut entries = Vec::new();
+        for group in &self.inner.groups {
+            for shard in &group.shards {
+                for (key, slot) in shard {
+                    entries.push((*key, slot.as_slice().to_vec()));
+                }
+            }
+        }
+        entries
+    }
+}
+
+impl std::fmt::Debug for RemoteSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteSnapshot")
+            .field("num_shards", &self.inner.routing.num_shards)
+            .field("epoch", &self.inner.epoch)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyTag;
+    use crate::transport::MpscTransport;
+
+    fn k(a: u64) -> Key {
+        Key::of(KeyTag::Scalar, a)
+    }
+
+    fn owner_served_requests_agree_with_the_view<T: Transport>() {
+        let mut backend = RemoteBackend::<T>::new(8, 3);
+        backend.commit_round(
+            vec![
+                (0..40u64).map(|i| (k(i % 10), Value::scalar(i))).collect(),
+                vec![(k(3), Value::pair(7, 8))],
+            ],
+            1,
+        );
+        let view = backend.advance(1);
+
+        // The owner-served dump matches the view's local entries…
+        let mut local = view.entries();
+        let mut served = backend.epoch_entries(0).unwrap();
+        local.sort_by_key(|&(key, _)| key);
+        served.sort_by_key(|&(key, _)| key);
+        assert_eq!(local, served);
+
+        // …and the owner-served loads agree on keys and writes (read
+        // counters live client-side on wire transports, so they are
+        // excluded here; `channel.rs` pins the shared-memory case).
+        let served = backend.epoch_loads(0).unwrap();
+        let local = view.shard_loads();
+        assert_eq!(local.len(), served.len());
+        for (local, served) in local.iter().zip(&served) {
+            assert_eq!(local.shard, served.shard);
+            assert_eq!(local.keys, served.keys);
+            assert_eq!(local.writes, served.writes);
+        }
+        assert_eq!(backend.total_writes(), 41);
+    }
+
+    #[test]
+    fn mpsc_owner_served_requests_agree_with_the_view() {
+        owner_served_requests_agree_with_the_view::<MpscTransport>();
+    }
+
+    #[test]
+    fn tcp_owner_served_requests_agree_with_the_view() {
+        owner_served_requests_agree_with_the_view::<TcpTransport>();
+    }
+
+    fn owner_panics_surface_as_typed_errors<T: Transport>() {
+        let mut backend = RemoteBackend::<T>::new(4, 2);
+        backend.commit_round(vec![vec![(k(1), Value::scalar(1))]], 1);
+        let _ = backend.advance(1);
+        // Asking for an epoch that does not exist is a protocol violation:
+        // the owner panics, and the client must surface a typed error
+        // carrying the harvested panic payload — not hang on a dead
+        // connection.
+        let err = backend.epoch_loads(7).unwrap_err();
+        match err {
+            TransportError::PeerClosed {
+                panic: Some(message),
+                ..
+            } => assert!(message.contains("unknown epoch 7"), "{message}"),
+            other => panic!("expected a harvested owner panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mpsc_owner_panics_surface_as_typed_errors() {
+        owner_panics_surface_as_typed_errors::<MpscTransport>();
+    }
+
+    #[test]
+    fn tcp_owner_panics_surface_as_typed_errors() {
+        owner_panics_surface_as_typed_errors::<TcpTransport>();
+    }
+
+    fn retransmitted_requests_apply_exactly_once<T: Transport>() {
+        use crate::proto::RequestKind;
+        use crate::transport::RequestFaults;
+
+        let run = |faulted: bool| {
+            let mut backend = RemoteBackend::<T>::new(8, 2);
+            let faults = RequestFaults::none();
+            if faulted {
+                faults.schedule_drop(RequestKind::Commit, 0, 0);
+                faults.schedule_drop(RequestKind::Commit, 0, 1);
+                faults.schedule_drop(RequestKind::Advance, 1, 0);
+            }
+            backend.install_request_faults(faults.clone());
+            backend.commit_round(
+                vec![(0..60u64).map(|i| (k(i % 20), Value::scalar(i))).collect()],
+                1,
+            );
+            let d0 = backend.advance(1);
+            backend.commit_round(
+                vec![(0..10u64).map(|i| (k(i), Value::pair(i, 1))).collect()],
+                1,
+            );
+            let d1 = backend.advance(1);
+            let mut entries0 = d0.entries();
+            let mut entries1 = d1.entries();
+            entries0.sort_by_key(|&(key, _)| key);
+            entries1.sort_by_key(|&(key, _)| key);
+            (entries0, entries1, backend.total_writes(), faults.dropped())
+        };
+
+        let (clean0, clean1, clean_writes, clean_fired) = run(false);
+        let (faulty0, faulty1, faulty_writes, faulty_fired) = run(true);
+        assert_eq!(clean_fired, 0);
+        assert_eq!(faulty_fired, 3, "every scheduled fault must fire");
+        // The duplicates really crossed the transport (pinned in
+        // `transport::tests`); if the owner ever re-applied one, the
+        // multiplicities and write totals here would double.
+        assert_eq!(clean0, faulty0);
+        assert_eq!(clean1, faulty1);
+        assert_eq!(clean_writes, faulty_writes);
+    }
+
+    #[test]
+    fn mpsc_retransmitted_requests_apply_exactly_once() {
+        retransmitted_requests_apply_exactly_once::<MpscTransport>();
+    }
+
+    #[test]
+    fn tcp_retransmitted_requests_apply_exactly_once() {
+        retransmitted_requests_apply_exactly_once::<TcpTransport>();
+    }
+
+    #[test]
+    fn epoch_frames_rebuild_identical_replicas() {
+        let mut backend = RemoteBackend::<MpscTransport>::new(4, 1);
+        backend.commit_round(
+            vec![(0..30u64).map(|i| (k(i % 12), Value::scalar(i))).collect()],
+            1,
+        );
+        let view = backend.advance(1);
+        // Round-trip the frozen epoch through its wire frame and compare
+        // every entry of the rebuilt replica.
+        let mut original = view.entries();
+        let shared = &view.inner.groups[0];
+        let replica = FrozenEpoch::from_frame(shared.to_frame());
+        let mut rebuilt: Vec<(Key, Vec<Value>)> = replica
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .iter()
+                    .map(|(key, slot)| (*key, slot.as_slice().to_vec()))
+            })
+            .collect();
+        original.sort_by_key(|&(key, _)| key);
+        rebuilt.sort_by_key(|&(key, _)| key);
+        assert_eq!(original, rebuilt);
+        assert_eq!(replica.writes, shared.writes);
+    }
+}

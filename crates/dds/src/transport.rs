@@ -1,0 +1,619 @@
+//! Transports carrying the [`crate::proto`] protocol between a backend and
+//! its shard-group owners.
+//!
+//! A transport is one *connection*: the backend holds the client half
+//! ([`Transport`]), the owner thread (or process) serves the server half
+//! ([`ServerTransport`]).  Requests and replies pair up positionally (FIFO
+//! per connection), so a client may pipeline several sends before receiving.
+//!
+//! Two implementations ship in-tree:
+//!
+//! * [`MpscTransport`] — in-process channels.  Requests travel as typed
+//!   values (no serialization), and the `Advance` reply exercises the
+//!   transport's *shared-memory capability*: the owner publishes the frozen
+//!   epoch as an `Arc` ([`ClientReply::SharedEpoch`]) instead of
+//!   serializing it, which is the zero-copy fast path
+//!   [`crate::ChannelBackend`] has always had.
+//! * [`TcpTransport`] — localhost sockets speaking length-prefixed
+//!   [`crate::proto`] frames (`std::net`, no external dependencies).  Every
+//!   message round-trips through the byte codec; `Advance` replies carry the
+//!   full [`crate::proto::EpochFrame`] so the client can rebuild a local
+//!   replica of the frozen maps.
+//!
+//! # Fault injection
+//!
+//! [`RequestFaults`] schedules request-level faults: "lose the reply of the
+//! `Commit` targeting epoch 3 on worker 1".  Transports honor the schedule
+//! in [`Transport::send`]: the request is delivered, its reply is dropped
+//! in transit, and the transport retransmits the identical request —
+//! exactly the drop-then-retry a real deployment's RPC layer performs when
+//! an acknowledgement goes missing.  The owner consequently receives the
+//! request **twice** and must apply it exactly once (commit deduplication
+//! by sequence number, advance replay of the frozen epoch — see
+//! [`crate::remote`]); the cross-backend suites assert results are
+//! byte-identical with and without faults, which fails loudly if that
+//! idempotence ever regresses.
+//!
+//! # Failure surface
+//!
+//! Every client operation returns a typed [`TransportError`] instead of
+//! hanging or dying on a broken channel.  When an owner thread panics, the
+//! backend joins it and attaches the panic payload to the
+//! [`TransportError::PeerClosed`] it surfaces — see
+//! [`crate::RemoteBackend`].
+
+use crate::proto::{
+    decode_reply, decode_request, encode_reply, encode_request, read_frame, write_frame,
+    ProtoError, Reply, Request, RequestKind,
+};
+use crate::remote::FrozenEpoch;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::fmt;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+/// Typed failure of a transport operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The owner side of the connection is gone.  If the owner thread died
+    /// panicking, `panic` carries its payload (attached by the backend,
+    /// which owns the join handle).
+    PeerClosed {
+        /// Worker whose connection closed.
+        worker: usize,
+        /// Panic payload of the dead owner, when one could be harvested.
+        panic: Option<String>,
+    },
+    /// An I/O error on the connection.
+    Io {
+        /// Worker whose connection failed.
+        worker: usize,
+        /// Stringified `std::io::Error`.
+        message: String,
+    },
+    /// A frame arrived but did not decode.
+    Proto {
+        /// Worker whose frame was malformed.
+        worker: usize,
+        /// The decode failure.
+        error: ProtoError,
+    },
+    /// A well-formed reply of the wrong variant for the pending request.
+    Protocol {
+        /// Worker that answered out of protocol.
+        worker: usize,
+        /// Description of the mismatch.
+        message: String,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::PeerClosed {
+                worker,
+                panic: Some(message),
+            } => write!(f, "DDS owner {worker} panicked: {message}"),
+            TransportError::PeerClosed {
+                worker,
+                panic: None,
+            } => write!(f, "DDS owner {worker} closed the connection"),
+            TransportError::Io { worker, message } => {
+                write!(f, "I/O error talking to DDS owner {worker}: {message}")
+            }
+            TransportError::Proto { worker, error } => {
+                write!(f, "malformed frame from DDS owner {worker}: {error}")
+            }
+            TransportError::Protocol { worker, message } => {
+                write!(f, "protocol violation from DDS owner {worker}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+// ---------------------------------------------------------------------------
+// Request-level fault injection
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct FaultsInner {
+    /// Scheduled one-shot drops: (kind, epoch, worker).
+    drops: Mutex<HashSet<(RequestKind, usize, usize)>>,
+    /// Requests dropped (and retried) so far.
+    dropped: AtomicU64,
+}
+
+/// A schedule of request-level faults, shared between a backend's transports.
+///
+/// Each scheduled entry fires once: the matching request is delivered, its
+/// *reply is lost in transit*, and the transport retransmits the identical
+/// request — the retry a real RPC layer issues when an acknowledgement goes
+/// missing.  The owner therefore sees the request **twice** and must treat
+/// the second copy idempotently (commit deduplication by sequence number,
+/// advance replay of the already-frozen epoch); the fault suites pin down
+/// that results stay byte-identical, which fails loudly if that
+/// idempotence ever breaks.  Only the write-side requests (`Commit`,
+/// `Advance`) are addressable — they are the ones a real deployment must
+/// retry; reads are served from immutable local epochs and never cross the
+/// wire.
+///
+/// Cloning shares the schedule (transports of one backend consult one
+/// ledger).
+#[derive(Clone, Debug, Default)]
+pub struct RequestFaults {
+    inner: Arc<FaultsInner>,
+}
+
+impl RequestFaults {
+    /// An empty schedule.
+    pub fn none() -> Self {
+        RequestFaults::default()
+    }
+
+    /// Schedule the `kind` request targeting `epoch` on `worker` to lose
+    /// its reply in transit, forcing a retransmission of the request.
+    pub fn schedule_drop(&self, kind: RequestKind, epoch: usize, worker: usize) {
+        self.inner.drops.lock().insert((kind, epoch, worker));
+    }
+
+    /// Consume a scheduled drop for these coordinates, if one exists,
+    /// counting it as fired.
+    pub fn should_drop(&self, kind: RequestKind, epoch: usize, worker: usize) -> bool {
+        let fired = self.inner.drops.lock().remove(&(kind, epoch, worker));
+        if fired {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        fired
+    }
+
+    /// Faults fired so far (one lost reply + retransmission each).
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// `true` if no drops remain scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.inner.drops.lock().is_empty()
+    }
+}
+
+/// The fault-injection coordinates of a request, if it is addressable.
+fn fault_coordinates(request: &Request) -> Option<(RequestKind, usize)> {
+    match request {
+        Request::Commit { epoch, .. } => Some((RequestKind::Commit, *epoch)),
+        Request::Advance { epoch } => Some((RequestKind::Advance, *epoch)),
+        _ => None,
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (panics carry
+/// `String` or `&str` payloads in practice).
+///
+/// Shared by the backend's owner-thread harvesting and the runtime's
+/// round-boundary `catch_unwind`, so the two failure paths can never
+/// diverge in how they read a payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> Option<String> {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// The transport traits
+// ---------------------------------------------------------------------------
+
+/// What a client receives for one request.
+pub enum ClientReply {
+    /// A decoded wire reply.
+    Wire(Reply),
+    /// The frozen epoch published as shared memory — the zero-copy fast
+    /// path of in-process transports ([`MpscTransport`]).  Wire transports
+    /// deliver [`Reply::Epoch`] instead.
+    SharedEpoch(Arc<FrozenEpoch>),
+}
+
+/// What an owner hands its transport to answer one request.
+pub enum OwnerReply {
+    /// An ordinary wire reply.
+    Wire(Reply),
+    /// A freshly frozen epoch.  Shared-memory transports forward the `Arc`
+    /// as-is ([`ClientReply::SharedEpoch`]); wire transports serialize it
+    /// into a [`Reply::Epoch`] frame.
+    Epoch(Arc<FrozenEpoch>),
+}
+
+/// Client half of one backend↔owner connection.
+pub trait Transport: Send + Sized + 'static {
+    /// Backend label reported by `DdsBackend::backend_name` (`"channel"`
+    /// for [`MpscTransport`], `"remote"` for [`TcpTransport`]).
+    const NAME: &'static str;
+
+    /// The server half handed to the owner thread.
+    type Server: ServerTransport;
+
+    /// Establish one connection for `worker`, returning both halves.
+    fn connect(worker: usize) -> (Self, Self::Server);
+
+    /// Install the fault schedule this transport consults on every send.
+    fn install_faults(&mut self, faults: RequestFaults);
+
+    /// Transmit one request.  If the fault schedule matches, the request
+    /// is delivered, its reply is lost, and the identical request is
+    /// retransmitted — the caller still receives exactly one reply.
+    /// Does not wait for that reply.
+    fn send(&mut self, request: Request) -> Result<(), TransportError>;
+
+    /// Receive the reply to the oldest unanswered request.
+    fn recv(&mut self) -> Result<ClientReply, TransportError>;
+}
+
+/// Server (owner) half of one backend↔owner connection.
+pub trait ServerTransport: Send + 'static {
+    /// Next request, or `None` when the client is gone (owner exits).
+    fn recv_request(&mut self) -> Option<Request>;
+
+    /// Answer the current request; `false` when the client is gone.
+    fn send_reply(&mut self, reply: OwnerReply) -> bool;
+}
+
+// ---------------------------------------------------------------------------
+// MpscTransport — in-process channels, zero-copy epoch publication
+// ---------------------------------------------------------------------------
+
+/// In-process transport over `std::sync::mpsc` channels.
+///
+/// Requests travel as typed values; `Advance` replies carry the frozen epoch
+/// as a shared `Arc` (the zero-copy capability wire transports lack).
+pub struct MpscTransport {
+    worker: usize,
+    requests: Sender<Request>,
+    replies: Receiver<OwnerReply>,
+    faults: RequestFaults,
+}
+
+/// Server half of an [`MpscTransport`].
+pub struct MpscServer {
+    requests: Receiver<Request>,
+    replies: Sender<OwnerReply>,
+}
+
+impl MpscTransport {
+    fn transmit(&mut self, request: Request) -> Result<(), TransportError> {
+        self.requests
+            .send(request)
+            .map_err(|_| TransportError::PeerClosed {
+                worker: self.worker,
+                panic: None,
+            })
+    }
+}
+
+impl Transport for MpscTransport {
+    const NAME: &'static str = "channel";
+    type Server = MpscServer;
+
+    fn connect(worker: usize) -> (Self, MpscServer) {
+        let (request_tx, request_rx) = channel();
+        let (reply_tx, reply_rx) = channel();
+        (
+            MpscTransport {
+                worker,
+                requests: request_tx,
+                replies: reply_rx,
+                faults: RequestFaults::none(),
+            },
+            MpscServer {
+                requests: request_rx,
+                replies: reply_tx,
+            },
+        )
+    }
+
+    fn install_faults(&mut self, faults: RequestFaults) {
+        self.faults = faults;
+    }
+
+    fn send(&mut self, request: Request) -> Result<(), TransportError> {
+        if let Some((kind, epoch)) = fault_coordinates(&request) {
+            if self.faults.should_drop(kind, epoch, self.worker) {
+                // Fault: the request is delivered but its reply is lost in
+                // transit.  Transmit the first copy, discard the reply the
+                // backend will never "see", and fall through to the
+                // retransmission below — whose reply is the one the caller
+                // receives.  The owner must handle the duplicate
+                // idempotently.
+                self.transmit(request.clone())?;
+                let _lost_reply = self.recv()?;
+            }
+        }
+        self.transmit(request)
+    }
+
+    fn recv(&mut self) -> Result<ClientReply, TransportError> {
+        match self.replies.recv() {
+            Ok(OwnerReply::Wire(reply)) => Ok(ClientReply::Wire(reply)),
+            Ok(OwnerReply::Epoch(epoch)) => Ok(ClientReply::SharedEpoch(epoch)),
+            Err(_) => Err(TransportError::PeerClosed {
+                worker: self.worker,
+                panic: None,
+            }),
+        }
+    }
+}
+
+impl ServerTransport for MpscServer {
+    fn recv_request(&mut self) -> Option<Request> {
+        self.requests.recv().ok()
+    }
+
+    fn send_reply(&mut self, reply: OwnerReply) -> bool {
+        self.replies.send(reply).is_ok()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport — localhost sockets, length-prefixed proto frames
+// ---------------------------------------------------------------------------
+
+/// Socket transport speaking length-prefixed [`crate::proto`] frames over
+/// localhost TCP.
+///
+/// Every message round-trips through the byte codec, so running the
+/// conformance suites over this transport is an end-to-end proof of the wire
+/// format.  `Advance` replies carry the serialized
+/// [`crate::proto::EpochFrame`]; the client rebuilds a local replica of the
+/// frozen maps from it.
+pub struct TcpTransport {
+    worker: usize,
+    stream: TcpStream,
+    faults: RequestFaults,
+}
+
+/// Server half of a [`TcpTransport`].
+pub struct TcpServer {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    fn io_error(&self, err: std::io::Error) -> TransportError {
+        match err.kind() {
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => TransportError::PeerClosed {
+                worker: self.worker,
+                panic: None,
+            },
+            _ => TransportError::Io {
+                worker: self.worker,
+                message: err.to_string(),
+            },
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    const NAME: &'static str = "remote";
+    type Server = TcpServer;
+
+    fn connect(worker: usize) -> (Self, TcpServer) {
+        // Loopback rendezvous: the connect lands in the listener's backlog,
+        // so binding, connecting and accepting from one thread cannot
+        // deadlock.
+        let listener =
+            TcpListener::bind(("127.0.0.1", 0)).expect("binding a loopback DDS owner socket");
+        let addr = listener
+            .local_addr()
+            .expect("reading the owner socket address");
+        let client = TcpStream::connect(addr).expect("connecting to the DDS owner socket");
+        let (server, _) = listener.accept().expect("accepting the DDS backend");
+        // The protocol is small framed RPCs; Nagle only adds latency.
+        let _ = client.set_nodelay(true);
+        let _ = server.set_nodelay(true);
+        (
+            TcpTransport {
+                worker,
+                stream: client,
+                faults: RequestFaults::none(),
+            },
+            TcpServer { stream: server },
+        )
+    }
+
+    fn install_faults(&mut self, faults: RequestFaults) {
+        self.faults = faults;
+    }
+
+    fn send(&mut self, request: Request) -> Result<(), TransportError> {
+        let payload = encode_request(&request);
+        if let Some((kind, epoch)) = fault_coordinates(&request) {
+            if self.faults.should_drop(kind, epoch, self.worker) {
+                // Fault: the frame is delivered but its reply is lost in
+                // transit.  Write the first copy, discard the reply frame
+                // the backend will never "see", then retransmit the
+                // identical frame below — the owner must deduplicate.
+                write_frame(&mut self.stream, &payload).map_err(|err| self.io_error(err))?;
+                let _lost_reply = read_frame(&mut self.stream).map_err(|err| self.io_error(err))?;
+            }
+        }
+        write_frame(&mut self.stream, &payload).map_err(|err| self.io_error(err))
+    }
+
+    fn recv(&mut self) -> Result<ClientReply, TransportError> {
+        let payload = read_frame(&mut self.stream).map_err(|err| self.io_error(err))?;
+        let reply = decode_reply(&payload).map_err(|error| TransportError::Proto {
+            worker: self.worker,
+            error,
+        })?;
+        Ok(ClientReply::Wire(reply))
+    }
+}
+
+impl ServerTransport for TcpServer {
+    fn recv_request(&mut self) -> Option<Request> {
+        // A vanished client (EOF, reset) is a clean shutdown; a frame that
+        // arrives but does not decode is a protocol bug and must keep its
+        // diagnostic — the panic is harvested into the typed
+        // `TransportError::PeerClosed` the backend surfaces.
+        let payload = read_frame(&mut self.stream).ok()?;
+        match decode_request(&payload) {
+            Ok(request) => Some(request),
+            Err(error) => panic!("malformed request frame from the backend: {error}"),
+        }
+    }
+
+    fn send_reply(&mut self, reply: OwnerReply) -> bool {
+        let reply = match reply {
+            OwnerReply::Wire(reply) => reply,
+            // The wire has no shared memory: serialize the frozen epoch.
+            OwnerReply::Epoch(epoch) => Reply::Epoch(epoch.to_frame()),
+        };
+        let payload = encode_reply(&reply);
+        write_frame(&mut self.stream, &payload).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{Key, KeyTag, Value};
+
+    fn echo_server<S: ServerTransport>(mut server: S) -> std::thread::JoinHandle<usize> {
+        std::thread::spawn(move || {
+            let mut served = 0;
+            while let Some(request) = server.recv_request() {
+                let reply = match request {
+                    Request::Commit { epoch, batches, .. } => Reply::Committed {
+                        epoch,
+                        accepted: batches.iter().map(|(_, pairs)| pairs.len() as u64).sum(),
+                    },
+                    Request::TotalWrites => Reply::TotalWrites(served),
+                    _ => Reply::TotalWrites(0),
+                };
+                if !server.send_reply(OwnerReply::Wire(reply)) {
+                    break;
+                }
+                served += 1;
+            }
+            served as usize
+        })
+    }
+
+    fn commit_request(epoch: usize) -> Request {
+        Request::Commit {
+            epoch,
+            seq: epoch as u64,
+            batches: vec![(0, vec![(Key::of(KeyTag::Scalar, 1), Value::scalar(2))])],
+        }
+    }
+
+    fn exercise_transport<T: Transport>() {
+        let (mut client, server) = T::connect(0);
+        let handle = echo_server(server);
+
+        // Pipelined sends, FIFO replies.
+        client.send(commit_request(0)).unwrap();
+        client.send(Request::TotalWrites).unwrap();
+        match client.recv().unwrap() {
+            ClientReply::Wire(Reply::Committed { epoch, accepted }) => {
+                assert_eq!((epoch, accepted), (0, 1));
+            }
+            _ => panic!("commit must be acknowledged first"),
+        }
+        match client.recv().unwrap() {
+            ClientReply::Wire(Reply::TotalWrites(n)) => assert_eq!(n, 1),
+            _ => panic!("total-writes reply expected"),
+        }
+
+        drop(client);
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn mpsc_transport_round_trips() {
+        exercise_transport::<MpscTransport>();
+    }
+
+    #[test]
+    fn tcp_transport_round_trips() {
+        exercise_transport::<TcpTransport>();
+    }
+
+    fn exercise_faults<T: Transport>() {
+        let (mut client, server) = T::connect(3);
+        let handle = echo_server(server);
+        let faults = RequestFaults::none();
+        faults.schedule_drop(RequestKind::Commit, 5, 3);
+        faults.schedule_drop(RequestKind::Commit, 5, 4); // wrong worker: never fires
+        client.install_faults(faults.clone());
+
+        // The fault delivers the request, loses its reply, and retransmits:
+        // the caller still sees exactly one reply per send.
+        client.send(commit_request(5)).unwrap();
+        match client.recv().unwrap() {
+            ClientReply::Wire(Reply::Committed { epoch, .. }) => assert_eq!(epoch, 5),
+            _ => panic!("the retransmission's reply must reach the caller"),
+        }
+        assert_eq!(faults.dropped(), 1);
+
+        // The fault fired once; a second identical request is untouched.
+        client.send(commit_request(5)).unwrap();
+        match client.recv().unwrap() {
+            ClientReply::Wire(Reply::Committed { .. }) => {}
+            _ => panic!("second commit must be delivered"),
+        }
+        assert_eq!(faults.dropped(), 1);
+        assert!(!faults.is_empty(), "the wrong-worker drop stays scheduled");
+
+        drop(client);
+        // The server really received the duplicate — 2 copies of the
+        // faulted commit plus the clean one.  Deduplicating the copy is
+        // the owner's job (`remote::Worker`), pinned by its own tests.
+        assert_eq!(handle.join().unwrap(), 3, "duplicate must hit the wire");
+    }
+
+    #[test]
+    fn mpsc_transport_honors_request_faults() {
+        exercise_faults::<MpscTransport>();
+    }
+
+    #[test]
+    fn tcp_transport_honors_request_faults() {
+        exercise_faults::<TcpTransport>();
+    }
+
+    #[test]
+    fn dead_peer_is_a_typed_error() {
+        let (mut client, server) = MpscTransport::connect(7);
+        drop(server);
+        let err = client.send(Request::TotalWrites).unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::PeerClosed {
+                worker: 7,
+                panic: None
+            }
+        );
+
+        let (mut client, server) = TcpTransport::connect(7);
+        drop(server);
+        // The OS may accept the first write into its buffer; the error must
+        // surface by the reply read at the latest.
+        let result = client
+            .send(Request::TotalWrites)
+            .and_then(|()| client.recv().map(|_| ()));
+        assert_eq!(
+            result.unwrap_err(),
+            TransportError::PeerClosed {
+                worker: 7,
+                panic: None
+            }
+        );
+    }
+}

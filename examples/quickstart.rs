@@ -5,12 +5,31 @@
 //! the AMPC algorithm of Section 4 solves it in O(1/ε) rounds.  This example
 //! runs both on the same instances and prints the round counts side by side.
 //!
-//! Run with: `cargo run --release --example quickstart`
+//! Run with: `cargo run --release --example quickstart [-- <backend>]`
+//!
+//! The DDS backend serving the AMPC runs is selectable without touching
+//! code: pass `local`, `channel` or `remote` as the first argument (or set
+//! `AMPC_BACKEND`).  `remote` runs every round over localhost TCP sockets
+//! speaking the `ampc_dds::proto` wire format — same answers, same round
+//! counts, per the cross-backend determinism suite.
 
 use ampc_suite::prelude::*;
 
 fn main() {
-    println!("AMPC quickstart — the 2-Cycle problem (paper Section 4)\n");
+    let backend: DdsBackendKind = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("AMPC_BACKEND").ok())
+        .map(|name| match name.parse() {
+            Ok(kind) => kind,
+            Err(err) => {
+                eprintln!("{err}");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or_default();
+
+    println!("AMPC quickstart — the 2-Cycle problem (paper Section 4)");
+    println!("DDS backend: {backend}\n");
     println!(
         "{:>10} {:>12} {:>14} {:>14}",
         "n", "instance", "AMPC rounds", "MPC rounds"
@@ -20,8 +39,12 @@ fn main() {
         for &two in &[false, true] {
             let graph = generators::two_cycle_instance(n, two, 42);
 
-            // AMPC (Section 4): Shrink + single-machine finish, O(1/ε) rounds.
-            let ampc = two_cycle(&graph, 0.5, 42);
+            // AMPC (Section 4): Shrink + single-machine finish, O(1/ε)
+            // rounds, on the configured backend.
+            let config = AmpcConfig::for_graph(n, graph.num_edges(), 0.5)
+                .with_seed(42)
+                .with_backend(backend);
+            let ampc = two_cycle_with(&graph, &config);
 
             // MPC baseline: pointer doubling, Θ(log n) rounds.
             let (mpc_answer, mpc_stats) = ampc_suite::mpc::two_cycle_mpc(&graph, 64);

@@ -31,9 +31,11 @@ pub mod prelude {
     pub use ampc_algorithms::{
         connectivity, cycle_connectivity, forest_connectivity, list_ranking,
         maximal_independent_set, minimum_spanning_forest, preorder_numbers, root_forest,
-        spanning_forest, subtree_sizes, two_cycle, two_edge_connectivity, AlgorithmResult,
-        TwoCycleAnswer,
+        spanning_forest, subtree_sizes, two_cycle, two_cycle_with, two_edge_connectivity,
+        AlgorithmResult, TwoCycleAnswer,
     };
     pub use ampc_graph::{generators, sequential, Edge, EdgeList, Graph};
-    pub use ampc_runtime::{AmpcConfig, AmpcRuntime, BudgetMode, FaultPlan, RunStats};
+    pub use ampc_runtime::{
+        AmpcConfig, AmpcRuntime, BudgetMode, DdsBackendKind, FaultPlan, RunStats,
+    };
 }

@@ -1,17 +1,27 @@
 //! Cross-backend conformance suite for the DDS trait pair.
 //!
-//! One parameterized battery drives `LocalBackend`, `ChannelBackend` and the
-//! executable specification `legacy::LegacyStore` through the same write
-//! scripts and holds every observable — `get`, `get_indexed`,
-//! `multiplicity`, `len`, `read_many` (order and content), multi-value index
-//! order, and the per-query read accounting — to identical results.  The
-//! property tests at the bottom extend the battery to arbitrary write
-//! interleavings.
+//! One parameterized battery drives `LocalBackend`, `ChannelBackend`,
+//! `TcpBackend` (the socket-backed `RemoteBackend` speaking the
+//! `ampc_dds::proto` wire format) and the executable specification
+//! `legacy::LegacyStore` through the same write scripts and holds every
+//! observable — `get`, `get_indexed`, `multiplicity`, `len`, `read_many`
+//! (order and content), multi-value index order, and the per-query read
+//! accounting — to identical results.  The property tests at the bottom
+//! extend the battery to arbitrary write interleavings.
 
 use ampc_dds::legacy::LegacyStore;
-use ampc_dds::{ChannelBackend, DdsBackend, Key, KeyTag, LocalBackend, SnapshotView, Value};
+use ampc_dds::{
+    ChannelBackend, DdsBackend, Key, KeyTag, LocalBackend, SnapshotView, TcpBackend, Value,
+};
 use ampc_runtime::{AmpcConfig, AmpcRuntime, DdsBackendKind};
 use proptest::prelude::*;
+
+/// Every backend kind the runtime-level batteries cover.
+const ALL_BACKENDS: &[DdsBackendKind] = &[
+    DdsBackendKind::Local,
+    DdsBackendKind::Channel,
+    DdsBackendKind::Remote,
+];
 
 /// One round's writes: ordered batches (for the runtime: one per machine).
 type Script = Vec<Vec<Vec<(Key, Value)>>>;
@@ -92,7 +102,7 @@ fn assert_view_matches_legacy<V: SnapshotView>(view: &V, legacy: &LegacyStore, p
     );
 }
 
-/// Run the full battery for one script on all three backends.
+/// Run the full battery for one script on all four backends.
 fn conformance_battery(script: Script, shards: usize, threads: usize) {
     // Probe keys: everything ever written plus guaranteed misses.
     let mut probe: Vec<Key> = script
@@ -106,19 +116,28 @@ fn conformance_battery(script: Script, shards: usize, threads: usize) {
 
     let local = run_script::<LocalBackend>(&script, shards, threads);
     let channel = run_script::<ChannelBackend>(&script, shards, threads);
+    let remote = run_script::<TcpBackend>(&script, shards, threads);
     let legacy = legacy_epochs(&script, shards);
 
     assert_eq!(local.len(), legacy.len());
     assert_eq!(channel.len(), legacy.len());
+    assert_eq!(remote.len(), legacy.len());
     for epoch in 0..legacy.len() {
         assert_view_matches_legacy(&local[epoch], &legacy[epoch], &probe);
         assert_view_matches_legacy(&channel[epoch], &legacy[epoch], &probe);
-        // The two trait backends also agree on the unordered entry dump.
+        assert_view_matches_legacy(&remote[epoch], &legacy[epoch], &probe);
+        // The trait backends also agree on the unordered entry dump.
         let mut local_entries = local[epoch].entries();
         let mut channel_entries = channel[epoch].entries();
+        let mut remote_entries = remote[epoch].entries();
         local_entries.sort_by_key(|&(key, _)| key);
         channel_entries.sort_by_key(|&(key, _)| key);
+        remote_entries.sort_by_key(|&(key, _)| key);
         assert_eq!(local_entries, channel_entries, "epoch {epoch} entries");
+        assert_eq!(
+            local_entries, remote_entries,
+            "epoch {epoch} remote entries"
+        );
     }
 }
 
@@ -192,11 +211,11 @@ fn machine_context_budget_accounting_is_backend_independent() {
     // The runtime-level half of the query-budget battery: the same round
     // body must debit identical budgets (queries, violations) on every
     // backend, including through read_many.
-    let run = |backend: DdsBackendKind| {
+    let run = |backend: &DdsBackendKind| {
         let config = AmpcConfig::for_graph(400, 400, 0.5)
             .with_seed(11)
             .with_threads(2)
-            .with_backend(backend);
+            .with_backend(*backend);
         ampc_runtime::with_dds_backend!(config, |rt| {
             rt.load_input((0..100u64).map(|i| (k(i), Value::scalar(i))));
             rt.run_round(4, |ctx| {
@@ -222,12 +241,15 @@ fn machine_context_budget_accounting_is_backend_independent() {
             .unwrap()
         })
     };
-    assert_eq!(run(DdsBackendKind::Local), run(DdsBackendKind::Channel));
+    let reference = run(&DdsBackendKind::Local);
+    for backend in &ALL_BACKENDS[1..] {
+        assert_eq!(run(backend), reference, "budgets diverged on {backend:?}");
+    }
 }
 
 #[test]
-fn explicit_shard_override_flows_to_both_backends() {
-    for backend in [DdsBackendKind::Local, DdsBackendKind::Channel] {
+fn explicit_shard_override_flows_to_every_backend() {
+    for &backend in ALL_BACKENDS {
         let config = AmpcConfig::for_graph(100, 100, 0.5)
             .with_backend(backend)
             .with_num_shards(13)
@@ -239,12 +261,11 @@ fn explicit_shard_override_flows_to_both_backends() {
     }
 }
 
-#[test]
-fn channel_backend_runs_a_full_runtime_program() {
-    // End-to-end smoke through AmpcRuntime<ChannelBackend> directly (not via
-    // the macro): adaptive pointer chasing, exactly as the model demands.
+/// End-to-end smoke through `AmpcRuntime<B>` directly (not via the macro):
+/// adaptive pointer chasing, exactly as the model demands.
+fn runtime_program_smoke<B: DdsBackend>() {
     let config = AmpcConfig::for_graph(10_000, 0, 0.5).with_threads(3);
-    let mut runtime = AmpcRuntime::<ChannelBackend>::with_backend(config);
+    let mut runtime = AmpcRuntime::<B>::with_backend(config);
     runtime.load_input((0..100u64).map(|x| (Key::of(KeyTag::Successor, x), Value::scalar(x + 1))));
     let reached = runtime
         .run_round(1, |ctx| {
@@ -257,6 +278,16 @@ fn channel_backend_runs_a_full_runtime_program() {
         .unwrap();
     assert_eq!(reached, vec![50]);
     assert_eq!(runtime.stats().rounds[0].total_queries, 50);
+}
+
+#[test]
+fn channel_backend_runs_a_full_runtime_program() {
+    runtime_program_smoke::<ChannelBackend>();
+}
+
+#[test]
+fn tcp_backend_runs_a_full_runtime_program() {
+    runtime_program_smoke::<TcpBackend>();
 }
 
 /// Everything a view can tell us about an epoch: key count, sorted entry
@@ -337,6 +368,12 @@ fn local_views_stay_valid_across_epochs_and_backend_drop() {
 fn channel_views_stay_valid_across_epochs_and_backend_drop() {
     snapshot_lifetime_battery::<ChannelBackend>(8, 3);
     snapshot_lifetime_battery::<ChannelBackend>(16, 1);
+}
+
+#[test]
+fn tcp_views_stay_valid_across_epochs_and_backend_drop() {
+    snapshot_lifetime_battery::<TcpBackend>(8, 3);
+    snapshot_lifetime_battery::<TcpBackend>(16, 1);
 }
 
 fn arbitrary_key() -> impl Strategy<Value = Key> {

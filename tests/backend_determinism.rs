@@ -13,7 +13,10 @@ use ampc_algorithms as algo;
 use ampc_graph::{generators, sequential};
 use ampc_runtime::{AmpcConfig, DdsBackendKind};
 
-/// Every (backend, threads) execution shape the suite pins down.
+/// Every (backend, threads) execution shape the suite pins down.  `Remote`
+/// runs the full algorithm suite over localhost TCP sockets speaking the
+/// `ampc_dds::proto` wire format — the acceptance test the ROADMAP set for
+/// the networked backend.
 const SHAPES: &[(DdsBackendKind, usize)] = &[
     (DdsBackendKind::Local, 1),
     (DdsBackendKind::Local, 2),
@@ -21,6 +24,9 @@ const SHAPES: &[(DdsBackendKind, usize)] = &[
     (DdsBackendKind::Channel, 1),
     (DdsBackendKind::Channel, 2),
     (DdsBackendKind::Channel, 8),
+    (DdsBackendKind::Remote, 1),
+    (DdsBackendKind::Remote, 2),
+    (DdsBackendKind::Remote, 8),
 ];
 
 fn config_for(
@@ -206,8 +212,7 @@ fn round_and_query_statistics_match_across_backends() {
             })
             .collect::<Vec<_>>()
     };
-    assert_eq!(
-        stats_of(DdsBackendKind::Local),
-        stats_of(DdsBackendKind::Channel)
-    );
+    let reference = stats_of(DdsBackendKind::Local);
+    assert_eq!(reference, stats_of(DdsBackendKind::Channel));
+    assert_eq!(reference, stats_of(DdsBackendKind::Remote));
 }
