@@ -119,6 +119,12 @@ pub struct AmpcConfig {
     /// Set through [`AmpcConfig::with_num_shards`], which validates the
     /// range.
     pub num_shards_override: Option<usize>,
+    /// Address of an external DDS owner process (`ampc_dds::serve`).  When
+    /// set and `backend` is [`DdsBackendKind::Remote`], runtimes connect
+    /// their leased sessions to this process instead of spawning in-process
+    /// owner threads — the multi-host deployment shape.  Ignored by the
+    /// in-process backends.
+    pub remote_endpoint: Option<String>,
 }
 
 impl AmpcConfig {
@@ -139,6 +145,7 @@ impl AmpcConfig {
             seed: 0x5eed,
             backend: DdsBackendKind::Local,
             num_shards_override: None,
+            remote_endpoint: None,
         }
     }
 
@@ -182,6 +189,17 @@ impl AmpcConfig {
     /// Builder-style: select the DDS backend.
     pub fn with_backend(mut self, backend: DdsBackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Builder-style: serve the DDS from an external owner process at
+    /// `endpoint` (see `ampc_dds::serve`), and select the socket backend
+    /// that speaks to it.  Every runtime built from this config — including
+    /// the sub-runtimes algorithm drivers derive — opens its own leased
+    /// session against that process.
+    pub fn with_remote_endpoint(mut self, endpoint: impl Into<String>) -> Self {
+        self.remote_endpoint = Some(endpoint.into());
+        self.backend = DdsBackendKind::Remote;
         self
     }
 
@@ -346,6 +364,17 @@ mod tests {
         assert_eq!(derived.threads, 3);
         assert_eq!(derived.backend, DdsBackendKind::Channel);
         assert_eq!(derived.budget_factor, 2.5);
+    }
+
+    #[test]
+    fn remote_endpoints_select_the_socket_backend_and_survive_derive() {
+        let cfg = AmpcConfig::for_graph(100, 100, 0.5).with_remote_endpoint("127.0.0.1:7471");
+        assert_eq!(cfg.backend, DdsBackendKind::Remote);
+        assert_eq!(cfg.remote_endpoint.as_deref(), Some("127.0.0.1:7471"));
+        // Sub-computations must keep talking to the same owner process.
+        let derived = cfg.derive(10, 10);
+        assert_eq!(derived.remote_endpoint.as_deref(), Some("127.0.0.1:7471"));
+        assert_eq!(derived.backend, DdsBackendKind::Remote);
     }
 
     #[test]

@@ -50,8 +50,18 @@ pub struct MachineContext<V: SnapshotView = Snapshot> {
     /// Auto-batching window: keys queued by [`MachineContext::queue_read`]
     /// but not yet flown.
     queued_reads: Vec<Key>,
-    /// Results of every queued read resolved so far, indexed by ticket.
-    resolved_reads: Vec<Option<Value>>,
+    /// Results of the most recent flight, reused flight over flight so the
+    /// window runs in O(1) memory with every access cache-hot.
+    resolved_now: Vec<Option<Value>>,
+    /// Results of the flight before that (tickets stay redeemable across
+    /// one subsequent flight — see [`MachineContext::take_read`]).
+    resolved_prev: Vec<Option<Value>>,
+    /// Absolute ticket index of `resolved_now[0]`.
+    resolved_base: usize,
+    /// Absolute ticket index of `resolved_prev[0]`.
+    prev_base: usize,
+    /// Tickets issued so far (the next ticket's absolute index).
+    next_ticket: usize,
 }
 
 /// Handle to one read queued into the auto-batching window of a
@@ -83,7 +93,11 @@ impl<V: SnapshotView> MachineContext<V> {
             budget: config.round_budget(),
             rng: StdRng::seed_from_u64(stream),
             queued_reads: Vec::new(),
-            resolved_reads: Vec::new(),
+            resolved_now: Vec::new(),
+            resolved_prev: Vec::new(),
+            resolved_base: 0,
+            prev_base: 0,
+            next_ticket: 0,
         }
     }
 
@@ -167,7 +181,14 @@ impl<V: SnapshotView> MachineContext<V> {
     /// Width of the auto-batching window: queuing this many reads flushes
     /// the window even before a result is demanded, bounding both the
     /// flight size and the pending-key buffer.
-    pub const READ_WINDOW: usize = 64;
+    ///
+    /// Sized to match the explicit-batching flight size algorithms use, so
+    /// the windowed path pays the same per-flight fixed costs as
+    /// [`MachineContext::read_many`] — 64 was 4× the flush (and
+    /// result-buffer regrowth) traffic per read, which is exactly the
+    /// overhead that showed up as the windowed-vs-batched latency gap in
+    /// the `read_latency_backends` bench series.
+    pub const READ_WINDOW: usize = 256;
 
     /// Queue an adaptive point read into the auto-batching window, debiting
     /// one query — exactly what [`MachineContext::read`] would debit.
@@ -183,13 +204,17 @@ impl<V: SnapshotView> MachineContext<V> {
     /// Adaptivity is unaffected: the next window may depend on this
     /// window's results.
     ///
-    /// Tickets stay redeemable for the rest of the round, so the context
-    /// retains one resolved entry per queued read until it is consumed at
-    /// round end — for a model-conformant machine that is `O(S)` entries,
-    /// the same order as its write buffer.
+    /// The window runs in **O(1) memory**: it retains the results of the
+    /// current flight and the one before it, in two buffers reused for the
+    /// whole round, so queuing and redemption never touch cold memory and
+    /// never allocate after the first two flights.  Redeem tickets
+    /// promptly — a result is gone once two further flights have flown
+    /// (see [`MachineContext::take_read`]).
+    #[inline]
     pub fn queue_read(&mut self, key: Key) -> ReadTicket {
         self.queries += 1;
-        let ticket = ReadTicket(self.resolved_reads.len() + self.queued_reads.len());
+        let ticket = ReadTicket(self.next_ticket);
+        self.next_ticket += 1;
         self.queued_reads.push(key);
         if self.queued_reads.len() >= Self::READ_WINDOW {
             self.flush_reads();
@@ -202,16 +227,32 @@ impl<V: SnapshotView> MachineContext<V> {
     /// was debited by [`MachineContext::queue_read`].
     ///
     /// # Panics
-    /// May panic if `ticket` was issued by a *different* context (tickets
-    /// are only meaningful on the context — and therefore the round — that
-    /// issued them); a foreign ticket whose index happens to be in range
-    /// yields another read's value instead, so never carry tickets across
-    /// rounds.
+    /// If the ticket has *expired*: results stay redeemable for the flight
+    /// they flew in and one flight beyond, after which the reused window
+    /// buffers have moved on.  (For a full window that is at least
+    /// [`MachineContext::READ_WINDOW`] subsequent reads.)  Queue → redeem →
+    /// queue the next batch, the pipelining pattern the window exists for,
+    /// never expires.  Also panics if `ticket` was issued by a *different*
+    /// context (tickets are only meaningful on the context — and therefore
+    /// the round — that issued them); a foreign ticket whose index happens
+    /// to be in range yields another read's value instead, so never carry
+    /// tickets across rounds.
+    #[inline]
     pub fn take_read(&mut self, ticket: ReadTicket) -> Option<Value> {
-        if ticket.0 >= self.resolved_reads.len() {
+        if ticket.0 >= self.resolved_base + self.resolved_now.len() {
             self.flush_reads();
         }
-        self.resolved_reads[ticket.0]
+        if ticket.0 >= self.resolved_base {
+            return self.resolved_now[ticket.0 - self.resolved_base];
+        }
+        let lag = ticket.0.wrapping_sub(self.prev_base);
+        if ticket.0 >= self.prev_base && lag < self.resolved_prev.len() {
+            return self.resolved_prev[lag];
+        }
+        panic!(
+            "read ticket {} expired: the window retains only the current and previous flights (redeem tickets promptly)",
+            ticket.0
+        );
     }
 
     /// Fly every read still pending in the auto-batching window as one
@@ -221,11 +262,16 @@ impl<V: SnapshotView> MachineContext<V> {
         if self.queued_reads.is_empty() {
             return;
         }
-        let base = self.resolved_reads.len();
-        self.resolved_reads
-            .resize(base + self.queued_reads.len(), None);
+        // Rotate the two resolution buffers — the previous flight stays
+        // redeemable, the one before it is forgotten — and resolve the
+        // pending keys into the freshly reused (cache-hot) buffer.
+        std::mem::swap(&mut self.resolved_now, &mut self.resolved_prev);
+        self.prev_base = self.resolved_base;
+        self.resolved_base = self.next_ticket - self.queued_reads.len();
+        self.resolved_now.clear();
+        self.resolved_now.resize(self.queued_reads.len(), None);
         self.snapshot
-            .get_many_slice(&self.queued_reads, &mut self.resolved_reads[base..]);
+            .get_many_slice(&self.queued_reads, &mut self.resolved_now);
         self.queued_reads.clear();
     }
 
@@ -464,6 +510,24 @@ mod tests {
         ctx.flush_reads();
         assert_eq!(ctx.take_read(stale), Some(Value::scalar(11)));
         assert_eq!(ctx.take_read(last), Some(Value::scalar(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "read ticket 0 expired")]
+    fn stale_tickets_panic_instead_of_yielding_other_reads() {
+        // The window retains the current and previous flights only (O(1)
+        // memory); a ticket held across two further flights must fail
+        // loudly, never alias another read's slot.
+        let pairs: Vec<(u64, u64)> = (0..10).map(|i| (i, i)).collect();
+        let cfg = AmpcConfig::for_graph(100_000, 0, 0.5);
+        let mut ctx = MachineContext::new(0, 1, snapshot_with(&pairs), &cfg);
+        let stale = ctx.queue_read(Key::of(KeyTag::Scalar, 0));
+        ctx.flush_reads(); // flight 1: [stale]
+        let _ = ctx.queue_read(Key::of(KeyTag::Scalar, 1));
+        ctx.flush_reads(); // flight 2: stale now previous
+        let _ = ctx.queue_read(Key::of(KeyTag::Scalar, 2));
+        ctx.flush_reads(); // flight 3: stale forgotten
+        let _ = ctx.take_read(stale);
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //!   duplicate exactly once (see [`ampc_dds::RequestFaults`]).  Backends
 //!   without a transport have nothing to retransmit and ignore these
 //!   entries.
+//! * **Connection severs** at chosen `(epoch, worker)` coordinates — the
+//!   TCP connection to an owner is cut mid-round, right before the commit
+//!   targeting that epoch goes out.  The socket transport must reconnect
+//!   (capped exponential backoff), replay its lease handshake and the
+//!   outstanding requests idempotently, and leave the run byte-identical.
+//!   Only the socket backend has a connection to cut; other backends leave
+//!   sever entries untouched.
 //!
 //! In both cases the accompanying tests assert results are byte-identical
 //! to a fault-free run — the immutable-epoch property that makes restarts
@@ -31,6 +38,8 @@ pub struct FaultPlan {
     /// name the epoch the request targets: `load_input` builds epoch 0, the
     /// round-`r` commit of a run that loaded input builds epoch `r + 1`.
     request_drops: HashSet<(RequestKind, usize, usize)>,
+    /// Scheduled connection severs, same coordinates as `request_drops`.
+    severs: HashSet<(RequestKind, usize, usize)>,
 }
 
 impl FaultPlan {
@@ -72,6 +81,26 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule the TCP connection to owner `worker` to be severed
+    /// mid-round, right before the `Commit` targeting `epoch` is
+    /// transmitted.  The socket transport must reconnect and replay
+    /// idempotently; results must stay byte-identical (pinned by
+    /// `tests/reconnect.rs`).  Fires only if that owner actually receives
+    /// pairs for the epoch; backends without a connection ignore it.
+    pub fn sever_connection(mut self, epoch: usize, worker: usize) -> Self {
+        self.severs.insert((RequestKind::Commit, epoch, worker));
+        self
+    }
+
+    /// Like [`FaultPlan::sever_connection`], but cutting the connection
+    /// right before the `Advance` freezing `epoch` — the other mid-round
+    /// write-side request.  Advances go to every owner, so this fires
+    /// unconditionally on the socket backend.
+    pub fn sever_before_advance(mut self, epoch: usize, worker: usize) -> Self {
+        self.severs.insert((RequestKind::Advance, epoch, worker));
+        self
+    }
+
     /// Does the first attempt of `machine` in `round` fail?
     pub fn should_fail(&self, round: usize, machine: usize) -> bool {
         self.failures.contains(&(round, machine))
@@ -84,22 +113,26 @@ impl FaultPlan {
         for &(kind, epoch, worker) in &self.request_drops {
             faults.schedule_drop(kind, epoch, worker);
         }
+        for &(kind, epoch, worker) in &self.severs {
+            faults.schedule_sever(kind, epoch, worker);
+        }
         faults
     }
 
-    /// `true` if any request-level faults are scheduled.
+    /// `true` if any request-level faults (drops or severs) are scheduled.
     pub fn has_request_faults(&self) -> bool {
-        !self.request_drops.is_empty()
+        !self.request_drops.is_empty() || !self.severs.is_empty()
     }
 
-    /// Number of scheduled faults (machine failures plus request drops).
+    /// Number of scheduled faults (machine failures, request drops, and
+    /// connection severs).
     pub fn len(&self) -> usize {
-        self.failures.len() + self.request_drops.len()
+        self.failures.len() + self.request_drops.len() + self.severs.len()
     }
 
     /// `true` if no faults are scheduled.
     pub fn is_empty(&self) -> bool {
-        self.failures.is_empty() && self.request_drops.is_empty()
+        self.failures.is_empty() && self.request_drops.is_empty() && self.severs.is_empty()
     }
 }
 
@@ -162,5 +195,26 @@ mod tests {
         // The plan is a pure schedule: converting again starts fresh.
         assert_eq!(plan.request_faults().dropped(), 0);
         assert!(!plan.request_faults().is_empty());
+    }
+
+    #[test]
+    fn severs_translate_to_a_transport_schedule() {
+        let plan = FaultPlan::none()
+            .sever_connection(1, 0)
+            .sever_before_advance(2, 1);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.has_request_faults());
+        assert!(!plan.is_empty());
+
+        let faults = plan.request_faults();
+        assert!(!faults.is_empty());
+        assert!(!faults.should_sever(RequestKind::Commit, 1, 1));
+        assert!(!faults.should_sever(RequestKind::Advance, 1, 0));
+        assert!(faults.should_sever(RequestKind::Commit, 1, 0));
+        assert!(!faults.should_sever(RequestKind::Commit, 1, 0));
+        assert!(faults.should_sever(RequestKind::Advance, 2, 1));
+        assert_eq!(faults.severed(), 2);
+        assert_eq!(faults.dropped(), 0);
+        assert!(faults.is_empty());
     }
 }

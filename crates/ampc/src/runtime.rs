@@ -58,6 +58,15 @@ impl<B: DdsBackend> AmpcRuntime<B> {
     /// configuration choice.
     pub fn with_backend(config: AmpcConfig) -> Self {
         let backend = B::with_shards(config.num_shards(), config.effective_threads());
+        AmpcRuntime::from_backend(config, backend)
+    }
+
+    /// Create a runtime around an already-constructed backend — how a
+    /// runtime attaches to a DDS it did not spawn, e.g. a
+    /// [`ampc_dds::TcpBackend`] whose leased sessions live in an external
+    /// `ampc_dds::serve` process ([`crate::with_dds_backend!`] does this
+    /// when [`AmpcConfig::remote_endpoint`] is set).
+    pub fn from_backend(config: AmpcConfig, backend: B) -> Self {
         let snapshot = backend.empty_view();
         AmpcRuntime {
             config,
@@ -120,6 +129,13 @@ impl<B: DdsBackend> AmpcRuntime<B> {
     /// far (always 0 on backends without a transport).
     pub fn dropped_requests(&self) -> u64 {
         self.backend.dropped_requests()
+    }
+
+    /// Connections severed (and re-established via reconnect) by
+    /// transport-level fault injection so far (always 0 on backends
+    /// without a real connection).
+    pub fn severed_connections(&self) -> u64 {
+        self.backend.severed_connections()
     }
 
     /// Worker threads used for end-of-round shard-parallel commits.
@@ -399,12 +415,31 @@ macro_rules! with_dds_backend {
                     $crate::AmpcRuntime::<$crate::ChannelBackend>::with_backend(__config);
                 $body
             }
-            $crate::DdsBackendKind::Remote => {
-                #[allow(unused_mut)]
-                let mut $runtime =
-                    $crate::AmpcRuntime::<$crate::TcpBackend>::with_backend(__config);
-                $body
-            }
+            $crate::DdsBackendKind::Remote => match __config.remote_endpoint.clone() {
+                // An external owner process serves the DDS: open a fresh
+                // leased session against it.  A connection failure here has
+                // no round boundary to surface through yet, so it is a loud
+                // construction panic carrying the typed transport error.
+                Some(endpoint) => {
+                    let __backend = $crate::TcpBackend::connect_remote(
+                        endpoint.as_str(),
+                        __config.num_shards(),
+                        __config.effective_threads(),
+                    )
+                    .unwrap_or_else(|err| panic!("DDS transport failure: {err}"));
+                    #[allow(unused_mut)]
+                    let mut $runtime = $crate::AmpcRuntime::<$crate::TcpBackend>::from_backend(
+                        __config, __backend,
+                    );
+                    $body
+                }
+                None => {
+                    #[allow(unused_mut)]
+                    let mut $runtime =
+                        $crate::AmpcRuntime::<$crate::TcpBackend>::with_backend(__config);
+                    $body
+                }
+            },
         }
     }};
 }

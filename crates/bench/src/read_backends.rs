@@ -35,6 +35,12 @@ use std::time::Instant;
 /// Keys per explicit `get_many` flight in the batched mode.
 const FLIGHT: usize = 256;
 
+/// Timed passes per (backend, mode); the *minimum* is reported.  Latency
+/// microbenches on a shared (1-CPU CI) host see scheduler noise only ever
+/// *add* time, so the minimum is the noise-robust estimator — the
+/// windowed/batched CI sentinel gates on these numbers and must not flake.
+const PASSES: usize = 5;
+
 /// One (backend, read mode) latency measurement against a frozen epoch.
 #[derive(Clone, Debug)]
 pub struct BackendReadLatencyPoint {
@@ -44,9 +50,10 @@ pub struct BackendReadLatencyPoint {
     pub mode: &'static str,
     /// Distinct keys resident in the epoch.
     pub keys: usize,
-    /// Lookups timed.
+    /// Lookups timed (per pass).
     pub reads: usize,
-    /// Mean latency per lookup, nanoseconds.
+    /// Mean latency per lookup, nanoseconds — minimum over [`PASSES`]
+    /// timed passes.
     pub ns_per_read: f64,
     /// Checksum of the values read (anti-dead-code; equal across modes and
     /// backends).
@@ -74,25 +81,41 @@ fn measure_view<B: DdsBackend>(
     let view = backend.advance(threads);
     let probes = probes(keys, reads, seed);
 
-    let started = Instant::now();
+    let mut point_ns = f64::INFINITY;
     let mut point_sum = 0u64;
-    for key in &probes {
-        if let Some(value) = view.get(key) {
-            point_sum = point_sum.wrapping_add(value.x);
+    for pass in 0..PASSES {
+        let started = Instant::now();
+        let mut sum = 0u64;
+        for key in &probes {
+            if let Some(value) = view.get(key) {
+                sum = sum.wrapping_add(value.x);
+            }
         }
+        point_ns = point_ns.min(started.elapsed().as_nanos() as f64 / reads.max(1) as f64);
+        if pass > 0 {
+            assert_eq!(sum, point_sum, "passes must agree on every read");
+        }
+        point_sum = sum;
     }
-    let point_ns = started.elapsed().as_nanos() as f64 / reads.max(1) as f64;
 
     let mut out = vec![None; FLIGHT];
-    let started = Instant::now();
+    let mut batched_ns = f64::INFINITY;
     let mut batched_sum = 0u64;
-    for flight in probes.chunks(FLIGHT) {
-        view.get_many_slice(flight, &mut out);
-        for value in out.iter().take(flight.len()).flatten() {
-            batched_sum = batched_sum.wrapping_add(value.x);
+    for pass in 0..PASSES {
+        let started = Instant::now();
+        let mut sum = 0u64;
+        for flight in probes.chunks(FLIGHT) {
+            view.get_many_slice(flight, &mut out);
+            for value in out.iter().take(flight.len()).flatten() {
+                sum = sum.wrapping_add(value.x);
+            }
         }
+        batched_ns = batched_ns.min(started.elapsed().as_nanos() as f64 / reads.max(1) as f64);
+        if pass > 0 {
+            assert_eq!(sum, batched_sum, "passes must agree on every read");
+        }
+        batched_sum = sum;
     }
-    let batched_ns = started.elapsed().as_nanos() as f64 / reads.max(1) as f64;
 
     assert_eq!(point_sum, batched_sum, "modes must agree on every read");
     vec![
@@ -135,20 +158,29 @@ fn measure_windowed<B: DdsBackend>(
     let probes = &probes;
     let (ns_per_read, checksum) = runtime
         .run_round(1, move |ctx| {
-            let started = Instant::now();
-            let mut sum = 0u64;
+            let mut best_ns = f64::INFINITY;
+            let mut checksum = 0u64;
             let mut tickets: Vec<ReadTicket> = Vec::with_capacity(FLIGHT);
-            for flight in probes.chunks(FLIGHT) {
-                tickets.clear();
-                tickets.extend(flight.iter().map(|&key| ctx.queue_read(key)));
-                for &ticket in &tickets {
-                    if let Some(value) = ctx.take_read(ticket) {
-                        sum = sum.wrapping_add(value.x);
+            for pass in 0..PASSES {
+                let started = Instant::now();
+                let mut sum = 0u64;
+                for flight in probes.chunks(FLIGHT) {
+                    tickets.clear();
+                    tickets.extend(flight.iter().map(|&key| ctx.queue_read(key)));
+                    for &ticket in &tickets {
+                        if let Some(value) = ctx.take_read(ticket) {
+                            sum = sum.wrapping_add(value.x);
+                        }
                     }
                 }
+                best_ns =
+                    best_ns.min(started.elapsed().as_nanos() as f64 / probes.len().max(1) as f64);
+                if pass > 0 {
+                    assert_eq!(sum, checksum, "passes must agree on every read");
+                }
+                checksum = sum;
             }
-            let ns = started.elapsed().as_nanos() as f64 / probes.len().max(1) as f64;
-            (ns, sum)
+            (best_ns, checksum)
         })
         .expect("bench round stays within Record budget mode")
         .remove(0);

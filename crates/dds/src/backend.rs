@@ -175,6 +175,13 @@ pub trait DdsBackend: Send + 'static {
     fn dropped_requests(&self) -> u64 {
         0
     }
+
+    /// Connections severed (and re-established via reconnect) by fault
+    /// injection so far.  Only backends with a real connection to cut
+    /// ([`crate::TcpBackend`]) ever report non-zero.
+    fn severed_connections(&self) -> u64 {
+        0
+    }
 }
 
 // ---------------------------------------------------------------------------

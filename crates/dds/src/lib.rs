@@ -83,11 +83,35 @@
 //!   `RemoteBackend<MpscTransport>`, [`TcpBackend`] is
 //!   `RemoteBackend<TcpTransport>`, and the conformance + determinism
 //!   suites hold both (and [`LocalBackend`]) to byte-identical behaviour.
+//! * [`serve`] — the standalone owner *process*: [`DdsServer`] accepts any
+//!   number of concurrent leased [`TcpBackend`] clients, each
+//!   `(session, worker)` pair served by its own isolated owner
+//!   (`quickstart --serve` / `--connect` runs it end to end).
 //!
 //! Reads never touch the wire: every view holds the frozen epoch locally
 //! (shared `Arc` or fetched replica) and probes it lock-free, so the
 //! protocol carries only the write-side and driver-side traffic — exactly
 //! the deployment shape the paper assumes for its RDMA/Bigtable-style DHT.
+//!
+//! # Connection lifecycle: leases, reconnect, replay
+//!
+//! The store, not the workers, owns liveness.  Every TCP connection opens
+//! with a [`proto::Request::Lease`] naming `(session, worker)`; the owner
+//! answers [`proto::Reply::LeaseGranted`] and from then on runs the lease
+//! state machine *grant → (implicit) renew → expire → reclaim* — expiry
+//! counts down only while the session is **disconnected**, so a slow round
+//! on a healthy socket never loses its lease, while a dead client's session
+//! is reclaimed (pending commits freed) once its ttl elapses.  The client
+//! side heals transparently: any socket failure triggers reconnect with
+//! capped exponential backoff ([`TcpOptions`]), a replayed lease handshake,
+//! and in-order replay of every request still awaiting a reply.  Replay is
+//! safe because every request is idempotent at the owner — `Commit` is
+//! deduplicated by sequence number, `Advance` re-publishes the
+//! already-frozen epoch, `Loads`/`Dump`/`TotalWrites` are pure reads.  A
+//! reconnect that finds its session reclaimed surfaces as the typed
+//! [`TransportError::LeaseLost`].  The full state machine is drawn in
+//! [`serve`], the client policy in [`transport`]; `tests/reconnect.rs`
+//! proves mid-round severs heal byte-identically across thread counts.
 //!
 //! The pre-refactor `Vec<Value>`-per-key layout survives as
 //! [`legacy::LegacyStore`], an executable specification the property tests
@@ -105,6 +129,7 @@ pub mod key;
 pub mod legacy;
 pub mod proto;
 pub mod remote;
+pub mod serve;
 mod slot;
 pub mod snapshot;
 pub mod stats;
@@ -119,7 +144,10 @@ pub use epoch::DdsChain;
 pub use hashing::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use key::{Key, KeyTag, Value};
 pub use remote::{FrozenEpoch, RemoteBackend, RemoteSnapshot, TcpBackend};
+pub use serve::{serve, DdsServer};
 pub use snapshot::Snapshot;
 pub use stats::{ShardLoad, StoreStats};
 pub use store::{default_parallelism, ShardedStore};
-pub use transport::{MpscTransport, RequestFaults, TcpTransport, Transport, TransportError};
+pub use transport::{
+    MpscTransport, RequestFaults, TcpOptions, TcpTransport, Transport, TransportError,
+};

@@ -62,6 +62,10 @@ pub enum RequestKind {
     Dump,
     /// [`Request::TotalWrites`].
     TotalWrites,
+    /// [`Request::Lease`].
+    Lease,
+    /// [`Request::Goodbye`].
+    Goodbye,
 }
 
 impl fmt::Display for RequestKind {
@@ -72,6 +76,8 @@ impl fmt::Display for RequestKind {
             RequestKind::Loads => "loads",
             RequestKind::Dump => "dump",
             RequestKind::TotalWrites => "total_writes",
+            RequestKind::Lease => "lease",
+            RequestKind::Goodbye => "goodbye",
         };
         f.write_str(name)
     }
@@ -119,6 +125,32 @@ pub enum Request {
     },
     /// Report total writes accepted so far (all epochs, incl. writable).
     TotalWrites,
+    /// Acquire — or, on a reconnect, resume — this connection's epoch
+    /// lease.  The first frame of every TCP connection; also accepted
+    /// mid-stream as an explicit renewal.  Handled entirely by the
+    /// transport/serve layer: owner state machines never see it.
+    Lease {
+        /// Client-chosen session id.  One backend instance holds one
+        /// session; its per-owner connections share it and are told apart
+        /// by `worker`.
+        session: u64,
+        /// Index of the owner this connection addresses.
+        worker: u64,
+        /// Total shard count of the client's routing topology.  A serving
+        /// process derives the owner's shard group as
+        /// `(worker..num_shards).step_by(workers)`.
+        num_shards: u64,
+        /// Owner count of the client's routing topology.
+        workers: u64,
+        /// Lease duration in milliseconds; `0` asks for a lease that never
+        /// expires.  The owner starts the expiry countdown when the
+        /// connection drops, not while it is merely idle.
+        ttl_ms: u64,
+    },
+    /// Clean-shutdown notice: the client is done and will not reconnect,
+    /// so the owner may release the session immediately instead of holding
+    /// its lease open for a reconnect that never comes.  Not answered.
+    Goodbye,
 }
 
 impl Request {
@@ -130,6 +162,8 @@ impl Request {
             Request::Loads { .. } => RequestKind::Loads,
             Request::Dump { .. } => RequestKind::Dump,
             Request::TotalWrites => RequestKind::TotalWrites,
+            Request::Lease { .. } => RequestKind::Lease,
+            Request::Goodbye => RequestKind::Goodbye,
         }
     }
 }
@@ -154,6 +188,22 @@ pub enum Reply {
     Dump(Vec<(Key, Vec<Value>)>),
     /// [`Request::TotalWrites`] answered.
     TotalWrites(u64),
+    /// [`Request::Lease`] answered: the lease is held.
+    LeaseGranted {
+        /// The session the lease covers (echoed back).
+        session: u64,
+        /// Granted lease duration in milliseconds (`0` = never expires).
+        ttl_ms: u64,
+        /// `true` if existing session state was resumed (a reconnect
+        /// re-attached to a live owner), `false` if the owner started this
+        /// session fresh.  A reconnecting client that receives
+        /// `resumed == false` must abort: its lease expired and the owner
+        /// reclaimed the session's pending commits.  Mid-stream renewals
+        /// are always answered `resumed == true` — a connection that holds
+        /// its grant has, by definition, intact session state — and clients
+        /// only validate the flag during the handshake.
+        resumed: bool,
+    },
 }
 
 /// Serialized frozen epoch of one owner's shard group: the payload a remote
@@ -234,12 +284,15 @@ const TAG_ADVANCE: u8 = 1;
 const TAG_LOADS: u8 = 2;
 const TAG_DUMP: u8 = 3;
 const TAG_TOTAL_WRITES: u8 = 4;
+const TAG_LEASE: u8 = 5;
+const TAG_GOODBYE: u8 = 6;
 
 const TAG_COMMITTED: u8 = 0;
 const TAG_EPOCH: u8 = 1;
 const TAG_LOADS_REPLY: u8 = 2;
 const TAG_DUMP_REPLY: u8 = 3;
 const TAG_TOTAL_WRITES_REPLY: u8 = 4;
+const TAG_LEASE_GRANTED: u8 = 5;
 
 fn put_u32(buf: &mut Vec<u8>, value: u32) {
     buf.extend_from_slice(&value.to_le_bytes());
@@ -303,6 +356,21 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             put_u64(&mut buf, *epoch as u64);
         }
         Request::TotalWrites => buf.push(TAG_TOTAL_WRITES),
+        Request::Lease {
+            session,
+            worker,
+            num_shards,
+            workers,
+            ttl_ms,
+        } => {
+            buf.push(TAG_LEASE);
+            put_u64(&mut buf, *session);
+            put_u64(&mut buf, *worker);
+            put_u64(&mut buf, *num_shards);
+            put_u64(&mut buf, *workers);
+            put_u64(&mut buf, *ttl_ms);
+        }
+        Request::Goodbye => buf.push(TAG_GOODBYE),
     }
     buf
 }
@@ -341,6 +409,16 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
         Reply::TotalWrites(total) => {
             buf.push(TAG_TOTAL_WRITES_REPLY);
             put_u64(&mut buf, *total);
+        }
+        Reply::LeaseGranted {
+            session,
+            ttl_ms,
+            resumed,
+        } => {
+            buf.push(TAG_LEASE_GRANTED);
+            put_u64(&mut buf, *session);
+            put_u64(&mut buf, *ttl_ms);
+            buf.push(u8::from(*resumed));
         }
     }
     buf
@@ -477,6 +555,14 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ProtoError> {
             epoch: cursor.u64("dump epoch")? as usize,
         },
         TAG_TOTAL_WRITES => Request::TotalWrites,
+        TAG_LEASE => Request::Lease {
+            session: cursor.u64("lease session")?,
+            worker: cursor.u64("lease worker")?,
+            num_shards: cursor.u64("lease shards")?,
+            workers: cursor.u64("lease workers")?,
+            ttl_ms: cursor.u64("lease ttl")?,
+        },
+        TAG_GOODBYE => Request::Goodbye,
         tag => {
             return Err(ProtoError::UnknownTag {
                 kind: "request",
@@ -522,6 +608,15 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply, ProtoError> {
         }
         TAG_DUMP_REPLY => Reply::Dump(get_entries(&mut cursor)?),
         TAG_TOTAL_WRITES_REPLY => Reply::TotalWrites(cursor.u64("total writes")?),
+        TAG_LEASE_GRANTED => Reply::LeaseGranted {
+            session: cursor.u64("lease session")?,
+            ttl_ms: cursor.u64("lease ttl")?,
+            resumed: match cursor.u8("lease resumed")? {
+                0 => false,
+                1 => true,
+                tag => return Err(ProtoError::UnknownTag { kind: "reply", tag }),
+            },
+        },
         tag => return Err(ProtoError::UnknownTag { kind: "reply", tag }),
     };
     cursor.finish()?;
@@ -606,6 +701,14 @@ mod tests {
                 epoch: usize::MAX >> 8,
             },
             Request::TotalWrites,
+            Request::Lease {
+                session: u64::MAX,
+                worker: 3,
+                num_shards: 1024,
+                workers: 8,
+                ttl_ms: 30_000,
+            },
+            Request::Goodbye,
         ]
     }
 
@@ -652,6 +755,16 @@ mod tests {
                 vec![Value::scalar(6), Value::scalar(7)],
             )]),
             Reply::TotalWrites(42),
+            Reply::LeaseGranted {
+                session: 7,
+                ttl_ms: 0,
+                resumed: true,
+            },
+            Reply::LeaseGranted {
+                session: u64::MAX,
+                ttl_ms: 86_400_000,
+                resumed: false,
+            },
         ]
     }
 
@@ -717,6 +830,23 @@ mod tests {
             Err(ProtoError::UnknownTag {
                 kind: "reply",
                 tag: 99
+            })
+        );
+    }
+
+    #[test]
+    fn bogus_lease_resumed_flags_are_rejected() {
+        let mut bytes = encode_reply(&Reply::LeaseGranted {
+            session: 1,
+            ttl_ms: 2,
+            resumed: false,
+        });
+        *bytes.last_mut().unwrap() = 9; // neither 0 nor 1
+        assert_eq!(
+            decode_reply(&bytes),
+            Err(ProtoError::UnknownTag {
+                kind: "reply",
+                tag: 9
             })
         );
     }

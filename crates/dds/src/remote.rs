@@ -31,7 +31,7 @@ use crate::proto::{EpochFrame, Reply, Request, ShardFrame};
 use crate::slot::Slot;
 use crate::stats::{ShardLoad, StoreStats};
 use crate::transport::{
-    ClientReply, OwnerReply, RequestFaults, ServerTransport, TcpTransport, Transport,
+    ClientReply, OwnerReply, RequestFaults, ServerTransport, TcpOptions, TcpTransport, Transport,
     TransportError,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -270,6 +270,13 @@ impl Worker {
                 OwnerReply::Wire(Reply::Dump(entries))
             }
             Request::TotalWrites => OwnerReply::Wire(Reply::TotalWrites(self.total_writes)),
+            // Connection-lifecycle requests are consumed by the transport /
+            // serve layer and must never reach the owner state machine; one
+            // arriving here is a protocol bug, surfaced like any other
+            // owner-side violation (panic, harvested into a typed error).
+            Request::Lease { .. } | Request::Goodbye => {
+                panic!("connection-lifecycle request leaked into the owner state machine")
+            }
         }
     }
 }
@@ -573,6 +580,53 @@ impl<T: Transport> RemoteBackend<T> {
     }
 }
 
+impl RemoteBackend<TcpTransport> {
+    /// Connect to an already-running owner process (`ampc_dds::serve`) at
+    /// `endpoint` instead of spawning in-process owner threads.
+    ///
+    /// The backend opens one leased connection per owner under a fresh
+    /// session id; the serving process derives each owner's shard group
+    /// from the topology announced in the lease and keeps per-session
+    /// state, so any number of concurrent clients can share one owner
+    /// process.  Dropping the backend says goodbye on every connection,
+    /// releasing the session immediately.
+    pub fn connect_remote(
+        endpoint: impl std::net::ToSocketAddrs,
+        num_shards: usize,
+        workers: usize,
+    ) -> Result<Self, TransportError> {
+        let num_shards = num_shards.max(1);
+        let workers = workers.clamp(1, num_shards);
+        let endpoint = endpoint
+            .to_socket_addrs()
+            .map_err(|err| TransportError::Io {
+                worker: 0,
+                message: format!("resolving the DDS serve address: {err}"),
+            })?
+            .next()
+            .ok_or_else(|| TransportError::Io {
+                worker: 0,
+                message: "the DDS serve address resolved to nothing".to_string(),
+            })?;
+        let options = TcpOptions::fresh().with_topology(num_shards, workers);
+        let mut clients = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            clients.push(TcpTransport::connect_to(endpoint, worker, options.clone())?);
+        }
+        Ok(RemoteBackend {
+            clients,
+            handles: (0..workers).map(|_| None).collect(),
+            routing: Routing {
+                num_shards,
+                workers,
+            },
+            completed: 0,
+            faults: RequestFaults::none(),
+            next_seq: 0,
+        })
+    }
+}
+
 /// Unwrap a transport result inside the infallible [`DdsBackend`] surface.
 ///
 /// The panic message carries the full typed error (worker, cause, any owner
@@ -638,6 +692,10 @@ impl<T: Transport> DdsBackend for RemoteBackend<T> {
 
     fn dropped_requests(&self) -> u64 {
         self.faults.dropped()
+    }
+
+    fn severed_connections(&self) -> u64 {
+        self.faults.severed()
     }
 }
 

@@ -1,10 +1,11 @@
 //! Transports carrying the [`crate::proto`] protocol between a backend and
 //! its shard-group owners.
 //!
-//! A transport is one *connection*: the backend holds the client half
-//! ([`Transport`]), the owner thread (or process) serves the server half
-//! ([`ServerTransport`]).  Requests and replies pair up positionally (FIFO
-//! per connection), so a client may pipeline several sends before receiving.
+//! A transport is one *connection* (logically: the TCP transport survives
+//! reconnects): the backend holds the client half ([`Transport`]), the owner
+//! thread (or process) serves the server half ([`ServerTransport`]).
+//! Requests and replies pair up positionally (FIFO per connection), so a
+//! client may pipeline several sends before receiving.
 //!
 //! Two implementations ship in-tree:
 //!
@@ -14,33 +15,69 @@
 //!   epoch as an `Arc` ([`ClientReply::SharedEpoch`]) instead of
 //!   serializing it, which is the zero-copy fast path
 //!   [`crate::ChannelBackend`] has always had.
-//! * [`TcpTransport`] — localhost sockets speaking length-prefixed
-//!   [`crate::proto`] frames (`std::net`, no external dependencies).  Every
-//!   message round-trips through the byte codec; `Advance` replies carry the
-//!   full [`crate::proto::EpochFrame`] so the client can rebuild a local
-//!   replica of the frozen maps.
+//! * [`TcpTransport`] — sockets speaking length-prefixed [`crate::proto`]
+//!   frames (`std::net`, no external dependencies).  Every message
+//!   round-trips through the byte codec; `Advance` replies carry the full
+//!   [`crate::proto::EpochFrame`] so the client can rebuild a local replica
+//!   of the frozen maps.
+//!
+//! # Connection lifecycle: lease → serve → reconnect → expire
+//!
+//! The first frame of every TCP connection is a [`Request::Lease`]
+//! identifying `(session, worker)` and asking for a lease of `ttl_ms`
+//! milliseconds; the server answers [`Reply::LeaseGranted`] before any
+//! other reply.  From then on the *owner* owns liveness:
+//!
+//! * while the socket is **connected**, requests renew the lease implicitly
+//!   (a slow round is not a dead client — expiry is never enforced against
+//!   a healthy connection);
+//! * when the socket **drops without a [`Request::Goodbye`]**, the owner
+//!   holds the session open and waits for a reconnect until the lease
+//!   expires, then reclaims the session (pending commits included);
+//! * a **clean shutdown** sends `Goodbye` (the client's `Drop` does), so
+//!   the owner releases the session immediately.
+//!
+//! The client side mirrors this: any I/O failure on send or receive
+//! triggers **automatic reconnection** with capped exponential backoff
+//! ([`TcpOptions`]).  On reconnect the client replays the lease handshake
+//! and then *every request whose reply is still outstanding*, in order.
+//! That replay is safe because every request is idempotent at the owner:
+//! `Commit` is deduplicated by sequence number, `Advance` re-publishes the
+//! already-frozen epoch, and `Loads` / `Dump` / `TotalWrites` are pure
+//! reads.  A reconnect that lands on an owner which already reclaimed the
+//! session (lease expired) surfaces as the typed
+//! [`TransportError::LeaseLost`] — continuing silently would resurrect a
+//! session whose pending state is gone.
 //!
 //! # Fault injection
 //!
-//! [`RequestFaults`] schedules request-level faults: "lose the reply of the
-//! `Commit` targeting epoch 3 on worker 1".  Transports honor the schedule
-//! in [`Transport::send`]: the request is delivered, its reply is dropped
-//! in transit, and the transport retransmits the identical request —
-//! exactly the drop-then-retry a real deployment's RPC layer performs when
-//! an acknowledgement goes missing.  The owner consequently receives the
-//! request **twice** and must apply it exactly once (commit deduplication
-//! by sequence number, advance replay of the frozen epoch — see
-//! [`crate::remote`]); the cross-backend suites assert results are
-//! byte-identical with and without faults, which fails loudly if that
-//! idempotence ever regresses.
+//! [`RequestFaults`] schedules request-level faults.  Two classes exist:
+//!
+//! * **drops** — "lose the reply of the `Commit` targeting epoch 3 on
+//!   worker 1".  The request is delivered, its reply is dropped in transit,
+//!   and the transport retransmits the identical request — exactly the
+//!   drop-then-retry a real RPC layer performs when an acknowledgement goes
+//!   missing.  The owner receives the request **twice** and must apply it
+//!   exactly once.
+//! * **severs** — "cut the TCP connection right before the `Commit`
+//!   targeting epoch 3 on worker 1".  The socket is shut down mid-round;
+//!   the transport's reconnect machinery must bring the connection back and
+//!   replay the outstanding requests idempotently.  Only [`TcpTransport`]
+//!   honors severs (in-process channels have no connection to cut);
+//!   in-process transports leave the schedule untouched.
+//!
+//! The cross-backend suites assert results are byte-identical with and
+//! without faults, which fails loudly if the idempotence ever regresses.
 //!
 //! # Failure surface
 //!
 //! Every client operation returns a typed [`TransportError`] instead of
-//! hanging or dying on a broken channel.  When an owner thread panics, the
-//! backend joins it and attaches the panic payload to the
-//! [`TransportError::PeerClosed`] it surfaces — see
-//! [`crate::RemoteBackend`].
+//! hanging, panicking inside the transport thread, or dying on a broken
+//! channel.  Socket errors are classified (`PeerClosed` vs `Io`),
+//! `set_nodelay` failures are propagated on the client and logged once on
+//! the server (never silently discarded), and when an owner thread panics,
+//! the backend joins it and attaches the panic payload to the
+//! [`TransportError::PeerClosed`] it surfaces — see [`crate::RemoteBackend`].
 
 use crate::proto::{
     decode_reply, decode_request, encode_reply, encode_request, read_frame, write_frame,
@@ -48,17 +85,19 @@ use crate::proto::{
 };
 use crate::remote::FrozenEpoch;
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Typed failure of a transport operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TransportError {
-    /// The owner side of the connection is gone.  If the owner thread died
+    /// The owner side of the connection is gone (and, for TCP, stayed gone
+    /// through every reconnect attempt).  If the owner thread died
     /// panicking, `panic` carries its payload (attached by the backend,
     /// which owns the join handle).
     PeerClosed {
@@ -67,7 +106,7 @@ pub enum TransportError {
         /// Panic payload of the dead owner, when one could be harvested.
         panic: Option<String>,
     },
-    /// An I/O error on the connection.
+    /// An I/O error on the connection (after reconnect attempts, for TCP).
     Io {
         /// Worker whose connection failed.
         worker: usize,
@@ -87,6 +126,15 @@ pub enum TransportError {
         worker: usize,
         /// Description of the mismatch.
         message: String,
+    },
+    /// A reconnect reached the owner, but the owner had already reclaimed
+    /// the session: the lease expired while the client was away.  The
+    /// session's pending commits are gone, so the client must not continue.
+    LeaseLost {
+        /// Worker whose lease expired.
+        worker: usize,
+        /// The session that was reclaimed.
+        session: u64,
     },
 }
 
@@ -110,6 +158,10 @@ impl fmt::Display for TransportError {
             TransportError::Protocol { worker, message } => {
                 write!(f, "protocol violation from DDS owner {worker}: {message}")
             }
+            TransportError::LeaseLost { worker, session } => write!(
+                f,
+                "DDS owner {worker} reclaimed session {session:#x}: the lease expired before the client reconnected"
+            ),
         }
     }
 }
@@ -122,22 +174,28 @@ impl std::error::Error for TransportError {}
 
 #[derive(Debug, Default)]
 struct FaultsInner {
-    /// Scheduled one-shot drops: (kind, epoch, worker).
+    /// Scheduled one-shot reply drops: (kind, epoch, worker).
     drops: Mutex<HashSet<(RequestKind, usize, usize)>>,
+    /// Scheduled one-shot connection severs: (kind, epoch, worker).
+    severs: Mutex<HashSet<(RequestKind, usize, usize)>>,
     /// Requests dropped (and retried) so far.
     dropped: AtomicU64,
+    /// Connections severed (and re-established) so far.
+    severed: AtomicU64,
 }
 
 /// A schedule of request-level faults, shared between a backend's transports.
 ///
-/// Each scheduled entry fires once: the matching request is delivered, its
-/// *reply is lost in transit*, and the transport retransmits the identical
-/// request — the retry a real RPC layer issues when an acknowledgement goes
-/// missing.  The owner therefore sees the request **twice** and must treat
-/// the second copy idempotently (commit deduplication by sequence number,
-/// advance replay of the already-frozen epoch); the fault suites pin down
-/// that results stay byte-identical, which fails loudly if that
-/// idempotence ever breaks.  Only the write-side requests (`Commit`,
+/// Each scheduled entry fires once.  **Drops** deliver the matching request,
+/// lose its *reply* in transit, and retransmit the identical request — the
+/// retry a real RPC layer issues when an acknowledgement goes missing; the
+/// owner sees the request twice and must treat the second copy idempotently
+/// (commit deduplication by sequence number, advance replay of the
+/// already-frozen epoch).  **Severs** cut the TCP connection immediately
+/// before the matching request is transmitted — the mid-round socket loss a
+/// real deployment must absorb; the transport reconnects with backoff,
+/// replays the lease handshake and the outstanding requests, and the run
+/// must stay byte-identical.  Only the write-side requests (`Commit`,
 /// `Advance`) are addressable — they are the ones a real deployment must
 /// retry; reads are served from immutable local epochs and never cross the
 /// wire.
@@ -161,6 +219,13 @@ impl RequestFaults {
         self.inner.drops.lock().insert((kind, epoch, worker));
     }
 
+    /// Schedule the connection to `worker` to be severed right before the
+    /// `kind` request targeting `epoch` is transmitted.  Only transports
+    /// with a connection to cut ([`TcpTransport`]) consult sever entries.
+    pub fn schedule_sever(&self, kind: RequestKind, epoch: usize, worker: usize) {
+        self.inner.severs.lock().insert((kind, epoch, worker));
+    }
+
     /// Consume a scheduled drop for these coordinates, if one exists,
     /// counting it as fired.
     pub fn should_drop(&self, kind: RequestKind, epoch: usize, worker: usize) -> bool {
@@ -171,14 +236,29 @@ impl RequestFaults {
         fired
     }
 
+    /// Consume a scheduled sever for these coordinates, if one exists,
+    /// counting it as fired.
+    pub fn should_sever(&self, kind: RequestKind, epoch: usize, worker: usize) -> bool {
+        let fired = self.inner.severs.lock().remove(&(kind, epoch, worker));
+        if fired {
+            self.inner.severed.fetch_add(1, Ordering::Relaxed);
+        }
+        fired
+    }
+
     /// Faults fired so far (one lost reply + retransmission each).
     pub fn dropped(&self) -> u64 {
         self.inner.dropped.load(Ordering::Relaxed)
     }
 
-    /// `true` if no drops remain scheduled.
+    /// Connections severed (and re-established) so far.
+    pub fn severed(&self) -> u64 {
+        self.inner.severed.load(Ordering::Relaxed)
+    }
+
+    /// `true` if no drops or severs remain scheduled.
     pub fn is_empty(&self) -> bool {
-        self.inner.drops.lock().is_empty()
+        self.inner.drops.lock().is_empty() && self.inner.severs.lock().is_empty()
     }
 }
 
@@ -243,9 +323,9 @@ pub trait Transport: Send + Sized + 'static {
     /// Install the fault schedule this transport consults on every send.
     fn install_faults(&mut self, faults: RequestFaults);
 
-    /// Transmit one request.  If the fault schedule matches, the request
-    /// is delivered, its reply is lost, and the identical request is
-    /// retransmitted — the caller still receives exactly one reply.
+    /// Transmit one request.  If the fault schedule matches, the scheduled
+    /// fault is injected (reply lost + retransmission, or connection
+    /// severed + reconnect) — the caller still receives exactly one reply.
     /// Does not wait for that reply.
     fn send(&mut self, request: Request) -> Result<(), TransportError>;
 
@@ -255,10 +335,13 @@ pub trait Transport: Send + Sized + 'static {
 
 /// Server (owner) half of one backend↔owner connection.
 pub trait ServerTransport: Send + 'static {
-    /// Next request, or `None` when the client is gone (owner exits).
+    /// Next request, or `None` when the client is gone for good (clean
+    /// goodbye, channel hangup, or an expired lease) — the owner exits.
     fn recv_request(&mut self) -> Option<Request>;
 
     /// Answer the current request; `false` when the client is gone.
+    /// Reconnecting transports report `true` on a lost reply — the client
+    /// replays the request after reconnecting, so serving continues.
     fn send_reply(&mut self, reply: OwnerReply) -> bool;
 }
 
@@ -320,6 +403,8 @@ impl Transport for MpscTransport {
     }
 
     fn send(&mut self, request: Request) -> Result<(), TransportError> {
+        // Severs are not consulted: an in-process channel has no connection
+        // to cut, so scheduled severs stay untouched (and unfired) here.
         if let Some((kind, epoch)) = fault_coordinates(&request) {
             if self.faults.should_drop(kind, epoch, self.worker) {
                 // Fault: the request is delivered but its reply is lost in
@@ -358,34 +443,188 @@ impl ServerTransport for MpscServer {
 }
 
 // ---------------------------------------------------------------------------
-// TcpTransport — localhost sockets, length-prefixed proto frames
+// TcpTransport — sockets, length-prefixed proto frames, reconnect + lease
 // ---------------------------------------------------------------------------
 
-/// Socket transport speaking length-prefixed [`crate::proto`] frames over
-/// localhost TCP.
+/// Source of fresh session ids: one per backend instance, shared by its
+/// per-owner connections.  The process id keeps concurrent client
+/// *processes* of one serving process apart; the counter keeps backends of
+/// one process apart.
+static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a session id no other backend of this process (and, with high
+/// probability, no other client process) is using.
+pub fn fresh_session_id() -> u64 {
+    let counter = NEXT_SESSION.fetch_add(1, Ordering::Relaxed);
+    ((std::process::id() as u64) << 32) ^ counter
+}
+
+/// Connection-lifecycle options of a [`TcpTransport`]: the lease it
+/// requests and the reconnect/backoff policy it retries under.
+#[derive(Clone, Debug)]
+pub struct TcpOptions {
+    /// Session id sent in the lease handshake.  All of one backend's
+    /// connections share it; `worker` tells them apart.
+    pub session: u64,
+    /// Shard count of the client's routing topology (0 = unspecified; a
+    /// paired in-process server ignores it, `ampc_dds::serve` uses it to
+    /// derive the owner's shard group).
+    pub num_shards: usize,
+    /// Owner count of the client's routing topology (0 = unspecified).
+    pub workers: usize,
+    /// Lease duration requested from the owner.  The owner starts the
+    /// countdown when the connection drops, not while it is idle; `0`
+    /// requests a lease that never expires.
+    pub ttl_ms: u64,
+    /// Reconnect attempts before a send/receive failure is surfaced.
+    pub reconnect_attempts: u32,
+    /// Backoff before the second reconnect attempt (the first is
+    /// immediate); doubles per attempt up to [`TcpOptions::max_backoff`].
+    pub initial_backoff: Duration,
+    /// Cap on the exponential backoff between reconnect attempts.
+    pub max_backoff: Duration,
+}
+
+impl TcpOptions {
+    /// Default options under a fresh session id: 30 s lease, 8 reconnect
+    /// attempts backing off 1 ms → 2 ms → … capped at 100 ms.
+    pub fn fresh() -> TcpOptions {
+        TcpOptions {
+            session: fresh_session_id(),
+            num_shards: 0,
+            workers: 0,
+            ttl_ms: 30_000,
+            reconnect_attempts: 8,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+
+    /// Builder-style: set the requested lease duration in milliseconds
+    /// (`0` = never expires).
+    pub fn with_ttl_ms(mut self, ttl_ms: u64) -> TcpOptions {
+        self.ttl_ms = ttl_ms;
+        self
+    }
+
+    /// Builder-style: set the routing topology announced in the lease.
+    pub fn with_topology(mut self, num_shards: usize, workers: usize) -> TcpOptions {
+        self.num_shards = num_shards;
+        self.workers = workers;
+        self
+    }
+}
+
+/// Socket transport speaking length-prefixed [`crate::proto`] frames.
 ///
 /// Every message round-trips through the byte codec, so running the
 /// conformance suites over this transport is an end-to-end proof of the wire
 /// format.  `Advance` replies carry the serialized
 /// [`crate::proto::EpochFrame`]; the client rebuilds a local replica of the
 /// frozen maps from it.
+///
+/// The transport owns the connection lifecycle: the lease handshake on
+/// every (re)connect, capped-exponential-backoff reconnection on any socket
+/// failure, and idempotent replay of the requests whose replies are still
+/// outstanding — see the [module docs](self).
 pub struct TcpTransport {
     worker: usize,
+    endpoint: SocketAddr,
+    options: TcpOptions,
     stream: TcpStream,
+    /// Requests transmitted but not yet answered, oldest first — exactly
+    /// what a reconnect must replay.
+    pending: VecDeque<Request>,
+    /// A lease handshake is in flight: the next frame read must be the
+    /// grant, consumed before ordinary replies.
+    await_grant: bool,
+    /// Whether the pending grant must report `resumed` (reconnects) or
+    /// fresh state (first connection).
+    expect_resumed: bool,
     faults: RequestFaults,
 }
 
-/// Server half of a [`TcpTransport`].
-pub struct TcpServer {
-    stream: TcpStream,
-}
-
 impl TcpTransport {
-    fn io_error(&self, err: std::io::Error) -> TransportError {
+    /// Establish a fresh connection pair through a private loopback
+    /// listener: the in-process owner keeps the listener, so a severed
+    /// client can reconnect to the same owner.
+    pub fn connect_pair(
+        worker: usize,
+        options: TcpOptions,
+    ) -> Result<(TcpTransport, TcpServer), TransportError> {
+        let io_err = |message: String| TransportError::Io { worker, message };
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|err| io_err(format!("binding a loopback DDS owner socket: {err}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|err| io_err(format!("configuring the owner listener: {err}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|err| io_err(format!("reading the owner socket address: {err}")))?;
+        let client = TcpTransport::connect_to(addr, worker, options)?;
+        Ok((client, TcpServer::from_listener(listener, worker)))
+    }
+
+    /// Connect to an already-listening owner at `endpoint` — the entry
+    /// point of a multi-process deployment (see `ampc_dds::serve`).
+    ///
+    /// The lease handshake frame is written immediately; its grant is
+    /// verified on the first receive, so connecting cannot deadlock with an
+    /// owner that has not entered its serve loop yet.
+    pub fn connect_to(
+        endpoint: impl ToSocketAddrs,
+        worker: usize,
+        options: TcpOptions,
+    ) -> Result<TcpTransport, TransportError> {
+        let io_err = |message: String| TransportError::Io { worker, message };
+        let endpoint = endpoint
+            .to_socket_addrs()
+            .map_err(|err| io_err(format!("resolving the DDS owner address: {err}")))?
+            .next()
+            .ok_or_else(|| io_err("the DDS owner address resolved to nothing".to_string()))?;
+        let stream = TcpStream::connect(endpoint)
+            .map_err(|err| io_err(format!("connecting to the DDS owner: {err}")))?;
+        // The protocol is small framed RPCs; Nagle only adds latency.  A
+        // failure here would silently skew every latency measurement, so it
+        // is propagated, not discarded.
+        stream
+            .set_nodelay(true)
+            .map_err(|err| io_err(format!("setting TCP_NODELAY: {err}")))?;
+        let mut transport = TcpTransport {
+            worker,
+            endpoint,
+            options,
+            stream,
+            pending: VecDeque::new(),
+            await_grant: true,
+            expect_resumed: false,
+            faults: RequestFaults::none(),
+        };
+        let lease = transport.lease_request();
+        write_frame(&mut transport.stream, &encode_request(&lease))
+            .map_err(|err| transport.classify(&err))?;
+        Ok(transport)
+    }
+
+    /// The lease handshake frame for this connection.
+    fn lease_request(&self) -> Request {
+        Request::Lease {
+            session: self.options.session,
+            worker: self.worker as u64,
+            num_shards: self.options.num_shards as u64,
+            workers: self.options.workers as u64,
+            ttl_ms: self.options.ttl_ms,
+        }
+    }
+
+    /// Classify a socket error: vanished peers become [`TransportError::PeerClosed`],
+    /// everything else keeps its diagnostic as [`TransportError::Io`].
+    fn classify(&self, err: &std::io::Error) -> TransportError {
         match err.kind() {
             std::io::ErrorKind::UnexpectedEof
             | std::io::ErrorKind::ConnectionReset
             | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::NotConnected
             | std::io::ErrorKind::BrokenPipe => TransportError::PeerClosed {
                 worker: self.worker,
                 panic: None,
@@ -396,6 +635,125 @@ impl TcpTransport {
             },
         }
     }
+
+    /// One reconnection attempt: dial, handshake the lease, replay every
+    /// outstanding request in order.
+    fn try_reestablish(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.endpoint)?;
+        stream.set_nodelay(true)?;
+        self.stream = stream;
+        self.await_grant = true;
+        self.expect_resumed = true;
+        let lease = self.lease_request();
+        write_frame(&mut self.stream, &encode_request(&lease))?;
+        for request in &self.pending {
+            write_frame(&mut self.stream, &encode_request(request))?;
+        }
+        Ok(())
+    }
+
+    /// Bring the connection back after `cause`, retrying with capped
+    /// exponential backoff.  Returns `cause` if the owner stays
+    /// unreachable through every attempt.
+    fn recover(&mut self, cause: TransportError) -> Result<(), TransportError> {
+        let mut backoff = self.options.initial_backoff;
+        for attempt in 0..self.options.reconnect_attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(self.options.max_backoff);
+            }
+            if self.try_reestablish().is_ok() {
+                return Ok(());
+            }
+        }
+        Err(cause)
+    }
+
+    /// Transmit one request, recording it as outstanding; any write failure
+    /// triggers the reconnect-and-replay path (which retransmits this
+    /// request too).
+    fn transmit(&mut self, request: Request) -> Result<(), TransportError> {
+        let payload = encode_request(&request);
+        self.pending.push_back(request);
+        if let Err(err) = write_frame(&mut self.stream, &payload) {
+            let cause = self.classify(&err);
+            self.recover(cause)?;
+        }
+        Ok(())
+    }
+
+    /// Read the next ordinary reply, consuming (and verifying) any pending
+    /// lease grant first and reconnecting through socket failures.
+    fn recv_reply(&mut self) -> Result<Reply, TransportError> {
+        // Loop guard, not retry policy: [`TcpOptions::reconnect_attempts`]
+        // bounds the dials within one recovery; this bounds how many
+        // *successful* recoveries one receive may burn through, so a
+        // flapping owner (accepts the reconnect, then dies again before
+        // answering) cannot spin this loop forever.  An unreachable owner
+        // never gets here — `recover` surfaces its error on the first cycle.
+        const MAX_RECOVERY_CYCLES: u32 = 4;
+        let mut recoveries = 0u32;
+        loop {
+            let payload = match read_frame(&mut self.stream) {
+                Ok(payload) => payload,
+                Err(err) => {
+                    let cause = self.classify(&err);
+                    recoveries += 1;
+                    if recoveries > MAX_RECOVERY_CYCLES {
+                        return Err(cause);
+                    }
+                    self.recover(cause)?;
+                    continue;
+                }
+            };
+            let reply = decode_reply(&payload).map_err(|error| TransportError::Proto {
+                worker: self.worker,
+                error,
+            })?;
+            if self.await_grant {
+                let Reply::LeaseGranted {
+                    session, resumed, ..
+                } = reply
+                else {
+                    return Err(TransportError::Protocol {
+                        worker: self.worker,
+                        message: format!("expected a lease grant, got {reply:?}"),
+                    });
+                };
+                if session != self.options.session {
+                    return Err(TransportError::Protocol {
+                        worker: self.worker,
+                        message: format!(
+                            "lease grant for session {session:#x}, expected {:#x}",
+                            self.options.session
+                        ),
+                    });
+                }
+                if self.expect_resumed && !resumed {
+                    return Err(TransportError::LeaseLost {
+                        worker: self.worker,
+                        session,
+                    });
+                }
+                if !self.expect_resumed && resumed {
+                    return Err(TransportError::Protocol {
+                        worker: self.worker,
+                        message: format!("session {session:#x} collided with existing state"),
+                    });
+                }
+                self.await_grant = false;
+                continue;
+            }
+            return Ok(reply);
+        }
+    }
+
+    /// The underlying socket (tests assert TCP_NODELAY is actually set, so
+    /// latency numbers are never Nagle-dependent).
+    #[cfg(test)]
+    pub(crate) fn socket(&self) -> &TcpStream {
+        &self.stream
+    }
 }
 
 impl Transport for TcpTransport {
@@ -405,25 +763,10 @@ impl Transport for TcpTransport {
     fn connect(worker: usize) -> (Self, TcpServer) {
         // Loopback rendezvous: the connect lands in the listener's backlog,
         // so binding, connecting and accepting from one thread cannot
-        // deadlock.
-        let listener =
-            TcpListener::bind(("127.0.0.1", 0)).expect("binding a loopback DDS owner socket");
-        let addr = listener
-            .local_addr()
-            .expect("reading the owner socket address");
-        let client = TcpStream::connect(addr).expect("connecting to the DDS owner socket");
-        let (server, _) = listener.accept().expect("accepting the DDS backend");
-        // The protocol is small framed RPCs; Nagle only adds latency.
-        let _ = client.set_nodelay(true);
-        let _ = server.set_nodelay(true);
-        (
-            TcpTransport {
-                worker,
-                stream: client,
-                faults: RequestFaults::none(),
-            },
-            TcpServer { stream: server },
-        )
+        // deadlock.  Setup failures have no transport thread to surface
+        // through yet, so they are a loud construction panic.
+        TcpTransport::connect_pair(worker, TcpOptions::fresh())
+            .unwrap_or_else(|err| panic!("DDS transport setup failed: {err}"))
     }
 
     fn install_faults(&mut self, faults: RequestFaults) {
@@ -431,40 +774,325 @@ impl Transport for TcpTransport {
     }
 
     fn send(&mut self, request: Request) -> Result<(), TransportError> {
-        let payload = encode_request(&request);
         if let Some((kind, epoch)) = fault_coordinates(&request) {
+            if self.faults.should_sever(kind, epoch, self.worker) {
+                // Fault: the connection dies mid-round, right before this
+                // request goes out.  The write below fails, and the
+                // transport must reconnect, replay the lease handshake and
+                // the outstanding requests, and carry on — byte-identical.
+                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+            }
             if self.faults.should_drop(kind, epoch, self.worker) {
                 // Fault: the frame is delivered but its reply is lost in
                 // transit.  Write the first copy, discard the reply frame
                 // the backend will never "see", then retransmit the
                 // identical frame below — the owner must deduplicate.
-                write_frame(&mut self.stream, &payload).map_err(|err| self.io_error(err))?;
-                let _lost_reply = read_frame(&mut self.stream).map_err(|err| self.io_error(err))?;
+                self.transmit(request.clone())?;
+                let _lost_reply = self.recv()?;
             }
         }
-        write_frame(&mut self.stream, &payload).map_err(|err| self.io_error(err))
+        self.transmit(request)
     }
 
     fn recv(&mut self) -> Result<ClientReply, TransportError> {
-        let payload = read_frame(&mut self.stream).map_err(|err| self.io_error(err))?;
-        let reply = decode_reply(&payload).map_err(|error| TransportError::Proto {
-            worker: self.worker,
-            error,
-        })?;
+        let reply = self.recv_reply()?;
+        self.pending.pop_front();
         Ok(ClientReply::Wire(reply))
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Clean shutdown: tell the owner not to hold the lease open for a
+        // reconnect that will never come.  Best-effort — the connection may
+        // already be gone, and the lease expiry covers that case.
+        let _ = write_frame(&mut self.stream, &encode_request(&Request::Goodbye));
+    }
+}
+
+/// Where a [`TcpServer`] gets (re)connections from.
+pub(crate) enum StreamSource {
+    /// A private loopback listener (paired in-process mode): the server
+    /// accepts and handshakes incoming connections itself.
+    Listener(TcpListener),
+    /// A shared acceptor (`ampc_dds::serve`): connections arrive with the
+    /// lease already read, routed by `(session, worker)`.
+    Mailbox(Receiver<ServeHandoff>),
+}
+
+/// One routed connection handed to a [`TcpServer`] by a shared acceptor.
+pub(crate) struct ServeHandoff {
+    /// The accepted, lease-validated stream.
+    pub(crate) stream: TcpStream,
+    /// Session the lease named (echoed in the grant).
+    pub(crate) session: u64,
+    /// Lease duration the client asked for, milliseconds (0 = infinite).
+    pub(crate) ttl_ms: u64,
+}
+
+/// The decoded contents of a connection's opening [`Request::Lease`] frame.
+pub(crate) struct LeaseFrame {
+    pub(crate) session: u64,
+    pub(crate) worker: u64,
+    pub(crate) num_shards: u64,
+    pub(crate) workers: u64,
+    pub(crate) ttl_ms: u64,
+}
+
+/// Read and decode the opening lease frame of a fresh connection, under
+/// [`HANDSHAKE_TIMEOUT`] so a wedged or hostile pre-lease client cannot
+/// hold its acceptor hostage.  `None` means "drop the connection": garbage,
+/// a timeout, or a first frame that is not a lease.  Shared by the paired
+/// in-process [`TcpServer`] and the `ampc_dds::serve` acceptor — one
+/// handshake, one implementation.
+pub(crate) fn read_lease_frame(stream: &TcpStream) -> Option<LeaseFrame> {
+    let mut reader = stream;
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT)).ok()?;
+    let payload = read_frame(&mut reader).ok()?;
+    stream.set_read_timeout(None).ok()?;
+    match decode_request(&payload) {
+        Ok(Request::Lease {
+            session,
+            worker,
+            num_shards,
+            workers,
+            ttl_ms,
+        }) => Some(LeaseFrame {
+            session,
+            worker,
+            num_shards,
+            workers,
+            ttl_ms,
+        }),
+        _ => None,
+    }
+}
+
+/// Warn exactly once, process-wide, when a server-side socket cannot set
+/// TCP_NODELAY.  The connection still works; only latency is at stake, so
+/// the server keeps serving — but never silently.
+fn warn_nodelay_once(err: &std::io::Error) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!("ampc-dds: failed to set TCP_NODELAY on an owner socket ({err}); latency numbers may be Nagle-dependent");
+    });
+}
+
+/// Server half of a [`TcpTransport`]: the owner side of the connection
+/// lifecycle.
+///
+/// The server validates the lease handshake of every incoming connection,
+/// answers renewals, survives disconnects by waiting (up to the lease
+/// deadline) for a reconnect, and treats [`Request::Goodbye`] as the
+/// client's clean release of the session.  `recv_request` returns `None` —
+/// ending the owner's serve loop — only on goodbye, lease expiry, or a
+/// vanished stream source.
+pub struct TcpServer {
+    source: StreamSource,
+    worker: usize,
+    stream: Option<TcpStream>,
+    /// Granted lease duration; zero means the lease never expires.
+    ttl: Duration,
+    /// When the connection dropped (the expiry countdown's epoch); `None`
+    /// while connected or before the first connection.
+    disconnected_at: Option<Instant>,
+    /// Whether this session served a connection before — what the grant
+    /// reports as `resumed`.
+    served_before: bool,
+    /// The client said goodbye (or the lease expired): serving is over.
+    finished: bool,
+}
+
+/// How long an accepting server waits for the lease handshake frame of a
+/// brand-new connection before dropping it.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Poll interval of the nonblocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+impl TcpServer {
+    /// A server accepting (re)connections from its own loopback listener.
+    pub(crate) fn from_listener(listener: TcpListener, worker: usize) -> TcpServer {
+        TcpServer {
+            source: StreamSource::Listener(listener),
+            worker,
+            stream: None,
+            ttl: Duration::ZERO,
+            disconnected_at: None,
+            served_before: false,
+            finished: false,
+        }
+    }
+
+    /// A server fed routed connections by a shared acceptor
+    /// (`ampc_dds::serve`).
+    pub(crate) fn from_mailbox(mailbox: Receiver<ServeHandoff>, worker: usize) -> TcpServer {
+        TcpServer {
+            source: StreamSource::Mailbox(mailbox),
+            worker,
+            stream: None,
+            ttl: Duration::ZERO,
+            disconnected_at: None,
+            served_before: false,
+            finished: false,
+        }
+    }
+
+    /// The expiry deadline of the current disconnect, if the lease expires
+    /// at all.
+    fn deadline(&self) -> Option<Instant> {
+        match (self.disconnected_at, self.ttl) {
+            (Some(at), ttl) if ttl > Duration::ZERO => Some(at + ttl),
+            _ => None,
+        }
+    }
+
+    /// Adopt a freshly (re)connected stream: grant the lease and start
+    /// serving it.
+    fn adopt(&mut self, stream: TcpStream, session: u64, ttl_ms: u64) {
+        if let Err(err) = stream.set_nodelay(true) {
+            warn_nodelay_once(&err);
+        }
+        self.ttl = Duration::from_millis(ttl_ms);
+        self.stream = Some(stream);
+        self.disconnected_at = None;
+        let resumed = self.served_before;
+        self.served_before = true;
+        self.grant(session, resumed);
+    }
+
+    /// Write the lease grant; a failed write is just a disconnect (the
+    /// client will reconnect and re-handshake).
+    fn grant(&mut self, session: u64, resumed: bool) {
+        let reply = Reply::LeaseGranted {
+            session,
+            ttl_ms: self.ttl.as_millis() as u64,
+            resumed,
+        };
+        let payload = encode_reply(&reply);
+        let Some(stream) = self.stream.as_mut() else {
+            return;
+        };
+        if write_frame(stream, &payload).is_err() {
+            self.mark_disconnected();
+        }
+    }
+
+    fn mark_disconnected(&mut self) {
+        self.stream = None;
+        if self.disconnected_at.is_none() {
+            self.disconnected_at = Some(Instant::now());
+        }
+    }
+
+    /// Read and validate the lease handshake of a brand-new connection.
+    /// Returns `None` (dropping the connection) on garbage, a timeout, or a
+    /// lease addressed to a different worker.
+    fn read_handshake(&self, stream: &TcpStream) -> Option<(u64, u64)> {
+        let lease = read_lease_frame(stream)?;
+        (lease.worker as usize == self.worker).then_some((lease.session, lease.ttl_ms))
+    }
+
+    /// Wait for a (re)connection until the lease deadline.  `false` ends
+    /// the serve loop: the lease expired, or the stream source is gone.
+    fn await_stream(&mut self) -> bool {
+        let deadline = self.deadline();
+        match &self.source {
+            StreamSource::Listener(listener) => loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // Accepted sockets must block; the listener itself
+                        // stays nonblocking for the deadline poll.
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        let Some((session, ttl_ms)) = self.read_handshake(&stream) else {
+                            continue; // not our client; drop and keep waiting
+                        };
+                        self.adopt(stream, session, ttl_ms);
+                        return true;
+                    }
+                    Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                        if deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+                            return false; // lease expired: reclaim
+                        }
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => return false, // listener broken: give up
+                }
+            },
+            StreamSource::Mailbox(mailbox) => {
+                let handoff = match deadline {
+                    Some(deadline) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return false;
+                        }
+                        match mailbox.recv_timeout(deadline - now) {
+                            Ok(handoff) => handoff,
+                            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                                return false
+                            }
+                        }
+                    }
+                    None => match mailbox.recv() {
+                        Ok(handoff) => handoff,
+                        Err(_) => return false,
+                    },
+                };
+                self.adopt(handoff.stream, handoff.session, handoff.ttl_ms);
+                true
+            }
+        }
     }
 }
 
 impl ServerTransport for TcpServer {
     fn recv_request(&mut self) -> Option<Request> {
-        // A vanished client (EOF, reset) is a clean shutdown; a frame that
-        // arrives but does not decode is a protocol bug and must keep its
-        // diagnostic — the panic is harvested into the typed
-        // `TransportError::PeerClosed` the backend surfaces.
-        let payload = read_frame(&mut self.stream).ok()?;
-        match decode_request(&payload) {
-            Ok(request) => Some(request),
-            Err(error) => panic!("malformed request frame from the backend: {error}"),
+        loop {
+            if self.finished {
+                return None;
+            }
+            if self.stream.is_none() && !self.await_stream() {
+                self.finished = true;
+                return None;
+            }
+            let Some(stream) = self.stream.as_mut() else {
+                continue; // a failed grant write disconnected us again
+            };
+            let payload = match read_frame(stream) {
+                Ok(payload) => payload,
+                Err(_) => {
+                    // EOF or reset without a goodbye: hold the session and
+                    // wait (up to the lease deadline) for a reconnect.
+                    self.mark_disconnected();
+                    continue;
+                }
+            };
+            match decode_request(&payload) {
+                // Mid-stream renewal: refresh the lease, grant, keep going.
+                // `resumed` is definitionally true here — a renewal arrives
+                // on a connection that already holds its grant, so the
+                // session's state is intact (clients only validate the flag
+                // during the handshake, never on a renewal).
+                Ok(Request::Lease {
+                    session, ttl_ms, ..
+                }) => {
+                    self.ttl = Duration::from_millis(ttl_ms);
+                    self.grant(session, true);
+                }
+                // Clean shutdown: release the session immediately.
+                Ok(Request::Goodbye) => {
+                    self.finished = true;
+                    return None;
+                }
+                Ok(request) => return Some(request),
+                // A frame that arrives but does not decode is a protocol
+                // bug and must keep its diagnostic — the panic is harvested
+                // into the typed `TransportError::PeerClosed` the backend
+                // surfaces.
+                Err(error) => panic!("malformed request frame from the backend: {error}"),
+            }
         }
     }
 
@@ -475,7 +1103,18 @@ impl ServerTransport for TcpServer {
             OwnerReply::Epoch(epoch) => Reply::Epoch(epoch.to_frame()),
         };
         let payload = encode_reply(&reply);
-        write_frame(&mut self.stream, &payload).is_ok()
+        let Some(stream) = self.stream.as_mut() else {
+            // Already disconnected: the reply is lost, but the client will
+            // replay its request after reconnecting — keep serving.
+            return true;
+        };
+        if write_frame(stream, &payload).is_err() {
+            // A lost reply is a disconnect, not the end of the session: the
+            // reconnect replay re-asks and the owner re-answers
+            // idempotently.
+            self.mark_disconnected();
+        }
+        true
     }
 }
 
@@ -589,6 +1228,136 @@ mod tests {
     }
 
     #[test]
+    fn severed_tcp_connections_reconnect_and_replay() {
+        let (mut client, server) = TcpTransport::connect(2);
+        let handle = echo_server(server);
+        let faults = RequestFaults::none();
+        faults.schedule_sever(RequestKind::Commit, 1, 2);
+        faults.schedule_sever(RequestKind::Advance, 2, 2);
+        client.install_faults(faults.clone());
+
+        // Warm the connection so the sever cuts an established stream.
+        client.send(commit_request(0)).unwrap();
+        let _ = client.recv().unwrap();
+
+        // The sever cuts the socket right before the commit: the transport
+        // must reconnect, re-handshake and replay, and the caller still
+        // sees exactly one reply.
+        client.send(commit_request(1)).unwrap();
+        match client.recv().unwrap() {
+            ClientReply::Wire(Reply::Committed { epoch, .. }) => assert_eq!(epoch, 1),
+            other => panic!(
+                "replayed commit must be acknowledged, got {:?}",
+                match other {
+                    ClientReply::Wire(reply) => format!("{reply:?}"),
+                    ClientReply::SharedEpoch(_) => "shared epoch".to_string(),
+                }
+            ),
+        }
+        assert_eq!(faults.severed(), 1);
+
+        // A second sever, addressed at an Advance, exercises the replay of
+        // a different request kind over a fresh reconnect.
+        client.send(Request::Advance { epoch: 2 }).unwrap();
+        match client.recv().unwrap() {
+            ClientReply::Wire(Reply::TotalWrites(_)) => {} // echo server answer
+            _ => panic!("the replayed advance must be answered"),
+        }
+        assert_eq!(faults.severed(), 2);
+        assert!(faults.is_empty());
+
+        drop(client);
+        // The echo server saw each request exactly once: severs cut the
+        // connection *before* the frame goes out, so nothing is duplicated.
+        assert_eq!(handle.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn mpsc_transports_ignore_scheduled_severs() {
+        let (mut client, server) = MpscTransport::connect(0);
+        let handle = echo_server(server);
+        let faults = RequestFaults::none();
+        faults.schedule_sever(RequestKind::Commit, 0, 0);
+        client.install_faults(faults.clone());
+        client.send(commit_request(0)).unwrap();
+        let _ = client.recv().unwrap();
+        // No connection to cut: the sever neither fires nor is consumed.
+        assert_eq!(faults.severed(), 0);
+        assert!(!faults.is_empty());
+        drop(client);
+        assert_eq!(handle.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn tcp_nodelay_is_set_on_both_halves() {
+        let (client, mut server) = TcpTransport::connect(0);
+        // Nagle would let latency depend on frame coalescing; the latency
+        // series in BENCH_commit.json assume it is off.
+        assert!(
+            client.socket().nodelay().unwrap_or(false),
+            "client socket must have TCP_NODELAY set"
+        );
+        // Drive the handshake from a second thread so the server can adopt
+        // the connection, then inspect its socket.
+        let driver = std::thread::spawn(move || {
+            let request = server.recv_request();
+            (server, request)
+        });
+        let mut client = client;
+        client.send(Request::TotalWrites).unwrap();
+        let (server, request) = driver.join().unwrap();
+        assert_eq!(request, Some(Request::TotalWrites));
+        assert!(
+            server
+                .stream
+                .as_ref()
+                .is_some_and(|stream| stream.nodelay().unwrap_or(false)),
+            "server socket must have TCP_NODELAY set"
+        );
+    }
+
+    #[test]
+    fn expired_leases_end_the_serve_loop() {
+        let options = TcpOptions::fresh().with_ttl_ms(50);
+        let (client, mut server) = TcpTransport::connect_pair(7, options).unwrap();
+        // Serve one round-trip, then cut the connection without a goodbye:
+        // the server must wait out the 50 ms lease and then give up — not
+        // hang.
+        let driver = std::thread::spawn(move || {
+            let first = server.recv_request();
+            if first.is_some() {
+                server.send_reply(OwnerReply::Wire(Reply::TotalWrites(0)));
+            }
+            let second = server.recv_request();
+            (first, second)
+        });
+        let mut client = client;
+        client.send(Request::TotalWrites).unwrap();
+        match client.recv().unwrap() {
+            ClientReply::Wire(Reply::TotalWrites(0)) => {}
+            _ => panic!("round-trip before the sever must succeed"),
+        }
+        // Abrupt death: no goodbye frame.
+        client.stream.shutdown(std::net::Shutdown::Both).unwrap();
+        std::mem::forget(client);
+        let (first, second) = driver.join().unwrap();
+        assert_eq!(first, Some(Request::TotalWrites));
+        assert_eq!(second, None, "the lease must expire and end serving");
+    }
+
+    #[test]
+    fn goodbye_releases_the_session_immediately() {
+        let (client, mut server) = TcpTransport::connect(5);
+        let started = Instant::now();
+        let driver = std::thread::spawn(move || server.recv_request());
+        drop(client); // sends the goodbye frame
+        assert_eq!(driver.join().unwrap(), None);
+        // No lease wait: the goodbye ends serving at once (well under the
+        // 30 s default ttl).
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
     fn dead_peer_is_a_typed_error() {
         let (mut client, server) = MpscTransport::connect(7);
         drop(server);
@@ -601,10 +1370,11 @@ mod tests {
             }
         );
 
+        // For TCP the listener dies with the server half, so reconnect
+        // attempts are refused and the original failure surfaces — by the
+        // reply read at the latest (the OS may buffer the first write).
         let (mut client, server) = TcpTransport::connect(7);
         drop(server);
-        // The OS may accept the first write into its buffer; the error must
-        // surface by the reply read at the latest.
         let result = client
             .send(Request::TotalWrites)
             .and_then(|()| client.recv().map(|_| ()));

@@ -41,7 +41,7 @@ fn arbitrary_entries() -> impl Strategy<Value = Vec<(Key, Vec<Value>)>> {
 
 fn arbitrary_request() -> impl Strategy<Value = Request> {
     (
-        0u32..5,
+        0u32..7,
         0u64..1_000_000,
         any::<u64>(),
         proptest::collection::vec((0usize..64, arbitrary_pairs()), 0..6),
@@ -61,6 +61,14 @@ fn arbitrary_request() -> impl Strategy<Value = Request> {
             3 => Request::Dump {
                 epoch: epoch as usize,
             },
+            4 => Request::Lease {
+                session: seq,
+                worker: epoch % 64,
+                num_shards: (epoch % 1024).max(1),
+                workers: (seq % 64).max(1),
+                ttl_ms: epoch,
+            },
+            5 => Request::Goodbye,
             _ => Request::TotalWrites,
         })
 }
@@ -90,7 +98,7 @@ fn arbitrary_frame() -> impl Strategy<Value = EpochFrame> {
 
 fn arbitrary_reply() -> impl Strategy<Value = Reply> {
     (
-        0u32..5,
+        0u32..6,
         0u64..1_000_000,
         any::<u64>(),
         arbitrary_frame(),
@@ -106,6 +114,11 @@ fn arbitrary_reply() -> impl Strategy<Value = Reply> {
                 1 => Reply::Epoch(frame),
                 2 => Reply::Loads(loads),
                 3 => Reply::Dump(entries),
+                4 => Reply::LeaseGranted {
+                    session: count,
+                    ttl_ms: epoch,
+                    resumed: count % 2 == 0,
+                },
                 _ => Reply::TotalWrites(count),
             },
         )

@@ -12,24 +12,84 @@
 //! `AMPC_BACKEND`).  `remote` runs every round over localhost TCP sockets
 //! speaking the `ampc_dds::proto` wire format — same answers, same round
 //! counts, per the cross-backend determinism suite.
+//!
+//! # Two-process mode
+//!
+//! The store can also live in a *separate owner process*:
+//!
+//! ```text
+//! cargo run --release --example quickstart -- --serve 127.0.0.1:7471
+//! cargo run --release --example quickstart -- --connect 127.0.0.1:7471
+//! ```
+//!
+//! `--serve` starts a standalone DDS owner (`ampc_dds::serve`) and blocks;
+//! `--connect` runs the full quickstart against it, every runtime holding
+//! its own leased session over real sockets, with automatic reconnect if a
+//! connection drops mid-round.  Any number of `--connect` clients may share
+//! one `--serve` process concurrently.
 
 use ampc_suite::prelude::*;
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: quickstart [local|channel|remote]\n       quickstart --serve <addr>\n       quickstart --connect <addr>"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let backend: DdsBackendKind = std::env::args()
-        .nth(1)
-        .or_else(|| std::env::var("AMPC_BACKEND").ok())
-        .map(|name| match name.parse() {
-            Ok(kind) => kind,
-            Err(err) => {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--serve") => {
+            let addr = args.get(1).cloned().unwrap_or_else(|| usage());
+            let server = ampc_suite::dds::serve(addr.as_str()).unwrap_or_else(|err| {
+                eprintln!("failed to bind the DDS owner on {addr}: {err}");
+                std::process::exit(1);
+            });
+            println!("AMPC DDS owner serving on {}", server.local_addr());
+            println!("(press Ctrl-C to stop; clients connect with --connect {addr})");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Some("--connect") => {
+            let addr = args.get(1).cloned().unwrap_or_else(|| usage());
+            run_quickstart(Mode::Connect(addr));
+        }
+        Some(name) if name.starts_with('-') => usage(),
+        Some(name) => {
+            let backend = name.parse().unwrap_or_else(|err| {
                 eprintln!("{err}");
                 std::process::exit(2);
-            }
-        })
-        .unwrap_or_default();
+            });
+            run_quickstart(Mode::InProcess(backend));
+        }
+        None => {
+            let backend = match std::env::var("AMPC_BACKEND") {
+                Ok(name) => name.parse().unwrap_or_else(|err| {
+                    eprintln!("{err}");
+                    std::process::exit(2);
+                }),
+                Err(_) => DdsBackendKind::default(),
+            };
+            run_quickstart(Mode::InProcess(backend));
+        }
+    }
+}
 
+enum Mode {
+    /// Owners spawned inside this process, per `DdsBackendKind`.
+    InProcess(DdsBackendKind),
+    /// Owners served by an external `--serve` process at this address.
+    Connect(String),
+}
+
+fn run_quickstart(mode: Mode) {
     println!("AMPC quickstart — the 2-Cycle problem (paper Section 4)");
-    println!("DDS backend: {backend}\n");
+    match &mode {
+        Mode::InProcess(backend) => println!("DDS backend: {backend}\n"),
+        Mode::Connect(addr) => println!("DDS backend: remote, served by {addr}\n"),
+    }
     println!(
         "{:>10} {:>12} {:>14} {:>14}",
         "n", "instance", "AMPC rounds", "MPC rounds"
@@ -41,9 +101,11 @@ fn main() {
 
             // AMPC (Section 4): Shrink + single-machine finish, O(1/ε)
             // rounds, on the configured backend.
-            let config = AmpcConfig::for_graph(n, graph.num_edges(), 0.5)
-                .with_seed(42)
-                .with_backend(backend);
+            let config = AmpcConfig::for_graph(n, graph.num_edges(), 0.5).with_seed(42);
+            let config = match &mode {
+                Mode::InProcess(backend) => config.with_backend(*backend),
+                Mode::Connect(addr) => config.with_remote_endpoint(addr.clone()),
+            };
             let ampc = two_cycle_with(&graph, &config);
 
             // MPC baseline: pointer doubling, Θ(log n) rounds.
