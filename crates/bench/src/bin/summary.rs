@@ -16,7 +16,7 @@
 
 use ampc_bench::{
     backend_read_latency, commit_throughput, contention_experiment, density_series,
-    diameter_series, epsilon_series, figure1_table, read_latency, scaling_series,
+    diameter_series, epsilon_series, figure1_table, read_latency, scaling_series, serve_throughput,
 };
 use std::fmt::Write as _;
 
@@ -199,7 +199,27 @@ fn main() {
         );
     }
 
-    write_bench_commit_json(&commit_points, &latency, &backend_points);
+    let serve_commits = if quick { 256 } else { 1_024 };
+    let serve_points = serve_throughput(8, serve_commits);
+    println!("\n== Serve-path throughput: 8 leased clients, pipelined vs one-in-flight ==\n");
+    println!(
+        "{:>14} {:>9} {:>8} {:>10} {:>12} {:>10} {:>10}",
+        "mode", "clients", "window", "requests", "req/s", "p50 µs", "p99 µs"
+    );
+    for point in &serve_points {
+        println!(
+            "{:>14} {:>9} {:>8} {:>10} {:>12.0} {:>10.1} {:>10.1}",
+            point.mode,
+            point.clients,
+            point.window,
+            point.requests,
+            point.requests_per_sec,
+            point.p50_ns as f64 / 1e3,
+            point.p99_ns as f64 / 1e3,
+        );
+    }
+
+    write_bench_commit_json(&commit_points, &latency, &backend_points, &serve_points);
     println!("\nCommit/read series recorded in BENCH_commit.json.");
     println!("All verified rows compare against sequential reference algorithms.");
 }
@@ -211,6 +231,7 @@ fn write_bench_commit_json(
     commits: &[ampc_bench::CommitThroughputPoint],
     latency: &ampc_bench::ReadLatencyPoint,
     backend_reads: &[ampc_bench::BackendReadLatencyPoint],
+    serve: &[ampc_bench::ServeThroughputPoint],
 ) {
     let mut json = String::from("{\n  \"commit_throughput\": [\n");
     for (i, p) in commits.iter().enumerate() {
@@ -252,6 +273,22 @@ fn write_bench_commit_json(
             p.reads,
             p.ns_per_read,
             if i + 1 < backend_reads.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ],\n  \"serve_throughput\": [");
+    for (i, p) in serve.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"clients\": {}, \"window\": {}, \"requests\": {}, \
+             \"requests_per_sec\": {:.3}, \"p50_ns\": {}, \"p99_ns\": {}}}{}",
+            p.mode,
+            p.clients,
+            p.window,
+            p.requests,
+            p.requests_per_sec,
+            p.p50_ns,
+            p.p99_ns,
+            if i + 1 < serve.len() { "," } else { "" },
         );
     }
     let _ = write!(json, "  ]\n}}\n");

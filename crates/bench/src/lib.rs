@@ -19,6 +19,9 @@
 //! * [`read_backends`] — per-backend read latency (Local vs Channel; point
 //!   vs batched vs auto-batching window), the `read_latency_backends`
 //!   section of the same artifact;
+//! * [`serve_throughput`] — many-client throughput against the standalone
+//!   owner process, pipelined vs one-in-flight, the `serve_throughput`
+//!   section of the same artifact;
 //! * the Criterion benches under `benches/` measure wall-clock time of the
 //!   same code paths, one bench file per experiment id in DESIGN.md;
 //! * the `summary` binary (`cargo run -p ampc-bench --bin summary --release`)
@@ -32,9 +35,11 @@ pub mod contention;
 pub mod figure1;
 pub mod read_backends;
 pub mod series;
+pub mod serve_throughput;
 
 pub use commit::{commit_throughput, read_latency, CommitThroughputPoint, ReadLatencyPoint};
 pub use contention::contention_experiment;
 pub use figure1::{figure1_table, Figure1Row};
 pub use read_backends::{backend_read_latency, BackendReadLatencyPoint};
 pub use series::{density_series, diameter_series, epsilon_series, scaling_series, SeriesPoint};
+pub use serve_throughput::{serve_throughput, ServeThroughputPoint};

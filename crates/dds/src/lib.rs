@@ -71,12 +71,23 @@
 //!   for fetching frozen maps across a process boundary, and
 //!   length-prefixed framing with a hard size cap.
 //! * [`transport`] — one connection between a backend and one shard-group
-//!   owner: the [`Transport`] / [`transport::ServerTransport`] trait pair,
-//!   with [`MpscTransport`] (typed in-process channels, zero-copy `Arc`
-//!   epoch publication) and [`TcpTransport`] (localhost sockets speaking
-//!   the codec) shipping in-tree.  Transports also honor request-level
-//!   fault injection ([`RequestFaults`]: scheduled drop-then-retry) and
-//!   turn dead peers into typed [`TransportError`]s instead of hangs.
+//!   owner, itself split into three layers: `transport::codec` (framing
+//!   over pooled, reused buffers — zero steady-state allocations, one
+//!   vectored header+payload write per frame), the session layer (the
+//!   [`Transport`] / [`transport::ServerTransport`] trait pair, with
+//!   [`MpscTransport`] — typed in-process channels, zero-copy `Arc` epoch
+//!   publication — and [`TcpTransport`] — localhost sockets speaking the
+//!   codec — shipping in-tree), and `transport::dispatch` (the owner state
+//!   machine with the idempotency that makes replay safe).  The TCP path is
+//!   **pipelined**: a client may keep up to a window of requests in flight
+//!   per socket, and the server runs each connection as reader → dispatch →
+//!   writer stages, decoding request `N + 1` while applying `N` and
+//!   flushing the reply to `N - 1` (bounded at
+//!   [`transport::PIPELINE_DEPTH`] frames per stage queue; replies stay
+//!   strictly FIFO with requests).  Transports also honor request-level
+//!   fault injection ([`RequestFaults`]: scheduled drop-then-retry and
+//!   connection severs) and turn dead peers into typed [`TransportError`]s
+//!   instead of hangs.
 //! * [`remote`] — the client and server of the protocol:
 //!   [`RemoteBackend`]`<T>` drives any transport behind the [`DdsBackend`]
 //!   surface; the owner loop is transport-generic.  [`ChannelBackend`] is
@@ -104,14 +115,20 @@
 //! is reclaimed (pending commits freed) once its ttl elapses.  The client
 //! side heals transparently: any socket failure triggers reconnect with
 //! capped exponential backoff ([`TcpOptions`]), a replayed lease handshake,
-//! and in-order replay of every request still awaiting a reply.  Replay is
-//! safe because every request is idempotent at the owner — `Commit` is
-//! deduplicated by sequence number, `Advance` re-publishes the
-//! already-frozen epoch, `Loads`/`Dump`/`TotalWrites` are pure reads.  A
-//! reconnect that finds its session reclaimed surfaces as the typed
-//! [`TransportError::LeaseLost`].  The full state machine is drawn in
-//! [`serve`], the client policy in [`transport`]; `tests/reconnect.rs`
-//! proves mid-round severs heal byte-identically across thread counts.
+//! and in-order replay of every request still awaiting a reply — the whole
+//! pipeline of them, under pipelining.  Replay is safe because every
+//! request is idempotent at the owner — `Commit` is deduplicated over a
+//! window of recent sequence numbers deep enough to absorb a full replayed
+//! pipeline, `Advance` re-publishes the already-frozen epoch,
+//! `Loads`/`Dump`/`TotalWrites` are pure reads.  A clean shutdown drains
+//! both sides before the goodbye releases the lease, and expiry never
+//! counts down against a connected client, even one whose pipelined
+//! replies are still being flushed.  A reconnect that finds its session
+//! reclaimed surfaces as the typed [`TransportError::LeaseLost`].  The
+//! full state machine is drawn in [`serve`], the client policy and
+//! pipelining semantics in [`transport`]; `tests/reconnect.rs` proves
+//! mid-round severs — including severs with a full pipeline outstanding —
+//! heal byte-identically across thread counts.
 //!
 //! The pre-refactor `Vec<Value>`-per-key layout survives as
 //! [`legacy::LegacyStore`], an executable specification the property tests

@@ -31,13 +31,12 @@
 //! pins the codec itself with property tests.
 
 use crate::codec::{
-    decode_key, decode_value, encode_key, encode_value, ENCODED_KEY_BYTES, ENCODED_PAIR_BYTES,
-    ENCODED_VALUE_BYTES,
+    decode_key, decode_value, ENCODED_KEY_BYTES, ENCODED_PAIR_BYTES, ENCODED_VALUE_BYTES,
 };
 use crate::key::{Key, Value};
 use crate::stats::ShardLoad;
 use std::fmt;
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 
 /// Hard ceiling on the size of a single protocol frame (payload bytes).
 ///
@@ -303,11 +302,17 @@ fn put_u64(buf: &mut Vec<u8>, value: u64) {
 }
 
 fn put_key(buf: &mut Vec<u8>, key: &Key) {
-    buf.extend_from_slice(&encode_key(key));
+    // The layout of [`crate::codec::encode_key`], written in place: the hot
+    // encode path of a commit frame must not allocate per pair.
+    put_u32(buf, key.tag.code());
+    put_u64(buf, key.a);
+    put_u64(buf, key.b);
 }
 
 fn put_value(buf: &mut Vec<u8>, value: &Value) {
-    buf.extend_from_slice(&encode_value(value));
+    // The layout of [`crate::codec::encode_value`], written in place.
+    put_u64(buf, value.x);
+    put_u64(buf, value.y);
 }
 
 fn put_entries(buf: &mut Vec<u8>, entries: &[(Key, Vec<Value>)]) {
@@ -324,6 +329,16 @@ fn put_entries(buf: &mut Vec<u8>, entries: &[(Key, Vec<Value>)]) {
 /// Encode a [`Request`] into its wire payload (no length prefix).
 pub fn encode_request(request: &Request) -> Vec<u8> {
     let mut buf = Vec::with_capacity(16);
+    encode_request_into(&mut buf, request);
+    buf
+}
+
+/// Encode a [`Request`] into a reusable buffer (cleared first, capacity
+/// retained) — the zero-allocation path of the codec layer: once the buffer
+/// has grown to the connection's working frame size, encoding allocates
+/// nothing.
+pub fn encode_request_into(buf: &mut Vec<u8>, request: &Request) {
+    buf.clear();
     match request {
         Request::Commit {
             epoch,
@@ -331,29 +346,29 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             batches,
         } => {
             buf.push(TAG_COMMIT);
-            put_u64(&mut buf, *epoch as u64);
-            put_u64(&mut buf, *seq);
-            put_u32(&mut buf, batches.len() as u32);
+            put_u64(buf, *epoch as u64);
+            put_u64(buf, *seq);
+            put_u32(buf, batches.len() as u32);
             for (local, pairs) in batches {
-                put_u32(&mut buf, *local as u32);
-                put_u32(&mut buf, pairs.len() as u32);
+                put_u32(buf, *local as u32);
+                put_u32(buf, pairs.len() as u32);
                 for (key, value) in pairs {
-                    put_key(&mut buf, key);
-                    put_value(&mut buf, value);
+                    put_key(buf, key);
+                    put_value(buf, value);
                 }
             }
         }
         Request::Advance { epoch } => {
             buf.push(TAG_ADVANCE);
-            put_u64(&mut buf, *epoch as u64);
+            put_u64(buf, *epoch as u64);
         }
         Request::Loads { epoch } => {
             buf.push(TAG_LOADS);
-            put_u64(&mut buf, *epoch as u64);
+            put_u64(buf, *epoch as u64);
         }
         Request::Dump { epoch } => {
             buf.push(TAG_DUMP);
-            put_u64(&mut buf, *epoch as u64);
+            put_u64(buf, *epoch as u64);
         }
         Request::TotalWrites => buf.push(TAG_TOTAL_WRITES),
         Request::Lease {
@@ -364,51 +379,58 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             ttl_ms,
         } => {
             buf.push(TAG_LEASE);
-            put_u64(&mut buf, *session);
-            put_u64(&mut buf, *worker);
-            put_u64(&mut buf, *num_shards);
-            put_u64(&mut buf, *workers);
-            put_u64(&mut buf, *ttl_ms);
+            put_u64(buf, *session);
+            put_u64(buf, *worker);
+            put_u64(buf, *num_shards);
+            put_u64(buf, *workers);
+            put_u64(buf, *ttl_ms);
         }
         Request::Goodbye => buf.push(TAG_GOODBYE),
     }
-    buf
 }
 
 /// Encode a [`Reply`] into its wire payload (no length prefix).
 pub fn encode_reply(reply: &Reply) -> Vec<u8> {
     let mut buf = Vec::with_capacity(16);
+    encode_reply_into(&mut buf, reply);
+    buf
+}
+
+/// Encode a [`Reply`] into a reusable buffer (cleared first, capacity
+/// retained) — see [`encode_request_into`].
+pub fn encode_reply_into(buf: &mut Vec<u8>, reply: &Reply) {
+    buf.clear();
     match reply {
         Reply::Committed { epoch, accepted } => {
             buf.push(TAG_COMMITTED);
-            put_u64(&mut buf, *epoch as u64);
-            put_u64(&mut buf, *accepted);
+            put_u64(buf, *epoch as u64);
+            put_u64(buf, *accepted);
         }
         Reply::Epoch(frame) => {
             buf.push(TAG_EPOCH);
-            put_u32(&mut buf, frame.shards.len() as u32);
+            put_u32(buf, frame.shards.len() as u32);
             for shard in &frame.shards {
-                put_u64(&mut buf, shard.writes);
-                put_entries(&mut buf, &shard.entries);
+                put_u64(buf, shard.writes);
+                put_entries(buf, &shard.entries);
             }
         }
         Reply::Loads(loads) => {
             buf.push(TAG_LOADS_REPLY);
-            put_u32(&mut buf, loads.len() as u32);
+            put_u32(buf, loads.len() as u32);
             for load in loads {
-                put_u64(&mut buf, load.shard as u64);
-                put_u64(&mut buf, load.keys);
-                put_u64(&mut buf, load.writes);
-                put_u64(&mut buf, load.reads);
+                put_u64(buf, load.shard as u64);
+                put_u64(buf, load.keys);
+                put_u64(buf, load.writes);
+                put_u64(buf, load.reads);
             }
         }
         Reply::Dump(entries) => {
             buf.push(TAG_DUMP_REPLY);
-            put_entries(&mut buf, entries);
+            put_entries(buf, entries);
         }
         Reply::TotalWrites(total) => {
             buf.push(TAG_TOTAL_WRITES_REPLY);
-            put_u64(&mut buf, *total);
+            put_u64(buf, *total);
         }
         Reply::LeaseGranted {
             session,
@@ -416,12 +438,11 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             resumed,
         } => {
             buf.push(TAG_LEASE_GRANTED);
-            put_u64(&mut buf, *session);
-            put_u64(&mut buf, *ttl_ms);
+            put_u64(buf, *session);
+            put_u64(buf, *ttl_ms);
             buf.push(u8::from(*resumed));
         }
     }
-    buf
 }
 
 // ---------------------------------------------------------------------------
@@ -630,9 +651,17 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply, ProtoError> {
 /// Write one length-prefixed frame (`u32` little-endian payload length, then
 /// the payload).
 ///
+/// Header and payload go out through a single `write_vectored` call, so a
+/// small frame costs one syscall instead of two.  The OS may accept fewer
+/// bytes than offered (a *short* vectored write — guaranteed on plain
+/// `Write` adapters whose `write_vectored` forwards to `write` of the first
+/// buffer); the loop tracks a byte offset across both slices and re-offers
+/// the remainder until the frame is fully out.  Allocates nothing.
+///
 /// # Errors
-/// `InvalidData` if the payload exceeds [`MAX_FRAME_BYTES`]; otherwise any
-/// I/O error of the underlying writer.
+/// `InvalidData` if the payload exceeds [`MAX_FRAME_BYTES`]; `WriteZero` if
+/// the writer stops accepting bytes mid-frame; otherwise any I/O error of
+/// the underlying writer.
 pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> std::io::Result<()> {
     if payload.len() > MAX_FRAME_BYTES {
         return Err(std::io::Error::new(
@@ -644,17 +673,44 @@ pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> std::io::Result<
             .to_string(),
         ));
     }
-    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
-    writer.write_all(payload)
+    let header = (payload.len() as u32).to_le_bytes();
+    let total = header.len() + payload.len();
+    let mut written = 0usize;
+    while written < total {
+        let result = if written < header.len() {
+            writer.write_vectored(&[IoSlice::new(&header[written..]), IoSlice::new(payload)])
+        } else {
+            writer.write(&payload[written - header.len()..])
+        };
+        match result {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "writer stopped accepting bytes mid-frame",
+                ))
+            }
+            Ok(n) => written += n,
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(err),
+        }
+    }
+    Ok(())
 }
 
-/// Read one length-prefixed frame written by [`write_frame`].
+/// Read one length-prefixed frame written by [`write_frame`] into `payload`,
+/// a reusable scratch buffer (cleared first, capacity retained).
+///
+/// A connection-lived scratch makes steady-state reads allocation-free: the
+/// buffer grows to the largest frame seen and is reused from then on
+/// (pinned by `crates/dds/tests/framing_alloc.rs` with a counting
+/// allocator).
 ///
 /// # Errors
 /// `InvalidData` if the declared length exceeds [`MAX_FRAME_BYTES`] (the
 /// payload is not read, let alone allocated); `UnexpectedEof` if the stream
-/// ends mid-frame; otherwise any I/O error of the underlying reader.
-pub fn read_frame<R: Read>(reader: &mut R) -> std::io::Result<Vec<u8>> {
+/// ends mid-frame; otherwise any I/O error of the underlying reader.  On
+/// error the scratch contents are unspecified.
+pub fn read_frame<R: Read>(reader: &mut R, payload: &mut Vec<u8>) -> std::io::Result<()> {
     let mut prefix = [0u8; 4];
     reader.read_exact(&mut prefix)?;
     let len = u32::from_le_bytes(prefix) as usize;
@@ -668,9 +724,10 @@ pub fn read_frame<R: Read>(reader: &mut R) -> std::io::Result<Vec<u8>> {
             .to_string(),
         ));
     }
-    let mut payload = vec![0u8; len];
-    reader.read_exact(&mut payload)?;
-    Ok(payload)
+    payload.clear();
+    payload.resize(len, 0);
+    reader.read_exact(payload)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -871,13 +928,15 @@ mod tests {
         write_frame(&mut wire, &payload).unwrap();
         assert_eq!(wire.len(), payload.len() + 4);
         let mut reader: &[u8] = &wire;
-        assert_eq!(read_frame(&mut reader).unwrap(), payload);
+        let mut scratch = Vec::new();
+        read_frame(&mut reader, &mut scratch).unwrap();
+        assert_eq!(scratch, payload);
         assert!(reader.is_empty());
 
         // A length prefix past the cap is rejected without reading further.
         let huge = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes();
         let mut reader: &[u8] = &huge;
-        let err = read_frame(&mut reader).unwrap_err();
+        let err = read_frame(&mut reader, &mut scratch).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
 
         // A frame cut short mid-payload is an UnexpectedEof.
@@ -885,7 +944,7 @@ mod tests {
         write_frame(&mut short, &payload).unwrap();
         short.truncate(short.len() - 1);
         let mut reader: &[u8] = &short;
-        let err = read_frame(&mut reader).unwrap_err();
+        let err = read_frame(&mut reader, &mut scratch).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
     }
 }

@@ -30,9 +30,9 @@ use crate::key::{Key, Value};
 use crate::proto::{EpochFrame, Reply, Request, ShardFrame};
 use crate::slot::Slot;
 use crate::stats::{ShardLoad, StoreStats};
+use crate::transport::dispatch::Worker;
 use crate::transport::{
-    ClientReply, OwnerReply, RequestFaults, ServerTransport, TcpOptions, TcpTransport, Transport,
-    TransportError,
+    ClientReply, RequestFaults, TcpOptions, TcpTransport, Transport, TransportError,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -110,173 +110,6 @@ impl FrozenEpoch {
             shards,
             writes,
             reads,
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Worker — the owner-side state machine
-// ---------------------------------------------------------------------------
-
-/// The single-threaded state of one shard-group owner, serving
-/// [`crate::proto`] requests over any [`ServerTransport`].
-pub(crate) struct Worker {
-    /// Global shard ids owned by this worker (ascending).
-    shard_ids: Vec<usize>,
-    /// Writable maps of the current epoch, one per owned shard.
-    writable: Vec<FxHashMap<Key, Slot>>,
-    /// Writes accepted into the current epoch, per owned shard.
-    writable_writes: Vec<u64>,
-    /// Published epochs, in order; the owner keeps its own handle so it can
-    /// serve `Loads` / `Dump` for epochs whose views are long gone.
-    frozen: Vec<Arc<FrozenEpoch>>,
-    /// Total writes accepted across all epochs.
-    total_writes: u64,
-    /// `(seq, accepted)` of the last commit applied, so a retransmitted
-    /// commit (its ack was lost in transit) is re-acknowledged without
-    /// being re-applied — at-least-once delivery, exactly-once application.
-    last_commit: Option<(u64, u64)>,
-}
-
-impl Worker {
-    pub(crate) fn new(shard_ids: Vec<usize>) -> Worker {
-        Worker {
-            writable: (0..shard_ids.len()).map(|_| FxHashMap::default()).collect(),
-            writable_writes: vec![0; shard_ids.len()],
-            shard_ids,
-            frozen: Vec::new(),
-            total_writes: 0,
-            last_commit: None,
-        }
-    }
-
-    /// Serve requests until the client goes away.  Transport-generic: the
-    /// identical loop runs behind in-process channels and sockets.
-    pub(crate) fn serve<S: ServerTransport>(mut self, mut transport: S) {
-        while let Some(request) = transport.recv_request() {
-            let reply = self.handle(request);
-            if !transport.send_reply(reply) {
-                break;
-            }
-        }
-    }
-
-    /// A completed epoch, validated (protocol violations are owner bugs or a
-    /// confused client and panic — the transport layer turns the dead
-    /// connection into a typed error on the client side).
-    fn completed(&self, epoch: usize, what: &str) -> &Arc<FrozenEpoch> {
-        assert!(
-            epoch < self.frozen.len(),
-            "owner asked to {what} unknown epoch {epoch} ({} completed)",
-            self.frozen.len()
-        );
-        &self.frozen[epoch]
-    }
-
-    fn handle(&mut self, request: Request) -> OwnerReply {
-        match request {
-            Request::Commit {
-                epoch,
-                seq,
-                batches,
-            } => {
-                assert_eq!(
-                    epoch,
-                    self.frozen.len(),
-                    "commit must target the writable epoch"
-                );
-                if let Some((last_seq, accepted)) = self.last_commit {
-                    if last_seq == seq {
-                        // Retransmission of a commit already applied (its
-                        // ack was lost): re-acknowledge, apply nothing.
-                        return OwnerReply::Wire(Reply::Committed { epoch, accepted });
-                    }
-                }
-                let mut accepted = 0u64;
-                for (local, pairs) in batches {
-                    accepted += pairs.len() as u64;
-                    self.writable_writes[local] += pairs.len() as u64;
-                    self.total_writes += pairs.len() as u64;
-                    let map = &mut self.writable[local];
-                    map.reserve(pairs.len());
-                    for (key, value) in pairs {
-                        match map.entry(key) {
-                            std::collections::hash_map::Entry::Occupied(mut slot) => {
-                                slot.get_mut().push(value)
-                            }
-                            std::collections::hash_map::Entry::Vacant(slot) => {
-                                slot.insert(Slot::One(value));
-                            }
-                        }
-                    }
-                }
-                self.last_commit = Some((seq, accepted));
-                OwnerReply::Wire(Reply::Committed { epoch, accepted })
-            }
-            Request::Advance { epoch } => {
-                if epoch + 1 == self.frozen.len() {
-                    // Retransmission of the advance that froze the last
-                    // epoch (its reply was lost): republish it unchanged.
-                    let replay = self.frozen.last().expect("a frozen epoch exists").clone();
-                    return OwnerReply::Epoch(replay);
-                }
-                assert_eq!(
-                    epoch,
-                    self.frozen.len(),
-                    "advance must freeze the writable epoch"
-                );
-                let shard_count = self.shard_ids.len();
-                // In-place freeze: reuse the writable maps as the frozen
-                // maps, only shrinking the rare multi-value slots.
-                let mut shards = std::mem::replace(
-                    &mut self.writable,
-                    (0..shard_count).map(|_| FxHashMap::default()).collect(),
-                );
-                for map in &mut shards {
-                    crate::slot::freeze_map_in_place(map);
-                }
-                let writes = std::mem::replace(&mut self.writable_writes, vec![0; shard_count]);
-                let epoch = Arc::new(FrozenEpoch {
-                    shards,
-                    writes,
-                    reads: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
-                });
-                self.frozen.push(epoch.clone());
-                OwnerReply::Epoch(epoch)
-            }
-            Request::Loads { epoch } => {
-                let epoch = self.completed(epoch, "report loads of");
-                let loads = self
-                    .shard_ids
-                    .iter()
-                    .enumerate()
-                    .map(|(local, &shard)| ShardLoad {
-                        shard,
-                        keys: epoch.shards[local].len() as u64,
-                        writes: epoch.writes[local],
-                        reads: epoch.reads[local].load(Ordering::Relaxed),
-                    })
-                    .collect();
-                OwnerReply::Wire(Reply::Loads(loads))
-            }
-            Request::Dump { epoch } => {
-                let epoch = self.completed(epoch, "dump");
-                let mut entries = Vec::new();
-                for shard in &epoch.shards {
-                    for (key, slot) in shard {
-                        entries.push((*key, slot.as_slice().to_vec()));
-                    }
-                }
-                OwnerReply::Wire(Reply::Dump(entries))
-            }
-            Request::TotalWrites => OwnerReply::Wire(Reply::TotalWrites(self.total_writes)),
-            // Connection-lifecycle requests are consumed by the transport /
-            // serve layer and must never reach the owner state machine; one
-            // arriving here is a protocol bug, surfaced like any other
-            // owner-side violation (panic, harvested into a typed error).
-            Request::Lease { .. } | Request::Goodbye => {
-                panic!("connection-lifecycle request leaked into the owner state machine")
-            }
         }
     }
 }

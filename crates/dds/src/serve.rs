@@ -42,7 +42,7 @@
 //! deduplication and advance replay that make retransmission idempotent
 //! also make resumption exact.
 
-use crate::remote::Worker;
+use crate::transport::dispatch::Worker;
 use crate::transport::{read_lease_frame, LeaseFrame, ServeHandoff, TcpServer};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -363,7 +363,8 @@ mod tests {
     }
 
     fn read_reply(stream: &mut TcpStream) -> Reply {
-        let payload = read_frame(stream).unwrap();
+        let mut payload = Vec::new();
+        read_frame(stream, &mut payload).unwrap();
         decode_reply(&payload).unwrap()
     }
 
@@ -526,6 +527,55 @@ mod tests {
             "reclaimed sessions start from scratch"
         );
         send_request(&mut late, &Request::Goodbye);
+        server.shutdown();
+    }
+
+    #[test]
+    fn expiry_never_races_a_pipelined_burst_on_a_live_connection() {
+        let server = serve(("127.0.0.1", 0)).unwrap();
+        let addr = server.local_addr();
+        let session = 0xb0257;
+
+        // A lease far shorter than the time this burst takes to be applied,
+        // acknowledged and read back.  The countdown starts at *disconnect*,
+        // never while the socket is up — not even while replies are still
+        // being flushed toward a client that has not read them yet.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        send_request(&mut stream, &lease_frame(session, 0, 50));
+        assert!(matches!(
+            read_reply(&mut stream),
+            Reply::LeaseGranted { resumed: false, .. }
+        ));
+
+        const BURST: u64 = 32;
+        for seq in 0..BURST {
+            send_request(
+                &mut stream,
+                &Request::Commit {
+                    epoch: 0,
+                    seq,
+                    batches: vec![(0, vec![(k(seq), Value::scalar(seq))])],
+                },
+            );
+        }
+        // Dwell several lease lifetimes with every ack unread: the replies
+        // sit flushed in the socket while the connection idles.
+        std::thread::sleep(Duration::from_millis(250));
+        assert_eq!(
+            server.active_sessions(),
+            1,
+            "a live connection must never be reclaimed, pipelined or idle"
+        );
+        for _ in 0..BURST {
+            assert!(matches!(read_reply(&mut stream), Reply::Committed { .. }));
+        }
+        send_request(&mut stream, &Request::TotalWrites);
+        assert_eq!(
+            read_reply(&mut stream),
+            Reply::TotalWrites(BURST),
+            "every pipelined commit must be applied exactly once"
+        );
+        send_request(&mut stream, &Request::Goodbye);
         server.shutdown();
     }
 

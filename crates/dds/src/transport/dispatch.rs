@@ -1,0 +1,288 @@
+//! Dispatch layer: applying decoded requests against the owner state.
+//!
+//! [`Worker`] is the single-threaded state machine of one shard-group
+//! owner.  It is transport-generic — the identical loop runs behind
+//! in-process channels, paired sockets and `ampc_dds::serve` sessions — and
+//! it owns the *idempotency* that makes the session layer's replay safe:
+//!
+//! * `Commit` requests are deduplicated over a bounded window of recently
+//!   applied sequence numbers.  The window must be at least as deep as the
+//!   client's maximum pipeline of outstanding commits: a reconnect replays
+//!   *all* of them, and every already-applied one must be re-acknowledged
+//!   from the window rather than re-applied.  (A single-entry "last seq"
+//!   memory — sufficient when one request was in flight at a time — would
+//!   re-apply every replayed commit but the newest.)
+//! * `Advance` retransmissions re-publish the already-frozen epoch.
+//! * `Loads` / `Dump` / `TotalWrites` are pure reads.
+//!
+//! Connection-lifecycle requests (`Lease`, `Goodbye`) are consumed entirely
+//! by the session layer and never reach dispatch.
+
+use crate::hashing::FxHashMap;
+use crate::key::Key;
+use crate::proto::{Reply, Request};
+use crate::remote::FrozenEpoch;
+use crate::slot::Slot;
+use crate::stats::ShardLoad;
+use crate::transport::{OwnerReply, ServerTransport};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Commit acknowledgements remembered for deduplication.  Must exceed the
+/// deepest request pipeline a client can have outstanding
+/// (`session::PIPELINE_DEPTH` decode-ahead plus the frames buffered in the
+/// sockets), so a reconnect's full replay is absorbed without re-applying.
+const COMMIT_REPLAY_WINDOW: usize = 256;
+
+/// The single-threaded state of one shard-group owner, serving
+/// [`crate::proto`] requests over any [`ServerTransport`].
+pub(crate) struct Worker {
+    /// Global shard ids owned by this worker (ascending).
+    shard_ids: Vec<usize>,
+    /// Writable maps of the current epoch, one per owned shard.
+    writable: Vec<FxHashMap<Key, Slot>>,
+    /// Writes accepted into the current epoch, per owned shard.
+    writable_writes: Vec<u64>,
+    /// Published epochs, in order; the owner keeps its own handle so it can
+    /// serve `Loads` / `Dump` for epochs whose views are long gone.
+    frozen: Vec<Arc<FrozenEpoch>>,
+    /// Total writes accepted across all epochs.
+    total_writes: u64,
+    /// `(seq, accepted)` of recently applied commits, oldest first, bounded
+    /// by [`COMMIT_REPLAY_WINDOW`]: a retransmitted commit (its ack lost in
+    /// transit, or a severed pipeline replayed) is re-acknowledged from
+    /// here without being re-applied — at-least-once delivery,
+    /// exactly-once application.
+    recent_commits: VecDeque<(u64, u64)>,
+}
+
+impl Worker {
+    pub(crate) fn new(shard_ids: Vec<usize>) -> Worker {
+        Worker {
+            writable: (0..shard_ids.len()).map(|_| FxHashMap::default()).collect(),
+            writable_writes: vec![0; shard_ids.len()],
+            shard_ids,
+            frozen: Vec::new(),
+            total_writes: 0,
+            recent_commits: VecDeque::new(),
+        }
+    }
+
+    /// Serve requests until the client goes away.  Transport-generic: the
+    /// identical loop runs behind in-process channels and sockets.  Behind
+    /// the pipelined TCP server this loop *is* the dispatch stage — the
+    /// reader stage decodes ahead and the writer stage flushes behind, so
+    /// `recv_request` and `send_reply` only touch bounded in-process
+    /// queues.
+    pub(crate) fn serve<S: ServerTransport>(mut self, mut transport: S) {
+        while let Some(request) = transport.recv_request() {
+            let reply = self.handle(request);
+            if !transport.send_reply(reply) {
+                break;
+            }
+        }
+    }
+
+    /// A completed epoch, validated (protocol violations are owner bugs or a
+    /// confused client and panic — the transport layer turns the dead
+    /// connection into a typed error on the client side).
+    fn completed(&self, epoch: usize, what: &str) -> &Arc<FrozenEpoch> {
+        assert!(
+            epoch < self.frozen.len(),
+            "owner asked to {what} unknown epoch {epoch} ({} completed)",
+            self.frozen.len()
+        );
+        &self.frozen[epoch]
+    }
+
+    fn handle(&mut self, request: Request) -> OwnerReply {
+        match request {
+            Request::Commit {
+                epoch,
+                seq,
+                batches,
+            } => {
+                // Deduplicate before validating the epoch: a replayed
+                // pipeline can carry commits of an epoch that has since
+                // been frozen, and those must be re-acked, not asserted on.
+                if let Some(&(_, accepted)) = self
+                    .recent_commits
+                    .iter()
+                    .find(|&&(applied, _)| applied == seq)
+                {
+                    return OwnerReply::Wire(Reply::Committed { epoch, accepted });
+                }
+                assert_eq!(
+                    epoch,
+                    self.frozen.len(),
+                    "commit must target the writable epoch"
+                );
+                let mut accepted = 0u64;
+                for (local, pairs) in batches {
+                    accepted += pairs.len() as u64;
+                    self.writable_writes[local] += pairs.len() as u64;
+                    self.total_writes += pairs.len() as u64;
+                    let map = &mut self.writable[local];
+                    map.reserve(pairs.len());
+                    for (key, value) in pairs {
+                        match map.entry(key) {
+                            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                                slot.get_mut().push(value)
+                            }
+                            std::collections::hash_map::Entry::Vacant(slot) => {
+                                slot.insert(Slot::One(value));
+                            }
+                        }
+                    }
+                }
+                self.recent_commits.push_back((seq, accepted));
+                if self.recent_commits.len() > COMMIT_REPLAY_WINDOW {
+                    self.recent_commits.pop_front();
+                }
+                OwnerReply::Wire(Reply::Committed { epoch, accepted })
+            }
+            Request::Advance { epoch } => {
+                if epoch + 1 == self.frozen.len() {
+                    // Retransmission of the advance that froze the last
+                    // epoch (its reply was lost): republish it unchanged.
+                    let replay = self.frozen.last().expect("a frozen epoch exists").clone();
+                    return OwnerReply::Epoch(replay);
+                }
+                assert_eq!(
+                    epoch,
+                    self.frozen.len(),
+                    "advance must freeze the writable epoch"
+                );
+                let shard_count = self.shard_ids.len();
+                // In-place freeze: reuse the writable maps as the frozen
+                // maps, only shrinking the rare multi-value slots.
+                let mut shards = std::mem::replace(
+                    &mut self.writable,
+                    (0..shard_count).map(|_| FxHashMap::default()).collect(),
+                );
+                for map in &mut shards {
+                    crate::slot::freeze_map_in_place(map);
+                }
+                let writes = std::mem::replace(&mut self.writable_writes, vec![0; shard_count]);
+                let epoch = Arc::new(FrozenEpoch {
+                    shards,
+                    writes,
+                    reads: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+                });
+                self.frozen.push(epoch.clone());
+                OwnerReply::Epoch(epoch)
+            }
+            Request::Loads { epoch } => {
+                let epoch = self.completed(epoch, "report loads of");
+                let loads = self
+                    .shard_ids
+                    .iter()
+                    .enumerate()
+                    .map(|(local, &shard)| ShardLoad {
+                        shard,
+                        keys: epoch.shards[local].len() as u64,
+                        writes: epoch.writes[local],
+                        reads: epoch.reads[local].load(Ordering::Relaxed),
+                    })
+                    .collect();
+                OwnerReply::Wire(Reply::Loads(loads))
+            }
+            Request::Dump { epoch } => {
+                let epoch = self.completed(epoch, "dump");
+                let mut entries = Vec::new();
+                for shard in &epoch.shards {
+                    for (key, slot) in shard {
+                        entries.push((*key, slot.as_slice().to_vec()));
+                    }
+                }
+                OwnerReply::Wire(Reply::Dump(entries))
+            }
+            Request::TotalWrites => OwnerReply::Wire(Reply::TotalWrites(self.total_writes)),
+            // Connection-lifecycle requests are consumed by the transport /
+            // serve layer and must never reach the owner state machine; one
+            // arriving here is a protocol bug, surfaced like any other
+            // owner-side violation (panic, harvested into a typed error).
+            Request::Lease { .. } | Request::Goodbye => {
+                panic!("connection-lifecycle request leaked into the owner state machine")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{KeyTag, Value};
+
+    fn commit(seq: u64, epoch: usize, pairs: u64) -> Request {
+        Request::Commit {
+            epoch,
+            seq,
+            batches: vec![(
+                0,
+                (0..pairs)
+                    .map(|i| (Key::of(KeyTag::Scalar, seq * 100 + i), Value::scalar(i)))
+                    .collect(),
+            )],
+        }
+    }
+
+    fn accepted(reply: OwnerReply) -> u64 {
+        match reply {
+            OwnerReply::Wire(Reply::Committed { accepted, .. }) => accepted,
+            _ => panic!("expected a commit ack"),
+        }
+    }
+
+    #[test]
+    fn replayed_pipelines_are_reacked_from_the_window_not_reapplied() {
+        let mut worker = Worker::new(vec![0]);
+        // A pipeline of six commits lands…
+        for seq in 0..6 {
+            assert_eq!(accepted(worker.handle(commit(seq, 0, 3))), 3);
+        }
+        assert_eq!(worker.total_writes, 18);
+        // …then the connection severs and the client replays all six (its
+        // acks were in flight).  Every one must be re-acked with the
+        // original count, none re-applied — a single-entry "last seq"
+        // memory would only catch seq 5.
+        for seq in 0..6 {
+            assert_eq!(accepted(worker.handle(commit(seq, 0, 3))), 3);
+        }
+        assert_eq!(worker.total_writes, 18, "replay must not double-apply");
+
+        // Fresh sequence numbers still apply normally after the replay.
+        assert_eq!(accepted(worker.handle(commit(6, 0, 2))), 2);
+        assert_eq!(worker.total_writes, 20);
+    }
+
+    #[test]
+    fn replayed_commits_of_a_frozen_epoch_are_reacked() {
+        let mut worker = Worker::new(vec![0]);
+        assert_eq!(accepted(worker.handle(commit(0, 0, 4))), 4);
+        // The epoch freezes while the commit's ack is lost in flight…
+        let OwnerReply::Epoch(_) = worker.handle(Request::Advance { epoch: 0 }) else {
+            panic!("advance must publish the epoch");
+        };
+        // …and the replayed commit still names epoch 0.  The window must
+        // re-ack it (the epoch assert would otherwise reject the replay).
+        assert_eq!(accepted(worker.handle(commit(0, 0, 4))), 4);
+        assert_eq!(worker.total_writes, 4);
+    }
+
+    #[test]
+    fn the_window_is_bounded() {
+        let mut worker = Worker::new(vec![0]);
+        for seq in 0..(2 * COMMIT_REPLAY_WINDOW as u64) {
+            worker.handle(commit(seq, 0, 1));
+        }
+        assert_eq!(worker.recent_commits.len(), COMMIT_REPLAY_WINDOW);
+        // The retained half is the most recent — the half a replay can
+        // still name.
+        assert_eq!(
+            worker.recent_commits.front().map(|&(seq, _)| seq),
+            Some(COMMIT_REPLAY_WINDOW as u64)
+        );
+    }
+}

@@ -1,349 +1,42 @@
-//! Transports carrying the [`crate::proto`] protocol between a backend and
-//! its shard-group owners.
+//! Session layer: one *connection* and its lifecycle.
 //!
-//! A transport is one *connection* (logically: the TCP transport survives
-//! reconnects): the backend holds the client half ([`Transport`]), the owner
-//! thread (or process) serves the server half ([`ServerTransport`]).
-//! Requests and replies pair up positionally (FIFO per connection), so a
-//! client may pipeline several sends before receiving.
-//!
-//! Two implementations ship in-tree:
-//!
-//! * [`MpscTransport`] — in-process channels.  Requests travel as typed
-//!   values (no serialization), and the `Advance` reply exercises the
-//!   transport's *shared-memory capability*: the owner publishes the frozen
-//!   epoch as an `Arc` ([`ClientReply::SharedEpoch`]) instead of
-//!   serializing it, which is the zero-copy fast path
-//!   [`crate::ChannelBackend`] has always had.
-//! * [`TcpTransport`] — sockets speaking length-prefixed [`crate::proto`]
-//!   frames (`std::net`, no external dependencies).  Every message
-//!   round-trips through the byte codec; `Advance` replies carry the full
-//!   [`crate::proto::EpochFrame`] so the client can rebuild a local replica
-//!   of the frozen maps.
-//!
-//! # Connection lifecycle: lease → serve → reconnect → expire
-//!
-//! The first frame of every TCP connection is a [`Request::Lease`]
-//! identifying `(session, worker)` and asking for a lease of `ttl_ms`
-//! milliseconds; the server answers [`Reply::LeaseGranted`] before any
-//! other reply.  From then on the *owner* owns liveness:
-//!
-//! * while the socket is **connected**, requests renew the lease implicitly
-//!   (a slow round is not a dead client — expiry is never enforced against
-//!   a healthy connection);
-//! * when the socket **drops without a [`Request::Goodbye`]**, the owner
-//!   holds the session open and waits for a reconnect until the lease
-//!   expires, then reclaims the session (pending commits included);
-//! * a **clean shutdown** sends `Goodbye` (the client's `Drop` does), so
-//!   the owner releases the session immediately.
-//!
-//! The client side mirrors this: any I/O failure on send or receive
-//! triggers **automatic reconnection** with capped exponential backoff
-//! ([`TcpOptions`]).  On reconnect the client replays the lease handshake
-//! and then *every request whose reply is still outstanding*, in order.
-//! That replay is safe because every request is idempotent at the owner:
-//! `Commit` is deduplicated by sequence number, `Advance` re-publishes the
-//! already-frozen epoch, and `Loads` / `Dump` / `TotalWrites` are pure
-//! reads.  A reconnect that lands on an owner which already reclaimed the
-//! session (lease expired) surfaces as the typed
-//! [`TransportError::LeaseLost`] — continuing silently would resurrect a
-//! session whose pending state is gone.
-//!
-//! # Fault injection
-//!
-//! [`RequestFaults`] schedules request-level faults.  Two classes exist:
-//!
-//! * **drops** — "lose the reply of the `Commit` targeting epoch 3 on
-//!   worker 1".  The request is delivered, its reply is dropped in transit,
-//!   and the transport retransmits the identical request — exactly the
-//!   drop-then-retry a real RPC layer performs when an acknowledgement goes
-//!   missing.  The owner receives the request **twice** and must apply it
-//!   exactly once.
-//! * **severs** — "cut the TCP connection right before the `Commit`
-//!   targeting epoch 3 on worker 1".  The socket is shut down mid-round;
-//!   the transport's reconnect machinery must bring the connection back and
-//!   replay the outstanding requests idempotently.  Only [`TcpTransport`]
-//!   honors severs (in-process channels have no connection to cut);
-//!   in-process transports leave the schedule untouched.
-//!
-//! The cross-backend suites assert results are byte-identical with and
-//! without faults, which fails loudly if the idempotence ever regresses.
-//!
-//! # Failure surface
-//!
-//! Every client operation returns a typed [`TransportError`] instead of
-//! hanging, panicking inside the transport thread, or dying on a broken
-//! channel.  Socket errors are classified (`PeerClosed` vs `Io`),
-//! `set_nodelay` failures are propagated on the client and logged once on
-//! the server (never silently discarded), and when an owner thread panics,
-//! the backend joins it and attaches the panic payload to the
-//! [`TransportError::PeerClosed`] it surfaces — see [`crate::RemoteBackend`].
+//! The types here own everything between the codec and the owner state
+//! machine: the lease handshake, reconnection with capped backoff, in-order
+//! replay of outstanding requests, and the pipelined per-connection stages
+//! of the TCP server (reader thread → dispatch → writer thread).  The
+//! protocol semantics — leases, replay idempotency, fault injection — are
+//! documented on [the parent module](super).
 
-use crate::proto::{
-    decode_reply, decode_request, encode_reply, encode_request, read_frame, write_frame,
-    ProtoError, Reply, Request, RequestKind,
+use super::codec::{FramePool, FrameReader, FrameWriter};
+use super::{
+    fault_coordinates, ClientReply, OwnerReply, RequestFaults, ServerTransport, Transport,
+    TransportError,
 };
-use crate::remote::FrozenEpoch;
-use parking_lot::Mutex;
-use std::collections::{HashSet, VecDeque};
-use std::fmt;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use crate::proto::{
+    decode_reply, decode_request, encode_reply_into, read_frame, write_frame, ProtoError, Reply,
+    Request,
+};
+use std::collections::VecDeque;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Typed failure of a transport operation.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum TransportError {
-    /// The owner side of the connection is gone (and, for TCP, stayed gone
-    /// through every reconnect attempt).  If the owner thread died
-    /// panicking, `panic` carries its payload (attached by the backend,
-    /// which owns the join handle).
-    PeerClosed {
-        /// Worker whose connection closed.
-        worker: usize,
-        /// Panic payload of the dead owner, when one could be harvested.
-        panic: Option<String>,
-    },
-    /// An I/O error on the connection (after reconnect attempts, for TCP).
-    Io {
-        /// Worker whose connection failed.
-        worker: usize,
-        /// Stringified `std::io::Error`.
-        message: String,
-    },
-    /// A frame arrived but did not decode.
-    Proto {
-        /// Worker whose frame was malformed.
-        worker: usize,
-        /// The decode failure.
-        error: ProtoError,
-    },
-    /// A well-formed reply of the wrong variant for the pending request.
-    Protocol {
-        /// Worker that answered out of protocol.
-        worker: usize,
-        /// Description of the mismatch.
-        message: String,
-    },
-    /// A reconnect reached the owner, but the owner had already reclaimed
-    /// the session: the lease expired while the client was away.  The
-    /// session's pending commits are gone, so the client must not continue.
-    LeaseLost {
-        /// Worker whose lease expired.
-        worker: usize,
-        /// The session that was reclaimed.
-        session: u64,
-    },
-}
+/// Frames each stage queue of a pipelined server connection buffers: the
+/// reader decodes up to this many requests ahead of dispatch, and dispatch
+/// queues up to this many encoded replies ahead of the writer.  This is the
+/// server's maximum decode-ahead window *and* its backpressure: a client
+/// that floods faster than the owner applies eventually blocks in the
+/// socket, exactly like an unpipelined server, only `2 × PIPELINE_DEPTH`
+/// frames later.
+pub const PIPELINE_DEPTH: usize = 64;
 
-impl fmt::Display for TransportError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TransportError::PeerClosed {
-                worker,
-                panic: Some(message),
-            } => write!(f, "DDS owner {worker} panicked: {message}"),
-            TransportError::PeerClosed {
-                worker,
-                panic: None,
-            } => write!(f, "DDS owner {worker} closed the connection"),
-            TransportError::Io { worker, message } => {
-                write!(f, "I/O error talking to DDS owner {worker}: {message}")
-            }
-            TransportError::Proto { worker, error } => {
-                write!(f, "malformed frame from DDS owner {worker}: {error}")
-            }
-            TransportError::Protocol { worker, message } => {
-                write!(f, "protocol violation from DDS owner {worker}: {message}")
-            }
-            TransportError::LeaseLost { worker, session } => write!(
-                f,
-                "DDS owner {worker} reclaimed session {session:#x}: the lease expired before the client reconnected"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for TransportError {}
-
-// ---------------------------------------------------------------------------
-// Request-level fault injection
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Default)]
-struct FaultsInner {
-    /// Scheduled one-shot reply drops: (kind, epoch, worker).
-    drops: Mutex<HashSet<(RequestKind, usize, usize)>>,
-    /// Scheduled one-shot connection severs: (kind, epoch, worker).
-    severs: Mutex<HashSet<(RequestKind, usize, usize)>>,
-    /// Requests dropped (and retried) so far.
-    dropped: AtomicU64,
-    /// Connections severed (and re-established) so far.
-    severed: AtomicU64,
-}
-
-/// A schedule of request-level faults, shared between a backend's transports.
-///
-/// Each scheduled entry fires once.  **Drops** deliver the matching request,
-/// lose its *reply* in transit, and retransmit the identical request — the
-/// retry a real RPC layer issues when an acknowledgement goes missing; the
-/// owner sees the request twice and must treat the second copy idempotently
-/// (commit deduplication by sequence number, advance replay of the
-/// already-frozen epoch).  **Severs** cut the TCP connection immediately
-/// before the matching request is transmitted — the mid-round socket loss a
-/// real deployment must absorb; the transport reconnects with backoff,
-/// replays the lease handshake and the outstanding requests, and the run
-/// must stay byte-identical.  Only the write-side requests (`Commit`,
-/// `Advance`) are addressable — they are the ones a real deployment must
-/// retry; reads are served from immutable local epochs and never cross the
-/// wire.
-///
-/// Cloning shares the schedule (transports of one backend consult one
-/// ledger).
-#[derive(Clone, Debug, Default)]
-pub struct RequestFaults {
-    inner: Arc<FaultsInner>,
-}
-
-impl RequestFaults {
-    /// An empty schedule.
-    pub fn none() -> Self {
-        RequestFaults::default()
-    }
-
-    /// Schedule the `kind` request targeting `epoch` on `worker` to lose
-    /// its reply in transit, forcing a retransmission of the request.
-    pub fn schedule_drop(&self, kind: RequestKind, epoch: usize, worker: usize) {
-        self.inner.drops.lock().insert((kind, epoch, worker));
-    }
-
-    /// Schedule the connection to `worker` to be severed right before the
-    /// `kind` request targeting `epoch` is transmitted.  Only transports
-    /// with a connection to cut ([`TcpTransport`]) consult sever entries.
-    pub fn schedule_sever(&self, kind: RequestKind, epoch: usize, worker: usize) {
-        self.inner.severs.lock().insert((kind, epoch, worker));
-    }
-
-    /// Consume a scheduled drop for these coordinates, if one exists,
-    /// counting it as fired.
-    pub fn should_drop(&self, kind: RequestKind, epoch: usize, worker: usize) -> bool {
-        let fired = self.inner.drops.lock().remove(&(kind, epoch, worker));
-        if fired {
-            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
-        }
-        fired
-    }
-
-    /// Consume a scheduled sever for these coordinates, if one exists,
-    /// counting it as fired.
-    pub fn should_sever(&self, kind: RequestKind, epoch: usize, worker: usize) -> bool {
-        let fired = self.inner.severs.lock().remove(&(kind, epoch, worker));
-        if fired {
-            self.inner.severed.fetch_add(1, Ordering::Relaxed);
-        }
-        fired
-    }
-
-    /// Faults fired so far (one lost reply + retransmission each).
-    pub fn dropped(&self) -> u64 {
-        self.inner.dropped.load(Ordering::Relaxed)
-    }
-
-    /// Connections severed (and re-established) so far.
-    pub fn severed(&self) -> u64 {
-        self.inner.severed.load(Ordering::Relaxed)
-    }
-
-    /// `true` if no drops or severs remain scheduled.
-    pub fn is_empty(&self) -> bool {
-        self.inner.drops.lock().is_empty() && self.inner.severs.lock().is_empty()
-    }
-}
-
-/// The fault-injection coordinates of a request, if it is addressable.
-fn fault_coordinates(request: &Request) -> Option<(RequestKind, usize)> {
-    match request {
-        Request::Commit { epoch, .. } => Some((RequestKind::Commit, *epoch)),
-        Request::Advance { epoch } => Some((RequestKind::Advance, *epoch)),
-        _ => None,
-    }
-}
-
-/// Best-effort extraction of a panic payload's message (panics carry
-/// `String` or `&str` payloads in practice).
-///
-/// Shared by the backend's owner-thread harvesting and the runtime's
-/// round-boundary `catch_unwind`, so the two failure paths can never
-/// diverge in how they read a payload.
-pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> Option<String> {
-    payload
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-}
-
-// ---------------------------------------------------------------------------
-// The transport traits
-// ---------------------------------------------------------------------------
-
-/// What a client receives for one request.
-pub enum ClientReply {
-    /// A decoded wire reply.
-    Wire(Reply),
-    /// The frozen epoch published as shared memory — the zero-copy fast
-    /// path of in-process transports ([`MpscTransport`]).  Wire transports
-    /// deliver [`Reply::Epoch`] instead.
-    SharedEpoch(Arc<FrozenEpoch>),
-}
-
-/// What an owner hands its transport to answer one request.
-pub enum OwnerReply {
-    /// An ordinary wire reply.
-    Wire(Reply),
-    /// A freshly frozen epoch.  Shared-memory transports forward the `Arc`
-    /// as-is ([`ClientReply::SharedEpoch`]); wire transports serialize it
-    /// into a [`Reply::Epoch`] frame.
-    Epoch(Arc<FrozenEpoch>),
-}
-
-/// Client half of one backend↔owner connection.
-pub trait Transport: Send + Sized + 'static {
-    /// Backend label reported by `DdsBackend::backend_name` (`"channel"`
-    /// for [`MpscTransport`], `"remote"` for [`TcpTransport`]).
-    const NAME: &'static str;
-
-    /// The server half handed to the owner thread.
-    type Server: ServerTransport;
-
-    /// Establish one connection for `worker`, returning both halves.
-    fn connect(worker: usize) -> (Self, Self::Server);
-
-    /// Install the fault schedule this transport consults on every send.
-    fn install_faults(&mut self, faults: RequestFaults);
-
-    /// Transmit one request.  If the fault schedule matches, the scheduled
-    /// fault is injected (reply lost + retransmission, or connection
-    /// severed + reconnect) — the caller still receives exactly one reply.
-    /// Does not wait for that reply.
-    fn send(&mut self, request: Request) -> Result<(), TransportError>;
-
-    /// Receive the reply to the oldest unanswered request.
-    fn recv(&mut self) -> Result<ClientReply, TransportError>;
-}
-
-/// Server (owner) half of one backend↔owner connection.
-pub trait ServerTransport: Send + 'static {
-    /// Next request, or `None` when the client is gone for good (clean
-    /// goodbye, channel hangup, or an expired lease) — the owner exits.
-    fn recv_request(&mut self) -> Option<Request>;
-
-    /// Answer the current request; `false` when the client is gone.
-    /// Reconnecting transports report `true` on a lost reply — the client
-    /// replays the request after reconnecting, so serving continues.
-    fn send_reply(&mut self, reply: OwnerReply) -> bool;
-}
+/// Deepest pipeline of outstanding requests one client may hold.  Must stay
+/// below the dispatch layer's commit-deduplication window (256): a sever
+/// replays *every* outstanding request, and each already-applied commit
+/// must still be inside the window to be re-acked instead of re-applied.
+const MAX_PIPELINE: usize = 128;
 
 // ---------------------------------------------------------------------------
 // MpscTransport — in-process channels, zero-copy epoch publication
@@ -526,12 +219,18 @@ impl TcpOptions {
 /// The transport owns the connection lifecycle: the lease handshake on
 /// every (re)connect, capped-exponential-backoff reconnection on any socket
 /// failure, and idempotent replay of the requests whose replies are still
-/// outstanding — see the [module docs](self).
+/// outstanding — see the [module docs](super).  Sends do not wait for
+/// replies, so callers may pipeline up to `MAX_PIPELINE` requests before
+/// receiving.
 pub struct TcpTransport {
     worker: usize,
     endpoint: SocketAddr,
     options: TcpOptions,
     stream: TcpStream,
+    /// Reusable frame-decode scratch (codec layer).
+    frames: FrameReader,
+    /// Reusable frame-encode scratch (codec layer).
+    encoder: FrameWriter,
     /// Requests transmitted but not yet answered, oldest first — exactly
     /// what a reconnect must replay.
     pending: VecDeque<Request>,
@@ -595,13 +294,17 @@ impl TcpTransport {
             endpoint,
             options,
             stream,
+            frames: FrameReader::new(),
+            encoder: FrameWriter::new(),
             pending: VecDeque::new(),
             await_grant: true,
             expect_resumed: false,
             faults: RequestFaults::none(),
         };
         let lease = transport.lease_request();
-        write_frame(&mut transport.stream, &encode_request(&lease))
+        transport
+            .encoder
+            .send_request(&mut transport.stream, &lease)
             .map_err(|err| transport.classify(&err))?;
         Ok(transport)
     }
@@ -645,9 +348,9 @@ impl TcpTransport {
         self.await_grant = true;
         self.expect_resumed = true;
         let lease = self.lease_request();
-        write_frame(&mut self.stream, &encode_request(&lease))?;
+        self.encoder.send_request(&mut self.stream, &lease)?;
         for request in &self.pending {
-            write_frame(&mut self.stream, &encode_request(request))?;
+            self.encoder.send_request(&mut self.stream, request)?;
         }
         Ok(())
     }
@@ -673,13 +376,24 @@ impl TcpTransport {
     /// triggers the reconnect-and-replay path (which retransmits this
     /// request too).
     fn transmit(&mut self, request: Request) -> Result<(), TransportError> {
-        let payload = encode_request(&request);
+        assert!(
+            self.pending.len() < MAX_PIPELINE,
+            "a client may pipeline at most {MAX_PIPELINE} outstanding requests \
+             (the owner's replay-deduplication window must cover them all)"
+        );
         self.pending.push_back(request);
-        if let Err(err) = write_frame(&mut self.stream, &payload) {
+        let request = self.pending.back().expect("just pushed");
+        if let Err(err) = self.encoder.send_request(&mut self.stream, request) {
             let cause = self.classify(&err);
             self.recover(cause)?;
         }
         Ok(())
+    }
+
+    /// Read and decode the next frame (I/O error outer, decode error inner).
+    fn next_reply(&mut self) -> std::io::Result<Result<Reply, ProtoError>> {
+        let payload = self.frames.read(&mut self.stream)?;
+        Ok(decode_reply(payload))
     }
 
     /// Read the next ordinary reply, consuming (and verifying) any pending
@@ -694,8 +408,8 @@ impl TcpTransport {
         const MAX_RECOVERY_CYCLES: u32 = 4;
         let mut recoveries = 0u32;
         loop {
-            let payload = match read_frame(&mut self.stream) {
-                Ok(payload) => payload,
+            let decoded = match self.next_reply() {
+                Ok(decoded) => decoded,
                 Err(err) => {
                     let cause = self.classify(&err);
                     recoveries += 1;
@@ -706,7 +420,7 @@ impl TcpTransport {
                     continue;
                 }
             };
-            let reply = decode_reply(&payload).map_err(|error| TransportError::Proto {
+            let reply = decoded.map_err(|error| TransportError::Proto {
                 worker: self.worker,
                 error,
             })?;
@@ -777,10 +491,12 @@ impl Transport for TcpTransport {
         if let Some((kind, epoch)) = fault_coordinates(&request) {
             if self.faults.should_sever(kind, epoch, self.worker) {
                 // Fault: the connection dies mid-round, right before this
-                // request goes out.  The write below fails, and the
-                // transport must reconnect, replay the lease handshake and
-                // the outstanding requests, and carry on — byte-identical.
-                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                // request goes out — possibly with a pipeline of earlier
+                // requests still unanswered.  The write below fails, and
+                // the transport must reconnect, replay the lease handshake
+                // and *every* outstanding request in order, and carry on —
+                // byte-identical.
+                let _ = self.stream.shutdown(Shutdown::Both);
             }
             if self.faults.should_drop(kind, epoch, self.worker) {
                 // Fault: the frame is delivered but its reply is lost in
@@ -803,15 +519,35 @@ impl Transport for TcpTransport {
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
-        // Clean shutdown: tell the owner not to hold the lease open for a
-        // reconnect that will never come.  Best-effort — the connection may
-        // already be gone, and the lease expiry covers that case.
-        let _ = write_frame(&mut self.stream, &encode_request(&Request::Goodbye));
+        // Clean shutdown drains the pipeline first: every outstanding reply
+        // is received before the goodbye goes out, so the lease is never
+        // released with requests still in flight.  Replies that cannot be
+        // read (dead socket) end the drain — the lease expiry covers that
+        // case.  Stray lease grants (from a reconnect mid-drain) answer no
+        // pending request and are skipped.
+        while !self.pending.is_empty() {
+            match self.next_reply() {
+                Ok(Ok(Reply::LeaseGranted { .. })) => {}
+                Ok(Ok(_)) => {
+                    self.pending.pop_front();
+                }
+                Ok(Err(_)) | Err(_) => break,
+            }
+        }
+        // Best-effort: tell the owner not to hold the lease open for a
+        // reconnect that will never come.
+        let _ = self
+            .encoder
+            .send_request(&mut self.stream, &Request::Goodbye);
     }
 }
 
+// ---------------------------------------------------------------------------
+// TcpServer — the owner side: pipelined per-connection stages
+// ---------------------------------------------------------------------------
+
 /// Where a [`TcpServer`] gets (re)connections from.
-pub(crate) enum StreamSource {
+enum StreamSource {
     /// A private loopback listener (paired in-process mode): the server
     /// accepts and handshakes incoming connections itself.
     Listener(TcpListener),
@@ -848,7 +584,8 @@ pub(crate) struct LeaseFrame {
 pub(crate) fn read_lease_frame(stream: &TcpStream) -> Option<LeaseFrame> {
     let mut reader = stream;
     stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT)).ok()?;
-    let payload = read_frame(&mut reader).ok()?;
+    let mut payload = Vec::new();
+    read_frame(&mut reader, &mut payload).ok()?;
     stream.set_read_timeout(None).ok()?;
     match decode_request(&payload) {
         Ok(Request::Lease {
@@ -878,23 +615,149 @@ fn warn_nodelay_once(err: &std::io::Error) {
     });
 }
 
+/// What the reader stage hands the dispatch stage, one per decoded frame.
+enum ConnEvent {
+    /// A well-formed request, in arrival order.
+    Request(Request),
+    /// A frame that arrived but did not decode — a protocol bug whose
+    /// diagnostic must surface on the dispatch thread (the backend harvests
+    /// the owner thread's panic, not the reader's).
+    Malformed(ProtoError),
+    /// The socket died without a goodbye (EOF, reset): the session stays
+    /// open for a reconnect.
+    Disconnected,
+}
+
+/// One live pipelined connection of a [`TcpServer`]: a *reader* thread
+/// decoding ahead of dispatch, and a *writer* thread flushing encoded
+/// replies behind it.  Both queues are bounded at [`PIPELINE_DEPTH`].
+struct Conn {
+    /// The dispatch side's handle on the socket, used only to shut the
+    /// connection down at teardown (the stages own clones).
+    stream: TcpStream,
+    /// Decoded requests from the reader stage, in arrival order.
+    events: Receiver<ConnEvent>,
+    /// Encoded reply frames to the writer stage, in dispatch order.
+    replies: SyncSender<Vec<u8>>,
+    reader: JoinHandle<()>,
+    writer: JoinHandle<()>,
+}
+
+impl Conn {
+    /// Spawn the reader and writer stages over clones of `stream`.
+    fn start(stream: TcpStream, pool: FramePool) -> std::io::Result<Conn> {
+        let read_half = stream.try_clone()?;
+        let write_half = stream.try_clone()?;
+        let (event_tx, event_rx) = sync_channel(PIPELINE_DEPTH);
+        let (reply_tx, reply_rx) = sync_channel::<Vec<u8>>(PIPELINE_DEPTH);
+        let reader = std::thread::Builder::new()
+            .name("dds-conn-reader".to_string())
+            .spawn(move || {
+                let mut stream = read_half;
+                let mut frames = FrameReader::new();
+                loop {
+                    let event = match frames.read(&mut stream) {
+                        Ok(payload) => match decode_request(payload) {
+                            Ok(request) => ConnEvent::Request(request),
+                            Err(error) => ConnEvent::Malformed(error),
+                        },
+                        Err(_) => ConnEvent::Disconnected,
+                    };
+                    let last = !matches!(event, ConnEvent::Request(_));
+                    // A full queue blocks here — the decode-ahead window —
+                    // until dispatch drains or teardown drops the receiver.
+                    if event_tx.send(event).is_err() || last {
+                        return;
+                    }
+                }
+            })?;
+        let writer = std::thread::Builder::new()
+            .name("dds-conn-writer".to_string())
+            .spawn(move || {
+                let mut stream = write_half;
+                let mut broken = false;
+                while let Ok(payload) = reply_rx.recv() {
+                    // A write failure is a disconnect the reader stage also
+                    // sees; keep draining (the client replays unanswered
+                    // requests after reconnecting) and recycle the buffers.
+                    if !broken && write_frame(&mut stream, &payload).is_err() {
+                        broken = true;
+                    }
+                    pool.put(payload);
+                }
+            });
+        let writer = match writer {
+            Ok(writer) => writer,
+            Err(err) => {
+                // Unblock and reap the already-running reader before
+                // reporting the spawn failure.
+                let _ = stream.shutdown(Shutdown::Both);
+                drop(event_rx);
+                let _ = reader.join();
+                return Err(err);
+            }
+        };
+        Ok(Conn {
+            stream,
+            events: event_rx,
+            replies: reply_tx,
+            reader,
+            writer,
+        })
+    }
+
+    /// Stop both stages and reap their threads.  With `flush`, every queued
+    /// reply is written out first (clean goodbye); without, the socket is
+    /// shut down immediately (disconnect) and queued replies are discarded
+    /// into the pool.
+    fn teardown(self, flush: bool) {
+        let Conn {
+            stream,
+            events,
+            replies,
+            reader,
+            writer,
+        } = self;
+        if !flush {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // Closing the reply queue lets the writer drain and exit.
+        drop(replies);
+        let _ = writer.join();
+        // Now end the reader's blocking read, and drop the event queue so a
+        // reader blocked mid-send returns too.
+        let _ = stream.shutdown(Shutdown::Both);
+        drop(events);
+        let _ = reader.join();
+    }
+}
+
 /// Server half of a [`TcpTransport`]: the owner side of the connection
-/// lifecycle.
+/// lifecycle, pipelined per connection.
 ///
 /// The server validates the lease handshake of every incoming connection,
 /// answers renewals, survives disconnects by waiting (up to the lease
 /// deadline) for a reconnect, and treats [`Request::Goodbye`] as the
-/// client's clean release of the session.  `recv_request` returns `None` —
-/// ending the owner's serve loop — only on goodbye, lease expiry, or a
-/// vanished stream source.
+/// client's clean release of the session — after flushing every queued
+/// reply, so a drained pipeline is never cut short.  `recv_request` returns
+/// `None` — ending the owner's serve loop — only on goodbye, lease expiry,
+/// or a vanished stream source.
+///
+/// Each live connection runs as three stages (reader thread → dispatch →
+/// writer thread, see [`Conn`]): the owner applies request `N` while the
+/// reader decodes `N + 1` and the writer flushes the reply to `N - 1`.
 pub struct TcpServer {
     source: StreamSource,
     worker: usize,
-    stream: Option<TcpStream>,
+    conn: Option<Conn>,
+    /// Encoded-reply buffers recycled between dispatch and writer stages.
+    pool: FramePool,
     /// Granted lease duration; zero means the lease never expires.
     ttl: Duration,
     /// When the connection dropped (the expiry countdown's epoch); `None`
-    /// while connected or before the first connection.
+    /// while connected or before the first connection.  The countdown never
+    /// runs against a live socket — not even one whose pipelined replies
+    /// are still being flushed.
     disconnected_at: Option<Instant>,
     /// Whether this session served a connection before — what the grant
     /// reports as `resumed`.
@@ -916,7 +779,8 @@ impl TcpServer {
         TcpServer {
             source: StreamSource::Listener(listener),
             worker,
-            stream: None,
+            conn: None,
+            pool: FramePool::new(),
             ttl: Duration::ZERO,
             disconnected_at: None,
             served_before: false,
@@ -930,7 +794,8 @@ impl TcpServer {
         TcpServer {
             source: StreamSource::Mailbox(mailbox),
             worker,
-            stream: None,
+            conn: None,
+            pool: FramePool::new(),
             ttl: Duration::ZERO,
             disconnected_at: None,
             served_before: false,
@@ -947,21 +812,28 @@ impl TcpServer {
         }
     }
 
-    /// Adopt a freshly (re)connected stream: grant the lease and start
-    /// serving it.
+    /// Adopt a freshly (re)connected stream: start its pipeline stages,
+    /// grant the lease and begin serving it.
     fn adopt(&mut self, stream: TcpStream, session: u64, ttl_ms: u64) {
         if let Err(err) = stream.set_nodelay(true) {
             warn_nodelay_once(&err);
         }
         self.ttl = Duration::from_millis(ttl_ms);
-        self.stream = Some(stream);
         self.disconnected_at = None;
         let resumed = self.served_before;
         self.served_before = true;
-        self.grant(session, resumed);
+        match Conn::start(stream, self.pool.clone()) {
+            Ok(conn) => {
+                self.conn = Some(conn);
+                self.grant(session, resumed);
+            }
+            // Could not spawn the stage threads: treat it as an immediate
+            // disconnect (the client will reconnect and re-handshake).
+            Err(_) => self.mark_disconnected(),
+        }
     }
 
-    /// Write the lease grant; a failed write is just a disconnect (the
+    /// Queue the lease grant; a failed queue is just a disconnect (the
     /// client will reconnect and re-handshake).
     fn grant(&mut self, session: u64, resumed: bool) {
         let reply = Reply::LeaseGranted {
@@ -969,17 +841,33 @@ impl TcpServer {
             ttl_ms: self.ttl.as_millis() as u64,
             resumed,
         };
-        let payload = encode_reply(&reply);
-        let Some(stream) = self.stream.as_mut() else {
+        self.queue_reply(&reply);
+    }
+
+    /// Encode `reply` into a pooled buffer and hand it to the writer stage.
+    /// Blocks when [`PIPELINE_DEPTH`] replies are already queued — the
+    /// dispatch stage's backpressure.
+    fn queue_reply(&mut self, reply: &Reply) {
+        if self.conn.is_none() {
+            // Already disconnected: the reply is lost, but the client will
+            // replay its request after reconnecting — keep serving.
             return;
-        };
-        if write_frame(stream, &payload).is_err() {
+        }
+        let mut payload = self.pool.take();
+        encode_reply_into(&mut payload, reply);
+        let failed = self
+            .conn
+            .as_ref()
+            .is_some_and(|conn| conn.replies.send(payload).is_err());
+        if failed {
             self.mark_disconnected();
         }
     }
 
     fn mark_disconnected(&mut self) {
-        self.stream = None;
+        if let Some(conn) = self.conn.take() {
+            conn.teardown(false);
+        }
         if self.disconnected_at.is_none() {
             self.disconnected_at = Some(Instant::now());
         }
@@ -1053,45 +941,50 @@ impl ServerTransport for TcpServer {
             if self.finished {
                 return None;
             }
-            if self.stream.is_none() && !self.await_stream() {
+            if self.conn.is_none() && !self.await_stream() {
                 self.finished = true;
                 return None;
             }
-            let Some(stream) = self.stream.as_mut() else {
-                continue; // a failed grant write disconnected us again
+            let Some(conn) = self.conn.as_ref() else {
+                continue; // adoption failed; wait for a reconnect
             };
-            let payload = match read_frame(stream) {
-                Ok(payload) => payload,
-                Err(_) => {
-                    // EOF or reset without a goodbye: hold the session and
-                    // wait (up to the lease deadline) for a reconnect.
-                    self.mark_disconnected();
-                    continue;
-                }
-            };
-            match decode_request(&payload) {
+            match conn.events.recv() {
                 // Mid-stream renewal: refresh the lease, grant, keep going.
                 // `resumed` is definitionally true here — a renewal arrives
                 // on a connection that already holds its grant, so the
                 // session's state is intact (clients only validate the flag
                 // during the handshake, never on a renewal).
-                Ok(Request::Lease {
+                Ok(ConnEvent::Request(Request::Lease {
                     session, ttl_ms, ..
-                }) => {
+                })) => {
                     self.ttl = Duration::from_millis(ttl_ms);
                     self.grant(session, true);
                 }
-                // Clean shutdown: release the session immediately.
-                Ok(Request::Goodbye) => {
+                // Clean shutdown: the goodbye frame arrives *behind* every
+                // pipelined request on the socket, so all of them have been
+                // dispatched and their replies queued by the time it is
+                // popped here.  Flush those replies, then release the
+                // session.
+                Ok(ConnEvent::Request(Request::Goodbye)) => {
+                    if let Some(conn) = self.conn.take() {
+                        conn.teardown(true);
+                    }
                     self.finished = true;
                     return None;
                 }
-                Ok(request) => return Some(request),
+                Ok(ConnEvent::Request(request)) => return Some(request),
                 // A frame that arrives but does not decode is a protocol
                 // bug and must keep its diagnostic — the panic is harvested
                 // into the typed `TransportError::PeerClosed` the backend
-                // surfaces.
-                Err(error) => panic!("malformed request frame from the backend: {error}"),
+                // surfaces.  It is raised here, on the dispatch thread,
+                // because the backend joins the owner thread (not the
+                // connection's reader stage).
+                Ok(ConnEvent::Malformed(error)) => {
+                    panic!("malformed request frame from the backend: {error}")
+                }
+                // EOF or reset without a goodbye: hold the session and
+                // wait (up to the lease deadline) for a reconnect.
+                Ok(ConnEvent::Disconnected) | Err(_) => self.mark_disconnected(),
             }
         }
     }
@@ -1102,19 +995,21 @@ impl ServerTransport for TcpServer {
             // The wire has no shared memory: serialize the frozen epoch.
             OwnerReply::Epoch(epoch) => Reply::Epoch(epoch.to_frame()),
         };
-        let payload = encode_reply(&reply);
-        let Some(stream) = self.stream.as_mut() else {
-            // Already disconnected: the reply is lost, but the client will
-            // replay its request after reconnecting — keep serving.
-            return true;
-        };
-        if write_frame(stream, &payload).is_err() {
-            // A lost reply is a disconnect, not the end of the session: the
-            // reconnect replay re-asks and the owner re-answers
-            // idempotently.
-            self.mark_disconnected();
-        }
+        // A lost reply (disconnect) is not the end of the session: the
+        // reconnect replay re-asks and the owner re-answers idempotently.
+        self.queue_reply(&reply);
         true
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        // Reap the stage threads of a connection dropped mid-serve (e.g. an
+        // owner panic unwinding): without this, a reader blocked on a live
+        // socket would linger until the peer closed it.
+        if let Some(conn) = self.conn.take() {
+            conn.teardown(false);
+        }
     }
 }
 
@@ -1122,6 +1017,7 @@ impl ServerTransport for TcpServer {
 mod tests {
     use super::*;
     use crate::key::{Key, KeyTag, Value};
+    use crate::proto::RequestKind;
 
     fn echo_server<S: ServerTransport>(mut server: S) -> std::thread::JoinHandle<usize> {
         std::thread::spawn(move || {
@@ -1184,6 +1080,48 @@ mod tests {
         exercise_transport::<TcpTransport>();
     }
 
+    #[test]
+    fn pipelined_bursts_round_trip_in_order() {
+        let (mut client, server) = TcpTransport::connect(0);
+        let handle = echo_server(server);
+
+        // A deep burst of sends before any receive: the reader stage
+        // decodes ahead of dispatch, the writer stage flushes behind it,
+        // and the replies come back strictly FIFO.
+        const BURST: usize = 24;
+        for epoch in 0..BURST {
+            client.send(commit_request(epoch)).unwrap();
+        }
+        for expected in 0..BURST {
+            match client.recv().unwrap() {
+                ClientReply::Wire(Reply::Committed { epoch, accepted }) => {
+                    assert_eq!((epoch, accepted), (expected, 1));
+                }
+                _ => panic!("pipelined replies must arrive in request order"),
+            }
+        }
+
+        drop(client);
+        assert_eq!(handle.join().unwrap(), BURST);
+    }
+
+    #[test]
+    fn goodbye_drains_the_full_pipeline() {
+        let (mut client, server) = TcpTransport::connect(0);
+        let handle = echo_server(server);
+
+        // Send a pipeline and drop the client without receiving anything:
+        // the clean shutdown must drain every outstanding reply before its
+        // goodbye releases the lease, and the server must dispatch every
+        // request before honoring the goodbye — nothing dropped.
+        const BURST: usize = 12;
+        for epoch in 0..BURST {
+            client.send(commit_request(epoch)).unwrap();
+        }
+        drop(client);
+        assert_eq!(handle.join().unwrap(), BURST, "no request may be dropped");
+    }
+
     fn exercise_faults<T: Transport>() {
         let (mut client, server) = T::connect(3);
         let handle = echo_server(server);
@@ -1213,7 +1151,7 @@ mod tests {
         drop(client);
         // The server really received the duplicate — 2 copies of the
         // faulted commit plus the clean one.  Deduplicating the copy is
-        // the owner's job (`remote::Worker`), pinned by its own tests.
+        // the owner's job (`dispatch::Worker`), pinned by its own tests.
         assert_eq!(handle.join().unwrap(), 3, "duplicate must hit the wire");
     }
 
@@ -1273,6 +1211,43 @@ mod tests {
     }
 
     #[test]
+    fn severed_pipelines_replay_every_outstanding_request() {
+        let (mut client, server) = TcpTransport::connect(4);
+        let handle = echo_server(server);
+        let faults = RequestFaults::none();
+        faults.schedule_sever(RequestKind::Commit, 3, 4);
+        client.install_faults(faults.clone());
+
+        // Warm the connection so the sever cuts an established stream.
+        client.send(commit_request(0)).unwrap();
+        let _ = client.recv().unwrap();
+
+        // Two commits go out with their replies unconsumed…
+        client.send(commit_request(1)).unwrap();
+        client.send(commit_request(2)).unwrap();
+        // …and the third severs the socket with both still outstanding.
+        // The reconnect must replay 1, 2 *and* 3, in order, and the caller
+        // still receives exactly one FIFO reply per send.
+        client.send(commit_request(3)).unwrap();
+        for expected in 1..=3 {
+            match client.recv().unwrap() {
+                ClientReply::Wire(Reply::Committed { epoch, .. }) => assert_eq!(epoch, expected),
+                _ => panic!("replayed pipeline must be acknowledged in order"),
+            }
+        }
+        assert_eq!(faults.severed(), 1);
+
+        drop(client);
+        // At-least-once on the wire: commits 1 and 2 reached the server
+        // before the sever (TCP delivers buffered bytes ahead of the FIN)
+        // and again in the replay — the echo server, which deduplicates
+        // nothing, counts 1 warm-up + 2 first copies + 3 replays.
+        // Exactly-once *application* of such duplicates is the dispatch
+        // layer's job, pinned by `dispatch::Worker`'s tests.
+        assert_eq!(handle.join().unwrap(), 6);
+    }
+
+    #[test]
     fn mpsc_transports_ignore_scheduled_severs() {
         let (mut client, server) = MpscTransport::connect(0);
         let handle = echo_server(server);
@@ -1309,9 +1284,9 @@ mod tests {
         assert_eq!(request, Some(Request::TotalWrites));
         assert!(
             server
-                .stream
+                .conn
                 .as_ref()
-                .is_some_and(|stream| stream.nodelay().unwrap_or(false)),
+                .is_some_and(|conn| conn.stream.nodelay().unwrap_or(false)),
             "server socket must have TCP_NODELAY set"
         );
     }
@@ -1338,7 +1313,7 @@ mod tests {
             _ => panic!("round-trip before the sever must succeed"),
         }
         // Abrupt death: no goodbye frame.
-        client.stream.shutdown(std::net::Shutdown::Both).unwrap();
+        client.stream.shutdown(Shutdown::Both).unwrap();
         std::mem::forget(client);
         let (first, second) = driver.join().unwrap();
         assert_eq!(first, Some(Request::TotalWrites));

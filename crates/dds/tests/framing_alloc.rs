@@ -1,0 +1,90 @@
+//! Pins the zero-allocation property of the framing codec: once the
+//! scratch buffers have grown to the connection's working frame size,
+//! encoding and framing a request — and reading it back — must not touch
+//! the allocator at all.  A counting `#[global_allocator]` shim makes the
+//! property checkable without external tooling.
+
+use ampc_dds::proto::{encode_request_into, read_frame, write_frame, Request};
+use ampc_dds::{Key, KeyTag, Value};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    // Const-initialized so reading the counter never itself allocates
+    // (a lazily initialized thread-local would recurse into the allocator).
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Passes every call through to the system allocator, counting the ones
+/// that hand out (or regrow) memory on this thread.
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|count| count.set(count.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|count| count.set(count.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(|count| count.get())
+}
+
+fn commit(seq: u64) -> Request {
+    Request::Commit {
+        epoch: 0,
+        seq,
+        batches: vec![(
+            0,
+            (0..16)
+                .map(|i| (Key::of(KeyTag::Scalar, i), Value::scalar(seq + i)))
+                .collect(),
+        )],
+    }
+}
+
+#[test]
+fn steady_state_framing_allocates_nothing() {
+    let request = commit(1);
+
+    // Warm-up: one full encode → frame → read pass grows every scratch
+    // buffer to its working size.
+    let mut encoded = Vec::new();
+    let mut wire = Vec::new();
+    let mut scratch = Vec::new();
+    encode_request_into(&mut encoded, &request);
+    write_frame(&mut wire, &encoded).unwrap();
+    let mut reader: &[u8] = &wire;
+    read_frame(&mut reader, &mut scratch).unwrap();
+    assert_eq!(scratch, encoded, "warm-up pass must round-trip");
+
+    // Steady state: the identical traffic, many times over, must be
+    // allocation-free — the scratches are reused, the frame goes out
+    // through the vectored write, and the read resizes within capacity.
+    let before = allocations();
+    for _ in 0..256 {
+        encode_request_into(&mut encoded, &request);
+        wire.clear();
+        write_frame(&mut wire, &encoded).unwrap();
+        let mut reader: &[u8] = &wire;
+        read_frame(&mut reader, &mut scratch).unwrap();
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "steady-state framing must not allocate"
+    );
+    assert_eq!(scratch, encoded, "steady-state passes still round-trip");
+}

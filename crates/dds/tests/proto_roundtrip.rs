@@ -137,7 +137,9 @@ proptest! {
         let mut wire = Vec::new();
         write_frame(&mut wire, &payload).expect("framing an in-range payload");
         let mut reader: &[u8] = &wire;
-        prop_assert_eq!(read_frame(&mut reader).expect("reading the frame back"), payload);
+        let mut scratch = Vec::new();
+        read_frame(&mut reader, &mut scratch).expect("reading the frame back");
+        prop_assert_eq!(scratch, payload);
         prop_assert!(reader.is_empty());
     }
 
@@ -186,7 +188,9 @@ fn oversized_frames_are_rejected_without_allocating() {
     for len in [MAX_FRAME_BYTES + 1, u32::MAX as usize] {
         let header = (len as u32).to_le_bytes();
         let mut reader: &[u8] = &header;
-        let err = read_frame(&mut reader).unwrap_err();
+        let mut scratch = Vec::new();
+        let err = read_frame(&mut reader, &mut scratch).unwrap_err();
+        assert!(scratch.capacity() < 4096, "scratch must stay unallocated");
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "len {len}");
         assert!(err.to_string().contains("exceeds"), "{err}");
     }
@@ -204,9 +208,10 @@ fn frames_cut_mid_payload_are_unexpected_eof() {
     let payload = encode_request(&Request::Loads { epoch: 3 });
     let mut wire = Vec::new();
     write_frame(&mut wire, &payload).unwrap();
+    let mut scratch = Vec::new();
     for len in 0..wire.len() {
         let mut reader = &wire[..len];
-        let err = read_frame(&mut reader).unwrap_err();
+        let err = read_frame(&mut reader, &mut scratch).unwrap_err();
         assert_eq!(
             err.kind(),
             std::io::ErrorKind::UnexpectedEof,

@@ -114,6 +114,104 @@ fn severs_are_ignored_by_backends_without_connections() {
 }
 
 #[test]
+fn severed_pipelines_replay_byte_identically_across_client_counts() {
+    use ampc_suite::dds::proto::{Reply, Request, RequestKind};
+    use ampc_suite::dds::transport::ClientReply;
+    use ampc_suite::dds::{RequestFaults, TcpOptions, TcpTransport, Transport};
+
+    let server = serve(("127.0.0.1", 0)).expect("binding the DDS owner process");
+    let addr = server.local_addr();
+
+    let commit = |seq: u64| Request::Commit {
+        epoch: 0,
+        seq,
+        batches: vec![(0, vec![(key(seq), Value::scalar(seq * 7))])],
+    };
+
+    // One leased session: pipeline six commits with no reply consumed,
+    // (optionally) sever the socket with the whole pipeline outstanding,
+    // pipeline six more, then freeze, and report everything observable
+    // about the session's store.
+    let run_session = |faulted: bool| -> (Vec<(Key, Vec<Value>)>, u64, u64) {
+        let options = TcpOptions::fresh().with_topology(1, 1);
+        let mut client = TcpTransport::connect_to(addr, 0, options).expect("leasing a session");
+        let faults = RequestFaults::none();
+        client.install_faults(faults.clone());
+
+        for seq in 0..6 {
+            client.send(commit(seq)).unwrap();
+        }
+        // The seventh commit cuts the connection with all six still
+        // unanswered: the reconnect must replay the full pipeline in
+        // order, and the dispatch window must re-ack (not re-apply) the
+        // prefix the owner already committed.
+        if faulted {
+            faults.schedule_sever(RequestKind::Commit, 0, 0);
+        }
+        for seq in 6..12 {
+            client.send(commit(seq)).unwrap();
+        }
+        for seq in 0..12u64 {
+            match client.recv().unwrap() {
+                ClientReply::Wire(Reply::Committed { epoch, accepted }) => {
+                    assert_eq!((epoch, accepted), (0, 1), "ack of commit {seq}");
+                }
+                _ => panic!("commit {seq} must be acknowledged in FIFO order"),
+            }
+        }
+        client.send(Request::Advance { epoch: 0 }).unwrap();
+        let ClientReply::Wire(Reply::Epoch(_)) = client.recv().unwrap() else {
+            panic!("advance must publish the frozen epoch");
+        };
+        client.send(Request::TotalWrites).unwrap();
+        let ClientReply::Wire(Reply::TotalWrites(writes)) = client.recv().unwrap() else {
+            panic!("total-writes must be answered");
+        };
+        client.send(Request::Dump { epoch: 0 }).unwrap();
+        let ClientReply::Wire(Reply::Dump(mut entries)) = client.recv().unwrap() else {
+            panic!("dump must be answered");
+        };
+        entries.sort_by_key(|&(key, _)| key);
+        (entries, writes, faults.severed())
+    };
+
+    // Sessions are isolated, so every client (clean or severed, alone or
+    // among eight concurrent peers) must observe the identical store.
+    let baseline = run_session(false);
+    assert_eq!(baseline.1, 12, "twelve commits, one pair each");
+    assert_eq!(baseline.2, 0, "fault-free sessions sever nothing");
+
+    for clients in [1usize, 2, 8] {
+        let observed: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let run_session = &run_session;
+                    scope.spawn(move || (run_session(false), run_session(true)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().unwrap())
+                .collect()
+        });
+        for (clean, severed) in observed {
+            assert_eq!(severed.2, 1, "the mid-pipeline sever must fire");
+            assert_eq!(
+                (&clean.0, clean.1),
+                (&severed.0, severed.1),
+                "a severed full pipeline must replay byte-identically ({clients} clients)"
+            );
+            assert_eq!(
+                (&baseline.0, baseline.1),
+                (&clean.0, clean.1),
+                "concurrent sessions must not bleed ({clients} clients)"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
 fn runtimes_serve_rounds_from_an_external_owner_process() {
     let server = serve(("127.0.0.1", 0)).expect("binding the DDS owner process");
     let endpoint = server.local_addr().to_string();
