@@ -24,6 +24,15 @@ pub const DEFAULT_EPSILON: f64 = 0.5;
 /// clamped — see [`AmpcConfig::with_num_shards`].
 pub const MAX_SHARDS: usize = 1024;
 
+/// Hard ceiling on the number of cluster owner processes.
+///
+/// The cluster backend is monomorphised per owner count (the conformance
+/// suite holds `cluster(2)` and `cluster(4)` side by side as distinct
+/// types), so the runtime dispatch enumerates the supported counts; counts
+/// beyond the ceiling are rejected at the configuration boundary with
+/// [`AmpcError::InvalidEndpointList`] rather than deep inside a run.
+pub const MAX_CLUSTER_OWNERS: usize = 4;
+
 /// Which [`ampc_dds::DdsBackend`] implementation a runtime uses.
 ///
 /// Algorithms never branch on this: the runtime is generic over the backend
@@ -47,6 +56,13 @@ pub enum DdsBackendKind {
     /// localhost TCP, frozen epochs fetched and rebuilt as local replicas.
     /// The deployable shape of the store.
     Remote,
+    /// Multi-owner-process store ([`ampc_dds::ClusterBackend`]): N
+    /// standalone serving processes each owning a contiguous shard range,
+    /// discovered through the shard map in every lease grant; epoch advance
+    /// is a client-coordinated two-phase freeze/publish barrier.  Spawns a
+    /// local cluster of [`AmpcConfig::cluster_owners`] owners, or connects
+    /// to [`AmpcConfig::cluster_endpoints`] when set.
+    Cluster,
 }
 
 impl fmt::Display for DdsBackendKind {
@@ -55,6 +71,7 @@ impl fmt::Display for DdsBackendKind {
             DdsBackendKind::Local => "local",
             DdsBackendKind::Channel => "channel",
             DdsBackendKind::Remote => "remote",
+            DdsBackendKind::Cluster => "cluster",
         };
         f.write_str(name)
     }
@@ -63,15 +80,16 @@ impl fmt::Display for DdsBackendKind {
 impl std::str::FromStr for DdsBackendKind {
     type Err = AmpcError;
 
-    /// Parse a backend name (`local` / `channel` / `remote`, case- and
-    /// whitespace-insensitive; `tcp` is accepted as an alias for `remote`),
-    /// so binaries and examples can select the backend from a CLI argument
-    /// or environment variable.
+    /// Parse a backend name (`local` / `channel` / `remote` / `cluster`,
+    /// case- and whitespace-insensitive; `tcp` is accepted as an alias for
+    /// `remote`), so binaries and examples can select the backend from a
+    /// CLI argument or environment variable.
     fn from_str(name: &str) -> Result<Self, AmpcError> {
         match name.trim().to_ascii_lowercase().as_str() {
             "local" => Ok(DdsBackendKind::Local),
             "channel" => Ok(DdsBackendKind::Channel),
             "remote" | "tcp" => Ok(DdsBackendKind::Remote),
+            "cluster" => Ok(DdsBackendKind::Cluster),
             _ => Err(AmpcError::UnknownBackend {
                 requested: name.to_string(),
             }),
@@ -125,6 +143,16 @@ pub struct AmpcConfig {
     /// owner threads — the multi-host deployment shape.  Ignored by the
     /// in-process backends.
     pub remote_endpoint: Option<String>,
+    /// Owner-process count for a locally spawned cluster
+    /// ([`DdsBackendKind::Cluster`] with no endpoints).  Set through
+    /// [`AmpcConfig::with_cluster_owners`], which validates the range.
+    pub cluster_owners: usize,
+    /// Endpoints of an already-running cluster, one per owner in node
+    /// order.  When set and `backend` is [`DdsBackendKind::Cluster`],
+    /// runtimes connect to these processes instead of spawning a local
+    /// cluster.  Set through [`AmpcConfig::with_cluster_endpoints`] or
+    /// parsed from a CLI/env string with [`parse_endpoint_list`].
+    pub cluster_endpoints: Option<Vec<String>>,
 }
 
 impl AmpcConfig {
@@ -146,6 +174,8 @@ impl AmpcConfig {
             backend: DdsBackendKind::Local,
             num_shards_override: None,
             remote_endpoint: None,
+            cluster_owners: 2,
+            cluster_endpoints: None,
         }
     }
 
@@ -201,6 +231,42 @@ impl AmpcConfig {
         self.remote_endpoint = Some(endpoint.into());
         self.backend = DdsBackendKind::Remote;
         self
+    }
+
+    /// Builder-style: run the DDS as a locally spawned cluster of `owners`
+    /// serving processes, and select the cluster backend.
+    ///
+    /// # Errors
+    /// [`AmpcError::InvalidEndpointList`] if `owners` is zero or exceeds
+    /// [`MAX_CLUSTER_OWNERS`].
+    pub fn with_cluster_owners(mut self, owners: usize) -> Result<Self, AmpcError> {
+        if owners == 0 || owners > MAX_CLUSTER_OWNERS {
+            return Err(AmpcError::InvalidEndpointList {
+                requested: owners.to_string(),
+                reason: format!("cluster owner counts must lie in 1..={MAX_CLUSTER_OWNERS}"),
+            });
+        }
+        self.cluster_owners = owners;
+        self.cluster_endpoints = None;
+        self.backend = DdsBackendKind::Cluster;
+        Ok(self)
+    }
+
+    /// Builder-style: serve the DDS from an already-running cluster at
+    /// `endpoints` (one per owner, node order — each started with
+    /// `ampc_dds::serve_cluster` over the identical peer list), and select
+    /// the cluster backend.
+    ///
+    /// # Errors
+    /// [`AmpcError::InvalidEndpointList`] if the list is empty, longer than
+    /// [`MAX_CLUSTER_OWNERS`], or any endpoint is malformed (see
+    /// [`parse_endpoint_list`] for the accepted shape).
+    pub fn with_cluster_endpoints(mut self, endpoints: Vec<String>) -> Result<Self, AmpcError> {
+        let endpoints = parse_endpoint_list(&endpoints.join(","))?;
+        self.cluster_owners = endpoints.len();
+        self.cluster_endpoints = Some(endpoints);
+        self.backend = DdsBackendKind::Cluster;
+        Ok(self)
     }
 
     /// Builder-style: set an explicit DDS shard count.
@@ -267,6 +333,55 @@ impl AmpcConfig {
             self.threads
         }
     }
+}
+
+/// Parse a comma-separated cluster endpoint list (the `--connect-cluster`
+/// CLI argument and the `AMPC_ENDPOINTS` environment variable).
+///
+/// Accepted shape: 1 to [`MAX_CLUSTER_OWNERS`] comma-separated
+/// `host:port` entries, whitespace around entries ignored.  Each entry
+/// must have a non-empty host and a numeric port in `1..=65535` after its
+/// *last* colon (so bracketed IPv6 literals like `[::1]:7471` pass).
+///
+/// # Errors
+/// [`AmpcError::InvalidEndpointList`] naming the offending input and why
+/// it was rejected — malformed operator input is a configuration error, not
+/// a panic.
+pub fn parse_endpoint_list(list: &str) -> Result<Vec<String>, AmpcError> {
+    let reject = |requested: &str, reason: String| {
+        Err(AmpcError::InvalidEndpointList {
+            requested: requested.to_string(),
+            reason,
+        })
+    };
+    if list.trim().is_empty() {
+        return reject(list, "expected at least one host:port endpoint".into());
+    }
+    let entries: Vec<&str> = list.split(',').map(str::trim).collect();
+    if entries.len() > MAX_CLUSTER_OWNERS {
+        return reject(
+            list,
+            format!(
+                "{} endpoints exceed the supported 1..={MAX_CLUSTER_OWNERS} owners",
+                entries.len()
+            ),
+        );
+    }
+    let mut endpoints = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let Some((host, port)) = entry.rsplit_once(':') else {
+            return reject(entry, "missing the :port suffix".into());
+        };
+        if host.is_empty() {
+            return reject(entry, "missing the host".into());
+        }
+        match port.parse::<u16>() {
+            Ok(0) | Err(_) => return reject(entry, format!("port {port:?} is not in 1..=65535")),
+            Ok(_) => {}
+        }
+        endpoints.push(entry.to_string());
+    }
+    Ok(endpoints)
 }
 
 #[cfg(test)]
@@ -378,11 +493,84 @@ mod tests {
     }
 
     #[test]
+    fn cluster_builders_select_the_cluster_backend() {
+        let cfg = AmpcConfig::for_graph(100, 100, 0.5)
+            .with_cluster_owners(3)
+            .unwrap();
+        assert_eq!(cfg.backend, DdsBackendKind::Cluster);
+        assert_eq!(cfg.cluster_owners, 3);
+        assert_eq!(cfg.cluster_endpoints, None);
+        // The cluster topology must survive `derive` so sub-computations
+        // keep talking to the same owners.
+        let derived = cfg.derive(10, 10);
+        assert_eq!(derived.backend, DdsBackendKind::Cluster);
+        assert_eq!(derived.cluster_owners, 3);
+
+        let cfg = AmpcConfig::for_graph(100, 100, 0.5)
+            .with_cluster_endpoints(vec!["127.0.0.1:7471".into(), "127.0.0.1:7472".into()])
+            .unwrap();
+        assert_eq!(cfg.backend, DdsBackendKind::Cluster);
+        assert_eq!(cfg.cluster_owners, 2);
+        assert_eq!(
+            cfg.cluster_endpoints.as_deref(),
+            Some(&["127.0.0.1:7471".to_string(), "127.0.0.1:7472".to_string()][..])
+        );
+
+        // Out-of-range owner counts are configuration errors, not panics.
+        for owners in [0, MAX_CLUSTER_OWNERS + 1] {
+            assert!(matches!(
+                AmpcConfig::for_graph(100, 100, 0.5).with_cluster_owners(owners),
+                Err(AmpcError::InvalidEndpointList { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn endpoint_lists_parse_at_both_boundaries() {
+        // The happy path, with whitespace tolerance and IPv6 brackets.
+        assert_eq!(
+            parse_endpoint_list(" 127.0.0.1:7471 ,[::1]:7472").unwrap(),
+            vec!["127.0.0.1:7471".to_string(), "[::1]:7472".to_string()]
+        );
+        // Both edges of the owner-count range are accepted…
+        assert_eq!(parse_endpoint_list("a:1").unwrap().len(), 1);
+        let max = (0..MAX_CLUSTER_OWNERS)
+            .map(|i| format!("host{i}:{}", 7000 + i))
+            .collect::<Vec<_>>()
+            .join(",");
+        assert_eq!(parse_endpoint_list(&max).unwrap().len(), MAX_CLUSTER_OWNERS);
+        // …and both edges of the port range.
+        assert!(parse_endpoint_list("a:1,b:65535").is_ok());
+
+        // Malformed lists are typed errors naming the offender, never panics.
+        let cases = [
+            ("", "at least one"),
+            ("   ", "at least one"),
+            ("a:1,b:2,c:3,d:4,e:5", "exceed"),
+            ("hostonly", "missing the :port"),
+            (":7471", "missing the host"),
+            ("a:0", "not in 1..=65535"),
+            ("a:65536", "not in 1..=65535"),
+            ("a:port", "not in 1..=65535"),
+            ("a:1,,b:2", "missing the :port"),
+        ];
+        for (input, expected) in cases {
+            match parse_endpoint_list(input) {
+                Err(AmpcError::InvalidEndpointList { reason, .. }) => {
+                    assert!(reason.contains(expected), "{input:?}: {reason}")
+                }
+                other => panic!("{input:?} should be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn backend_kinds_round_trip_through_strings() {
         let kinds = [
             DdsBackendKind::Local,
             DdsBackendKind::Channel,
             DdsBackendKind::Remote,
+            DdsBackendKind::Cluster,
         ];
         for kind in kinds {
             assert_eq!(kind.to_string().parse::<DdsBackendKind>(), Ok(kind));

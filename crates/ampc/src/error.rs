@@ -52,6 +52,17 @@ pub enum AmpcError {
         /// The unrecognized name.
         requested: String,
     },
+    /// A cluster endpoint list or owner count failed validation
+    /// (`config::parse_endpoint_list`, `AmpcConfig::with_cluster_owners`) —
+    /// malformed operator input surfaces as this typed error, never a
+    /// panic.
+    InvalidEndpointList {
+        /// The offending input (the malformed entry, or the whole list for
+        /// list-level problems).
+        requested: String,
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 impl From<ampc_dds::TransportError> for AmpcError {
@@ -80,8 +91,11 @@ impl fmt::Display for AmpcError {
             AmpcError::UnknownBackend { requested } => {
                 write!(
                     f,
-                    "unknown DDS backend {requested:?} (expected local, channel or remote)"
+                    "unknown DDS backend {requested:?} (expected local, channel, remote or cluster)"
                 )
+            }
+            AmpcError::InvalidEndpointList { requested, reason } => {
+                write!(f, "invalid cluster endpoint list {requested:?}: {reason}")
             }
         }
     }
@@ -129,6 +143,14 @@ mod tests {
         };
         assert!(e.to_string().contains("bigtable"));
         assert!(e.to_string().contains("remote"));
+        assert!(e.to_string().contains("cluster"));
+
+        let e = AmpcError::InvalidEndpointList {
+            requested: "nocolon".into(),
+            reason: "missing the :port suffix".into(),
+        };
+        assert!(e.to_string().contains("nocolon"));
+        assert!(e.to_string().contains(":port"));
     }
 
     #[test]

@@ -101,6 +101,30 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule cluster owner `owner`'s connection to be cut right before
+    /// the `FreezeEpoch` freezing `epoch` goes out — phase 1 of the cluster
+    /// backend's two-phase advance barrier.  The client must reconnect,
+    /// replay the freeze, and collect every owner's ack before publishing
+    /// anything; results must stay byte-identical (pinned by
+    /// `tests/reconnect.rs`).  Only the cluster backend sends barrier
+    /// requests, so other backends ignore it.
+    pub fn sever_owner(mut self, epoch: usize, owner: usize) -> Self {
+        self.severs.insert((RequestKind::FreezeEpoch, epoch, owner));
+        self
+    }
+
+    /// Schedule cluster owner `owner`'s connection to be cut *between* the
+    /// barrier's phases: after its `FreezeEpoch` for `epoch` was acked,
+    /// right before the `PublishEpoch` goes out.  The owner is left holding
+    /// a prepared-but-unpublished epoch across the reconnect, and the
+    /// replayed publish must republish it idempotently — the hardest spot
+    /// to sever, since every *other* owner may have published already.
+    pub fn sever_between_freeze_and_publish(mut self, epoch: usize, owner: usize) -> Self {
+        self.severs
+            .insert((RequestKind::PublishEpoch, epoch, owner));
+        self
+    }
+
     /// Does the first attempt of `machine` in `round` fail?
     pub fn should_fail(&self, round: usize, machine: usize) -> bool {
         self.failures.contains(&(round, machine))
@@ -195,6 +219,21 @@ mod tests {
         // The plan is a pure schedule: converting again starts fresh.
         assert_eq!(plan.request_faults().dropped(), 0);
         assert!(!plan.request_faults().is_empty());
+    }
+
+    #[test]
+    fn barrier_severs_translate_to_a_transport_schedule() {
+        let plan = FaultPlan::none()
+            .sever_owner(1, 0)
+            .sever_between_freeze_and_publish(2, 1);
+        assert_eq!(plan.len(), 2);
+        let faults = plan.request_faults();
+        assert!(!faults.should_sever(RequestKind::FreezeEpoch, 1, 1));
+        assert!(!faults.should_sever(RequestKind::PublishEpoch, 1, 0));
+        assert!(faults.should_sever(RequestKind::FreezeEpoch, 1, 0));
+        assert!(!faults.should_sever(RequestKind::FreezeEpoch, 1, 0));
+        assert!(faults.should_sever(RequestKind::PublishEpoch, 2, 1));
+        assert_eq!(faults.severed(), 2);
     }
 
     #[test]

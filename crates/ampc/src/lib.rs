@@ -75,7 +75,10 @@ pub mod runtime;
 pub mod slackness;
 pub mod stats;
 
-pub use config::{AmpcConfig, BudgetMode, DdsBackendKind, DEFAULT_EPSILON, MAX_SHARDS};
+pub use config::{
+    parse_endpoint_list, AmpcConfig, BudgetMode, DdsBackendKind, DEFAULT_EPSILON,
+    MAX_CLUSTER_OWNERS, MAX_SHARDS,
+};
 pub use context::{MachineContext, ReadTicket};
 pub use error::AmpcError;
 pub use fault::FaultPlan;
@@ -85,5 +88,6 @@ pub use stats::{RoundStats, RunStats};
 // Backend surface, re-exported so the `with_dds_backend!` macro (and
 // algorithm crates) can name everything through `ampc_runtime`.
 pub use ampc_dds::{
-    ChannelBackend, DdsBackend, LocalBackend, RemoteBackend, SnapshotView, TcpBackend,
+    ChannelBackend, ClusterBackend, DdsBackend, LocalBackend, RemoteBackend, SnapshotView,
+    TcpBackend,
 };

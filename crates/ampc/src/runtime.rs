@@ -440,7 +440,48 @@ macro_rules! with_dds_backend {
                     $body
                 }
             },
+            // The cluster backend is monomorphised per owner count, so the
+            // runtime dispatch enumerates the supported counts
+            // (`config::MAX_CLUSTER_OWNERS`); `with_cluster_owners` /
+            // `with_cluster_endpoints` validated the range at the
+            // configuration boundary.
+            $crate::DdsBackendKind::Cluster => {
+                let __endpoints = __config.cluster_endpoints.clone();
+                let __owners = __endpoints
+                    .as_ref()
+                    .map_or(__config.cluster_owners, Vec::len);
+                match __owners {
+                    1 => $crate::cluster_backend_arm!(1, __config, __endpoints, $runtime, $body),
+                    2 => $crate::cluster_backend_arm!(2, __config, __endpoints, $runtime, $body),
+                    3 => $crate::cluster_backend_arm!(3, __config, __endpoints, $runtime, $body),
+                    4 => $crate::cluster_backend_arm!(4, __config, __endpoints, $runtime, $body),
+                    n => panic!("cluster runs support 1..=4 owners, got {n}"),
+                }
+            }
         }
+    }};
+}
+
+/// One owner-count instantiation of the [`with_dds_backend!`] cluster arm:
+/// connect to the configured endpoints, or spawn a local cluster of
+/// `$owners` serving processes.  An implementation detail of that macro —
+/// not part of the public surface.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! cluster_backend_arm {
+    ($owners:literal, $config:ident, $endpoints:ident, $runtime:ident, $body:expr) => {{
+        let __backend = match &$endpoints {
+            Some(endpoints) => {
+                $crate::ClusterBackend::<$owners>::connect_cluster(endpoints, $config.num_shards())
+            }
+            None => $crate::ClusterBackend::<$owners>::spawn_local($config.num_shards()),
+        }
+        .unwrap_or_else(|err| panic!("DDS transport failure: {err}"));
+        #[allow(unused_mut)]
+        let mut $runtime = $crate::AmpcRuntime::<$crate::ClusterBackend<$owners>>::from_backend(
+            $config, __backend,
+        );
+        $body
     }};
 }
 

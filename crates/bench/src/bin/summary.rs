@@ -15,8 +15,9 @@
 //! The numbers printed by this binary are the source of EXPERIMENTS.md.
 
 use ampc_bench::{
-    backend_read_latency, commit_throughput, contention_experiment, density_series,
-    diameter_series, epsilon_series, figure1_table, read_latency, scaling_series, serve_throughput,
+    backend_read_latency, cluster_commit_scaling, commit_throughput, contention_experiment,
+    density_series, diameter_series, epsilon_series, figure1_table, read_latency, scaling_series,
+    serve_throughput,
 };
 use std::fmt::Write as _;
 
@@ -219,7 +220,34 @@ fn main() {
         );
     }
 
-    write_bench_commit_json(&commit_points, &latency, &backend_points, &serve_points);
+    let cluster_pairs = if quick { 8_192 } else { 65_536 };
+    let cluster_rounds = if quick { 4 } else { 16 };
+    let cluster_points = cluster_commit_scaling(cluster_pairs, 64, cluster_rounds, seed);
+    println!("\n== Cluster commit scaling: 1 vs 2 owners, 64 total shards ==\n");
+    println!(
+        "{:>8} {:>8} {:>12} {:>8} {:>14} {:>12} {:>10}",
+        "owners", "shards", "pairs/round", "rounds", "commit req/s", "Mpairs/s", "rounds/s"
+    );
+    for point in &cluster_points {
+        println!(
+            "{:>8} {:>8} {:>12} {:>8} {:>14.0} {:>12.2} {:>10.1}",
+            point.owners,
+            point.shards,
+            point.pairs_per_round,
+            point.rounds,
+            point.commit_reqs_per_sec(),
+            point.commit_mpairs_per_sec(),
+            point.rounds_per_sec(),
+        );
+    }
+
+    write_bench_commit_json(
+        &commit_points,
+        &latency,
+        &backend_points,
+        &serve_points,
+        &cluster_points,
+    );
     println!("\nCommit/read series recorded in BENCH_commit.json.");
     println!("All verified rows compare against sequential reference algorithms.");
 }
@@ -232,6 +260,7 @@ fn write_bench_commit_json(
     latency: &ampc_bench::ReadLatencyPoint,
     backend_reads: &[ampc_bench::BackendReadLatencyPoint],
     serve: &[ampc_bench::ServeThroughputPoint],
+    cluster: &[ampc_bench::ClusterCommitPoint],
 ) {
     let mut json = String::from("{\n  \"commit_throughput\": [\n");
     for (i, p) in commits.iter().enumerate() {
@@ -289,6 +318,25 @@ fn write_bench_commit_json(
             p.p50_ns,
             p.p99_ns,
             if i + 1 < serve.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ],\n  \"cluster_commit_scaling\": [");
+    for (i, p) in cluster.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"owners\": {}, \"shards\": {}, \"pairs_per_round\": {}, \"rounds\": {}, \
+             \"commit_ns\": {}, \"round_ns\": {}, \"commit_reqs_per_sec\": {:.3}, \
+             \"commit_mpairs_per_sec\": {:.3}, \"rounds_per_sec\": {:.3}}}{}",
+            p.owners,
+            p.shards,
+            p.pairs_per_round,
+            p.rounds,
+            p.commit_ns,
+            p.round_ns,
+            p.commit_reqs_per_sec(),
+            p.commit_mpairs_per_sec(),
+            p.rounds_per_sec(),
+            if i + 1 < cluster.len() { "," } else { "" },
         );
     }
     let _ = write!(json, "  ]\n}}\n");

@@ -16,6 +16,9 @@
 //! * [`commit`] — commit-path throughput (per-write locking vs shard-grouped
 //!   vs shard-parallel) and snapshot read latency (compact vs legacy
 //!   layout), the series behind `BENCH_commit.json`;
+//! * [`cluster`] — commit-request throughput with the store split across
+//!   1 vs 2 cluster owners at the same total shard count, the
+//!   `cluster_commit_scaling` section of the same artifact;
 //! * [`read_backends`] — per-backend read latency (Local vs Channel; point
 //!   vs batched vs auto-batching window), the `read_latency_backends`
 //!   section of the same artifact;
@@ -30,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod commit;
 pub mod contention;
 pub mod figure1;
@@ -37,6 +41,7 @@ pub mod read_backends;
 pub mod series;
 pub mod serve_throughput;
 
+pub use cluster::{cluster_commit_scaling, ClusterCommitPoint};
 pub use commit::{commit_throughput, read_latency, CommitThroughputPoint, ReadLatencyPoint};
 pub use contention::contention_experiment;
 pub use figure1::{figure1_table, Figure1Row};

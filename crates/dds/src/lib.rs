@@ -130,6 +130,36 @@
 //! mid-round severs — including severs with a full pipeline outstanding —
 //! heal byte-identically across thread counts.
 //!
+//! # Cluster topology
+//!
+//! One serving process scales to many clients; [`cluster`] scales the
+//! store itself to many serving processes.  A cluster is `N` owner
+//! processes started with [`serve_cluster`], each owning a **contiguous
+//! shard range** (`[i·S/N, (i+1)·S/N)` for owner `i` of `N` over `S`
+//! shards), discovered through the **shard-map handshake**: every lease
+//! grant carries the cluster's epoch-stamped [`proto::ShardMap`] (owner
+//! endpoints × shard ranges), and [`ClusterBackend`] validates that all
+//! owners advertise the identical contiguous map before routing a single
+//! request.  Commits route to the owning endpoint by range lookup;
+//! `Loads` / `TotalWrites` / `Dump` fan out and aggregate.
+//!
+//! Epoch advance is the one step that must be atomic *across* processes,
+//! and becomes a client-coordinated **two-phase barrier**: phase 1 sends
+//! [`proto::Request::FreezeEpoch`] to every owner — each parks its
+//! writable epoch as *prepared*, invisible to `Loads`/`Dump`, while
+//! already accepting the next epoch's commits — and only after **all**
+//! freeze acks does phase 2 send [`proto::Request::PublishEpoch`], so no
+//! client can ever observe a mixed epoch.  Both phases follow the same
+//! **per-owner replay rules** as every other request: a freeze replayed
+//! after reconnect re-acks the prepared epoch, a publish replayed after
+//! reconnect re-publishes the identical frozen data (a
+//! prepared-but-unpublished epoch survives in the owner's session state),
+//! and commit retransmissions are deduplicated per `(session, worker)`
+//! window so concurrent clients of one owner cannot evict each other's
+//! replay state.  `cluster(n)` legs of the conformance, determinism, and
+//! reconnect suites hold the whole construction byte-identical to the
+//! single-process backends, including with an owner severed mid-barrier.
+//!
 //! The pre-refactor `Vec<Value>`-per-key layout survives as
 //! [`legacy::LegacyStore`], an executable specification the property tests
 //! compare against.
@@ -138,6 +168,7 @@
 
 pub mod backend;
 pub mod channel;
+pub mod cluster;
 pub mod codec;
 pub mod contention;
 pub mod epoch;
@@ -155,13 +186,14 @@ pub mod transport;
 
 pub use backend::{DdsBackend, LocalBackend, SnapshotView};
 pub use channel::{ChannelBackend, ChannelSnapshot};
+pub use cluster::ClusterBackend;
 pub use codec::{decode_value, encode_value};
 pub use contention::{simulate_balls_into_bins, BallsInBinsReport};
 pub use epoch::DdsChain;
 pub use hashing::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use key::{Key, KeyTag, Value};
 pub use remote::{FrozenEpoch, RemoteBackend, RemoteSnapshot, TcpBackend};
-pub use serve::{serve, DdsServer};
+pub use serve::{serve, serve_cluster, ClusterRole, DdsServer};
 pub use snapshot::Snapshot;
 pub use stats::{ShardLoad, StoreStats};
 pub use store::{default_parallelism, ShardedStore};

@@ -55,6 +55,10 @@ pub enum RequestKind {
     Commit,
     /// [`Request::Advance`].
     Advance,
+    /// [`Request::FreezeEpoch`].
+    FreezeEpoch,
+    /// [`Request::PublishEpoch`].
+    PublishEpoch,
     /// [`Request::Loads`].
     Loads,
     /// [`Request::Dump`].
@@ -72,6 +76,8 @@ impl fmt::Display for RequestKind {
         let name = match self {
             RequestKind::Commit => "commit",
             RequestKind::Advance => "advance",
+            RequestKind::FreezeEpoch => "freeze_epoch",
+            RequestKind::PublishEpoch => "publish_epoch",
             RequestKind::Loads => "loads",
             RequestKind::Dump => "dump",
             RequestKind::TotalWrites => "total_writes",
@@ -109,6 +115,27 @@ pub enum Request {
     /// [`EpochFrame`] over the wire).
     Advance {
         /// Index of the epoch being frozen.
+        epoch: usize,
+    },
+    /// Phase 1 of the cluster's two-phase epoch barrier: freeze the
+    /// writable epoch in place and hold it *prepared but unpublished*.
+    /// Acknowledged with [`Reply::EpochFrozen`]; the coordinator must
+    /// collect this ack from **every** owner before any
+    /// [`Request::PublishEpoch`] goes out, so no client can observe a
+    /// mixed epoch even if an owner dies mid-barrier.  Idempotent: a
+    /// replayed freeze of an already-prepared (or already-published)
+    /// epoch is re-acknowledged without re-freezing.
+    FreezeEpoch {
+        /// Index of the epoch being frozen.
+        epoch: usize,
+    },
+    /// Phase 2 of the two-phase barrier: publish the epoch prepared by
+    /// [`Request::FreezeEpoch`] and answer with its [`EpochFrame`].
+    /// Idempotent: a replayed publish of an already-published epoch
+    /// re-sends the same frame, which is what makes a sever between
+    /// freeze and publish recoverable.
+    PublishEpoch {
+        /// Index of the prepared epoch being published.
         epoch: usize,
     },
     /// Report per-shard loads of a completed epoch (keyed by global shard
@@ -158,6 +185,8 @@ impl Request {
         match self {
             Request::Commit { .. } => RequestKind::Commit,
             Request::Advance { .. } => RequestKind::Advance,
+            Request::FreezeEpoch { .. } => RequestKind::FreezeEpoch,
+            Request::PublishEpoch { .. } => RequestKind::PublishEpoch,
             Request::Loads { .. } => RequestKind::Loads,
             Request::Dump { .. } => RequestKind::Dump,
             Request::TotalWrites => RequestKind::TotalWrites,
@@ -202,7 +231,69 @@ pub enum Reply {
         /// its grant has, by definition, intact session state — and clients
         /// only validate the flag during the handshake.
         resumed: bool,
+        /// The cluster shard map, when the granting process serves as one
+        /// node of a cluster (`None` from a standalone owner).  Carries
+        /// every owner's endpoint and contiguous shard range, stamped with
+        /// the map epoch, so a freshly leased client learns the whole
+        /// topology from any single node's handshake.
+        shard_map: Option<ShardMap>,
     },
+    /// [`Request::FreezeEpoch`] acknowledged: the epoch is frozen and held
+    /// prepared, awaiting [`Request::PublishEpoch`].
+    EpochFrozen {
+        /// The epoch that is now prepared (echoed back).
+        epoch: usize,
+    },
+}
+
+/// The cluster topology as advertised in every cluster node's
+/// [`Reply::LeaseGranted`]: which owner serves which contiguous shard
+/// range, stamped with a map epoch.
+///
+/// Map epochs are monotone (the Aura-style invariant): a client holding a
+/// map of epoch `e` must treat any map of epoch `> e` as superseding it and
+/// must never mix routes from two map epochs.  All nodes of one cluster
+/// generation advertise the identical map, which the client validates at
+/// connect time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Monotone generation stamp of this map.
+    pub epoch: u64,
+    /// One entry per owner, ascending by shard range; the ranges partition
+    /// `0..num_shards` contiguously.
+    pub owners: Vec<OwnerSlice>,
+}
+
+/// One owner's slice of a [`ShardMap`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnerSlice {
+    /// The owner's advertised `host:port` endpoint.
+    pub endpoint: String,
+    /// First shard (global id) the owner serves.
+    pub start: u64,
+    /// One past the last shard the owner serves (`start == end` is a valid
+    /// empty slice when there are more owners than shards).
+    pub end: u64,
+}
+
+impl ShardMap {
+    /// Total shard count covered by the map (the `end` of the last slice).
+    pub fn num_shards(&self) -> usize {
+        self.owners.last().map_or(0, |slice| slice.end as usize)
+    }
+
+    /// `true` if the slices partition `0..num_shards` contiguously in
+    /// order, which every well-formed map must.
+    pub fn is_contiguous(&self) -> bool {
+        let mut next = 0u64;
+        for slice in &self.owners {
+            if slice.start != next || slice.end < slice.start {
+                return false;
+            }
+            next = slice.end;
+        }
+        true
+    }
 }
 
 /// Serialized frozen epoch of one owner's shard group: the payload a remote
@@ -251,6 +342,12 @@ pub enum ProtoError {
         /// The cap it exceeds.
         max: usize,
     },
+    /// A field decoded structurally but holds an invalid value (e.g. a
+    /// shard-map endpoint that is not UTF-8).
+    Malformed {
+        /// What was being decoded.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for ProtoError {
@@ -267,6 +364,9 @@ impl fmt::Display for ProtoError {
             }
             ProtoError::Oversized { len, max } => {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtoError::Malformed { context } => {
+                write!(f, "malformed {context} in frame")
             }
         }
     }
@@ -285,6 +385,8 @@ const TAG_DUMP: u8 = 3;
 const TAG_TOTAL_WRITES: u8 = 4;
 const TAG_LEASE: u8 = 5;
 const TAG_GOODBYE: u8 = 6;
+const TAG_FREEZE_EPOCH: u8 = 7;
+const TAG_PUBLISH_EPOCH: u8 = 8;
 
 const TAG_COMMITTED: u8 = 0;
 const TAG_EPOCH: u8 = 1;
@@ -292,6 +394,7 @@ const TAG_LOADS_REPLY: u8 = 2;
 const TAG_DUMP_REPLY: u8 = 3;
 const TAG_TOTAL_WRITES_REPLY: u8 = 4;
 const TAG_LEASE_GRANTED: u8 = 5;
+const TAG_EPOCH_FROZEN: u8 = 6;
 
 fn put_u32(buf: &mut Vec<u8>, value: u32) {
     buf.extend_from_slice(&value.to_le_bytes());
@@ -360,6 +463,14 @@ pub fn encode_request_into(buf: &mut Vec<u8>, request: &Request) {
         }
         Request::Advance { epoch } => {
             buf.push(TAG_ADVANCE);
+            put_u64(buf, *epoch as u64);
+        }
+        Request::FreezeEpoch { epoch } => {
+            buf.push(TAG_FREEZE_EPOCH);
+            put_u64(buf, *epoch as u64);
+        }
+        Request::PublishEpoch { epoch } => {
+            buf.push(TAG_PUBLISH_EPOCH);
             put_u64(buf, *epoch as u64);
         }
         Request::Loads { epoch } => {
@@ -436,11 +547,30 @@ pub fn encode_reply_into(buf: &mut Vec<u8>, reply: &Reply) {
             session,
             ttl_ms,
             resumed,
+            shard_map,
         } => {
             buf.push(TAG_LEASE_GRANTED);
             put_u64(buf, *session);
             put_u64(buf, *ttl_ms);
             buf.push(u8::from(*resumed));
+            match shard_map {
+                None => buf.push(0),
+                Some(map) => {
+                    buf.push(1);
+                    put_u64(buf, map.epoch);
+                    put_u32(buf, map.owners.len() as u32);
+                    for slice in &map.owners {
+                        put_u32(buf, slice.endpoint.len() as u32);
+                        buf.extend_from_slice(slice.endpoint.as_bytes());
+                        put_u64(buf, slice.start);
+                        put_u64(buf, slice.end);
+                    }
+                }
+            }
+        }
+        Reply::EpochFrozen { epoch } => {
+            buf.push(TAG_EPOCH_FROZEN);
+            put_u64(buf, *epoch as u64);
         }
     }
 }
@@ -569,6 +699,12 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ProtoError> {
         TAG_ADVANCE => Request::Advance {
             epoch: cursor.u64("advance epoch")? as usize,
         },
+        TAG_FREEZE_EPOCH => Request::FreezeEpoch {
+            epoch: cursor.u64("freeze epoch")? as usize,
+        },
+        TAG_PUBLISH_EPOCH => Request::PublishEpoch {
+            epoch: cursor.u64("publish epoch")? as usize,
+        },
         TAG_LOADS => Request::Loads {
             epoch: cursor.u64("loads epoch")? as usize,
         },
@@ -637,6 +773,33 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply, ProtoError> {
                 1 => true,
                 tag => return Err(ProtoError::UnknownTag { kind: "reply", tag }),
             },
+            shard_map: match cursor.u8("shard map flag")? {
+                0 => None,
+                1 => {
+                    let epoch = cursor.u64("shard map epoch")?;
+                    let owner_count = cursor.count(20, "shard map owners")?;
+                    let mut owners = Vec::with_capacity(owner_count);
+                    for _ in 0..owner_count {
+                        let len = cursor.count(1, "owner endpoint")?;
+                        let bytes = cursor.take(len, "owner endpoint")?;
+                        let endpoint = std::str::from_utf8(bytes)
+                            .map_err(|_| ProtoError::Malformed {
+                                context: "owner endpoint",
+                            })?
+                            .to_owned();
+                        owners.push(OwnerSlice {
+                            endpoint,
+                            start: cursor.u64("owner range start")?,
+                            end: cursor.u64("owner range end")?,
+                        });
+                    }
+                    Some(ShardMap { epoch, owners })
+                }
+                tag => return Err(ProtoError::UnknownTag { kind: "reply", tag }),
+            },
+        },
+        TAG_EPOCH_FROZEN => Reply::EpochFrozen {
+            epoch: cursor.u64("frozen epoch")? as usize,
         },
         tag => return Err(ProtoError::UnknownTag { kind: "reply", tag }),
     };
@@ -753,6 +916,8 @@ mod tests {
                 ],
             },
             Request::Advance { epoch: 0 },
+            Request::FreezeEpoch { epoch: 5 },
+            Request::PublishEpoch { epoch: 5 },
             Request::Loads { epoch: 17 },
             Request::Dump {
                 epoch: usize::MAX >> 8,
@@ -816,12 +981,40 @@ mod tests {
                 session: 7,
                 ttl_ms: 0,
                 resumed: true,
+                shard_map: None,
             },
             Reply::LeaseGranted {
                 session: u64::MAX,
                 ttl_ms: 86_400_000,
                 resumed: false,
+                shard_map: None,
             },
+            Reply::LeaseGranted {
+                session: 9,
+                ttl_ms: 30_000,
+                resumed: false,
+                shard_map: Some(ShardMap {
+                    epoch: 1,
+                    owners: vec![
+                        OwnerSlice {
+                            endpoint: "127.0.0.1:7471".to_owned(),
+                            start: 0,
+                            end: 5,
+                        },
+                        OwnerSlice {
+                            endpoint: "127.0.0.1:7472".to_owned(),
+                            start: 5,
+                            end: 5,
+                        },
+                        OwnerSlice {
+                            endpoint: "[::1]:80".to_owned(),
+                            start: 5,
+                            end: 8,
+                        },
+                    ],
+                }),
+            },
+            Reply::EpochFrozen { epoch: 11 },
         ]
     }
 
@@ -897,8 +1090,10 @@ mod tests {
             session: 1,
             ttl_ms: 2,
             resumed: false,
+            shard_map: None,
         });
-        *bytes.last_mut().unwrap() = 9; // neither 0 nor 1
+        let resumed_at = bytes.len() - 2; // [.., resumed, shard-map flag]
+        bytes[resumed_at] = 9; // neither 0 nor 1
         assert_eq!(
             decode_reply(&bytes),
             Err(ProtoError::UnknownTag {
@@ -906,6 +1101,65 @@ mod tests {
                 tag: 9
             })
         );
+    }
+
+    #[test]
+    fn bogus_shard_map_flags_and_endpoints_are_rejected() {
+        let granted = |shard_map| Reply::LeaseGranted {
+            session: 1,
+            ttl_ms: 2,
+            resumed: false,
+            shard_map,
+        };
+        // A shard-map flag that is neither "absent" nor "present".
+        let mut bytes = encode_reply(&granted(None));
+        *bytes.last_mut().unwrap() = 7;
+        assert_eq!(
+            decode_reply(&bytes),
+            Err(ProtoError::UnknownTag {
+                kind: "reply",
+                tag: 7
+            })
+        );
+        // An endpoint that is not UTF-8 is malformed, not a panic.
+        let map = ShardMap {
+            epoch: 3,
+            owners: vec![OwnerSlice {
+                endpoint: "ab".to_owned(),
+                start: 0,
+                end: 4,
+            }],
+        };
+        let mut bytes = encode_reply(&granted(Some(map)));
+        let endpoint_at = bytes.len() - 18; // "ab" sits before start+end
+        bytes[endpoint_at] = 0xFF;
+        assert_eq!(
+            decode_reply(&bytes),
+            Err(ProtoError::Malformed {
+                context: "owner endpoint"
+            })
+        );
+    }
+
+    #[test]
+    fn shard_map_contiguity_is_checkable() {
+        let map = |ranges: &[(u64, u64)]| ShardMap {
+            epoch: 1,
+            owners: ranges
+                .iter()
+                .map(|&(start, end)| OwnerSlice {
+                    endpoint: "x:1".to_owned(),
+                    start,
+                    end,
+                })
+                .collect(),
+        };
+        assert!(map(&[(0, 4), (4, 8)]).is_contiguous());
+        assert!(map(&[(0, 0), (0, 8)]).is_contiguous());
+        assert_eq!(map(&[(0, 4), (4, 9)]).num_shards(), 9);
+        assert!(!map(&[(0, 4), (5, 8)]).is_contiguous());
+        assert!(!map(&[(1, 4), (4, 8)]).is_contiguous());
+        assert!(!map(&[(0, 4), (4, 2)]).is_contiguous());
     }
 
     #[test]

@@ -118,30 +118,86 @@ impl FrozenEpoch {
 // Routing
 // ---------------------------------------------------------------------------
 
-/// Key → (worker, local shard) routing, shared by backend and views.
-#[derive(Clone, Copy, Debug)]
-struct Routing {
+/// Key → (owner, local shard) routing, shared by backend and views.
+#[derive(Clone, Debug)]
+pub(crate) struct Routing {
     num_shards: usize,
-    workers: usize,
+    placement: Placement,
+}
+
+/// How global shards map onto owner groups.
+#[derive(Clone, Debug)]
+enum Placement {
+    /// `shard → (shard % workers, shard / workers)` — the in-process and
+    /// single-owner-process split, where every owner serves a stride of the
+    /// shard space.
+    Interleaved { workers: usize },
+    /// Contiguous ranges in owner order: owner `i` holds global shards
+    /// `[starts[i], starts[i+1])` (with `starts[owners]` an implicit
+    /// `num_shards` sentinel appended at construction) — the cluster split,
+    /// matching the ranges in an advertised [`crate::proto::ShardMap`].
+    Ranged { starts: Vec<usize> },
 }
 
 impl Routing {
+    /// Interleaved routing over `workers` owner groups.
+    pub(crate) fn interleaved(num_shards: usize, workers: usize) -> Routing {
+        Routing {
+            num_shards,
+            placement: Placement::Interleaved { workers },
+        }
+    }
+
+    /// Ranged routing: `starts[i]` is the first global shard of owner `i`.
+    /// Starts must be non-decreasing from 0; the final range ends at
+    /// `num_shards`.
+    pub(crate) fn ranged(num_shards: usize, mut starts: Vec<usize>) -> Routing {
+        assert!(
+            !starts.is_empty(),
+            "ranged routing needs at least one owner"
+        );
+        assert_eq!(starts[0], 0, "owner 0's range must start at shard 0");
+        assert!(
+            starts.windows(2).all(|pair| pair[0] <= pair[1])
+                && *starts.last().unwrap() <= num_shards,
+            "owner ranges must tile the shard space in order"
+        );
+        starts.push(num_shards);
+        Routing {
+            num_shards,
+            placement: Placement::Ranged { starts },
+        }
+    }
+
+    pub(crate) fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
     #[inline]
     fn shard_of(&self, key: &Key) -> usize {
         (hash_words(key.tag.code(), key.a, key.b) % self.num_shards as u64) as usize
     }
 
-    /// (worker, local shard index) owning `key`.
+    /// (owner, local shard index) owning `key`.
     #[inline]
-    fn route(&self, key: &Key) -> (usize, usize) {
-        let shard = self.shard_of(key);
-        (shard % self.workers, shard / self.workers)
+    pub(crate) fn route(&self, key: &Key) -> (usize, usize) {
+        self.placement(self.shard_of(key))
     }
 
-    /// Inverse of [`Routing::route`] for whole-epoch iteration.
+    /// (owner, local shard index) of global shard `shard`.
     #[inline]
-    fn placement(&self, shard: usize) -> (usize, usize) {
-        (shard % self.workers, shard / self.workers)
+    pub(crate) fn placement(&self, shard: usize) -> (usize, usize) {
+        match &self.placement {
+            Placement::Interleaved { workers } => (shard % workers, shard / workers),
+            Placement::Ranged { starts } => {
+                // partition_point finds the first start beyond `shard`; the
+                // owner is the range before it.  Empty ranges are skipped by
+                // construction — their start equals the next start, and
+                // partition_point lands past both.
+                let owner = starts.partition_point(|&start| start <= shard) - 1;
+                (owner, shard - starts[owner])
+            }
+        }
     }
 }
 
@@ -187,10 +243,7 @@ impl<T: Transport> RemoteBackend<T> {
         RemoteBackend {
             clients,
             handles,
-            routing: Routing {
-                num_shards,
-                workers,
-            },
+            routing: Routing::interleaved(num_shards, workers),
             completed: 0,
             faults: RequestFaults::none(),
             next_seq: 0,
@@ -330,14 +383,11 @@ impl<T: Transport> RemoteBackend<T> {
             }
         }
         self.completed += 1;
-        Ok(RemoteSnapshot {
-            inner: Arc::new(ViewInner {
-                routing: self.routing,
-                epoch: Some(epoch),
-                groups,
-                empty_reads: Vec::new(),
-            }),
-        })
+        Ok(RemoteSnapshot::published(
+            self.routing.clone(),
+            epoch,
+            groups,
+        ))
     }
 
     /// Fallible [`DdsBackend::total_writes`].
@@ -449,10 +499,7 @@ impl RemoteBackend<TcpTransport> {
         Ok(RemoteBackend {
             clients,
             handles: (0..workers).map(|_| None).collect(),
-            routing: Routing {
-                num_shards,
-                workers,
-            },
+            routing: Routing::interleaved(num_shards, workers),
             completed: 0,
             faults: RequestFaults::none(),
             next_seq: 0,
@@ -465,7 +512,7 @@ impl RemoteBackend<TcpTransport> {
 /// The panic message carries the full typed error (worker, cause, any owner
 /// panic payload); `ampc_runtime` catches it at the round boundary and
 /// surfaces it as a typed `AmpcError::Backend`.
-fn expect_transport<V>(result: Result<V, TransportError>) -> V {
+pub(crate) fn expect_transport<V>(result: Result<V, TransportError>) -> V {
     match result {
         Ok(value) => value,
         Err(err) => panic!("DDS transport failure: {err}"),
@@ -480,20 +527,11 @@ impl<T: Transport> DdsBackend for RemoteBackend<T> {
     }
 
     fn num_shards(&self) -> usize {
-        self.routing.num_shards
+        self.routing.num_shards()
     }
 
     fn empty_view(&self) -> RemoteSnapshot {
-        RemoteSnapshot {
-            inner: Arc::new(ViewInner {
-                routing: self.routing,
-                epoch: None,
-                groups: Vec::new(),
-                empty_reads: (0..self.routing.num_shards)
-                    .map(|_| AtomicU64::new(0))
-                    .collect(),
-            }),
-        }
+        RemoteSnapshot::empty(self.routing.clone())
     }
 
     fn commit_round(&mut self, batches: Vec<Vec<(Key, Value)>>, _threads: usize) {
@@ -549,7 +587,7 @@ impl<T: Transport> std::fmt::Debug for RemoteBackend<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RemoteBackend")
             .field("transport", &T::NAME)
-            .field("num_shards", &self.routing.num_shards)
+            .field("num_shards", &self.routing.num_shards())
             .field("workers", &self.clients.len())
             .field("completed_epochs", &self.completed)
             .finish()
@@ -588,6 +626,37 @@ pub struct RemoteSnapshot {
 }
 
 impl RemoteSnapshot {
+    /// View of completed epoch `epoch`, with `groups[i]` owner `i`'s frozen
+    /// shard group under `routing`.
+    pub(crate) fn published(
+        routing: Routing,
+        epoch: usize,
+        groups: Vec<Arc<FrozenEpoch>>,
+    ) -> RemoteSnapshot {
+        RemoteSnapshot {
+            inner: Arc::new(ViewInner {
+                epoch: Some(epoch),
+                groups,
+                empty_reads: Vec::new(),
+                routing,
+            }),
+        }
+    }
+
+    /// The pre-input empty view under `routing`.
+    pub(crate) fn empty(routing: Routing) -> RemoteSnapshot {
+        RemoteSnapshot {
+            inner: Arc::new(ViewInner {
+                epoch: None,
+                groups: Vec::new(),
+                empty_reads: (0..routing.num_shards())
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
+                routing,
+            }),
+        }
+    }
+
     /// The frozen group data owning `key`, with the key's local shard index
     /// inside it, or `None` on the empty view (which counts the miss).
     #[inline]
@@ -616,7 +685,7 @@ impl RemoteSnapshot {
                 })
                 .collect();
         }
-        (0..self.inner.routing.num_shards)
+        (0..self.inner.routing.num_shards())
             .map(|shard| {
                 let (worker, local) = self.inner.routing.placement(shard);
                 let group = &self.inner.groups[worker];
@@ -633,7 +702,7 @@ impl RemoteSnapshot {
 
 impl SnapshotView for RemoteSnapshot {
     fn num_shards(&self) -> usize {
-        self.inner.routing.num_shards
+        self.inner.routing.num_shards()
     }
 
     fn get(&self, key: &Key) -> Option<Value> {
@@ -743,7 +812,7 @@ impl SnapshotView for RemoteSnapshot {
 impl std::fmt::Debug for RemoteSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RemoteSnapshot")
-            .field("num_shards", &self.inner.routing.num_shards)
+            .field("num_shards", &self.inner.routing.num_shards())
             .field("epoch", &self.inner.epoch)
             .finish()
     }

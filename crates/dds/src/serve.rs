@@ -42,6 +42,7 @@
 //! deduplication and advance replay that make retransmission idempotent
 //! also make resumption exact.
 
+use crate::proto::{OwnerSlice, ShardMap};
 use crate::transport::dispatch::Worker;
 use crate::transport::{read_lease_frame, LeaseFrame, ServeHandoff, TcpServer};
 use parking_lot::Mutex;
@@ -63,6 +64,50 @@ const ACCEPT_POLL: Duration = Duration::from_millis(2);
 /// connection flood; connections arriving beyond the cap are dropped, and a
 /// legitimate client simply reconnects with backoff once the flood drains.
 const MAX_INFLIGHT_HANDSHAKES: usize = 64;
+
+/// This process's place in a DDS cluster: owner `node` of the topology
+/// whose advertised endpoints are `peers` (indexed by node, every owner
+/// passes the identical list).  Owner `i` of `n` owns the contiguous shard
+/// range `[i*num_shards/n, (i+1)*num_shards/n)` — ranges, not the
+/// interleaved per-worker split, so a client can route a shard with one
+/// range lookup against the map every owner advertises in its lease grant.
+#[derive(Clone, Debug)]
+pub struct ClusterRole {
+    /// This owner's index into `peers`.
+    pub node: usize,
+    /// Every owner's client-reachable endpoint, in node order.
+    pub peers: Vec<String>,
+    /// Stamp on the advertised [`ShardMap`]; all owners of one topology
+    /// must advertise the same stamp.
+    pub map_epoch: u64,
+}
+
+impl ClusterRole {
+    /// The shard map this topology advertises for a `num_shards`-shard
+    /// session: one contiguous slice per owner, in node order.
+    pub fn shard_map(&self, num_shards: usize) -> ShardMap {
+        let n = self.peers.len().max(1);
+        ShardMap {
+            epoch: self.map_epoch,
+            owners: self
+                .peers
+                .iter()
+                .enumerate()
+                .map(|(i, endpoint)| OwnerSlice {
+                    endpoint: endpoint.clone(),
+                    start: (i * num_shards / n) as u64,
+                    end: ((i + 1) * num_shards / n) as u64,
+                })
+                .collect(),
+        }
+    }
+
+    /// The shards this owner holds out of a `num_shards`-shard session.
+    fn shard_ids(&self, num_shards: usize) -> Vec<usize> {
+        let n = self.peers.len().max(1);
+        (self.node * num_shards / n..(self.node + 1) * num_shards / n).collect()
+    }
+}
 
 /// One owner session: the mailbox feeding its serve thread new
 /// (re)connections, plus liveness for reaping.
@@ -92,7 +137,45 @@ pub struct DdsServer {
 /// thread.  Bind to port 0 for an ephemeral port and read it back with
 /// [`DdsServer::local_addr`].
 pub fn serve(addr: impl ToSocketAddrs) -> io::Result<DdsServer> {
-    let listener = TcpListener::bind(addr)?;
+    serve_on(TcpListener::bind(addr)?, None)
+}
+
+/// Bind `addr` and serve as owner `node` of the cluster whose endpoints are
+/// `peers` (node-indexed; every owner passes the identical list).  Each
+/// lease grant carries the cluster's shard map so clients can discover the
+/// topology from any single owner.
+pub fn serve_cluster(
+    addr: impl ToSocketAddrs,
+    node: usize,
+    peers: Vec<String>,
+) -> io::Result<DdsServer> {
+    serve_cluster_listener(TcpListener::bind(addr)?, node, peers)
+}
+
+/// [`serve_cluster`] on a pre-bound listener — for spawners that must bind
+/// every owner's ephemeral port *before* any peer list can be written down.
+pub fn serve_cluster_listener(
+    listener: TcpListener,
+    node: usize,
+    peers: Vec<String>,
+) -> io::Result<DdsServer> {
+    if node >= peers.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("cluster node {node} out of range for {} peers", peers.len()),
+        ));
+    }
+    serve_on(
+        listener,
+        Some(ClusterRole {
+            node,
+            peers,
+            map_epoch: 1,
+        }),
+    )
+}
+
+fn serve_on(listener: TcpListener, role: Option<ClusterRole>) -> io::Result<DdsServer> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -102,7 +185,7 @@ pub fn serve(addr: impl ToSocketAddrs) -> io::Result<DdsServer> {
         let sessions = sessions.clone();
         std::thread::Builder::new()
             .name("dds-serve-acceptor".to_string())
-            .spawn(move || accept_loop(listener, stop, sessions))?
+            .spawn(move || accept_loop(listener, stop, sessions, role))?
     };
     Ok(DdsServer {
         addr,
@@ -179,7 +262,12 @@ impl std::fmt::Debug for DdsServer {
 /// acceptor so a wedged pre-lease connection (port scanner, half-open
 /// socket) stalls nobody but itself — the handshake read timeout bounds
 /// each thread's lifetime.
-fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>, sessions: Arc<Mutex<SessionMap>>) {
+fn accept_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    sessions: Arc<Mutex<SessionMap>>,
+    role: Option<ClusterRole>,
+) {
     let inflight = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
@@ -196,12 +284,13 @@ fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>, sessions: Arc<Mutex
                 }
                 let guard = InflightGuard(inflight.clone());
                 let sessions = sessions.clone();
+                let role = role.clone();
                 let handshake = std::thread::Builder::new()
                     .name("dds-serve-handshake".to_string())
                     .spawn(move || {
                         let _guard = guard;
                         if let Some(lease) = read_lease_frame(&stream) {
-                            route(&sessions, stream, lease);
+                            route(&sessions, stream, lease, &role);
                         } // else: not a protocol client; drop it
                     });
                 drop(handshake); // detached; lifetime bounded by the timeout
@@ -227,7 +316,12 @@ impl Drop for InflightGuard {
 
 /// Hand a lease-validated connection to its session owner, spawning the
 /// owner thread if these coordinates are new (or were reclaimed).
-fn route(sessions: &Arc<Mutex<SessionMap>>, stream: TcpStream, lease: LeaseFrame) {
+fn route(
+    sessions: &Arc<Mutex<SessionMap>>,
+    stream: TcpStream,
+    lease: LeaseFrame,
+    role: &Option<ClusterRole>,
+) {
     let key = (lease.session, lease.worker);
     let mut handoff = ServeHandoff {
         stream,
@@ -256,7 +350,7 @@ fn route(sessions: &Arc<Mutex<SessionMap>>, stream: TcpStream, lease: LeaseFrame
         // Spawning stays under the lock — it is microseconds, and it keeps
         // two concurrent handshakes for the same coordinates from racing
         // their owners.
-        spawn_session(&mut sessions, key, &lease);
+        spawn_session(&mut sessions, key, &lease, role);
         if let Some(entry) = sessions.get(&key) {
             let _ = entry.streams.send(handoff);
         }
@@ -268,12 +362,28 @@ fn route(sessions: &Arc<Mutex<SessionMap>>, stream: TcpStream, lease: LeaseFrame
     }
 }
 
-/// Spawn the owner thread of a brand-new session.
-fn spawn_session(sessions: &mut SessionMap, key: (u64, u64), lease: &LeaseFrame) {
+/// Spawn the owner thread of a brand-new session.  In cluster mode the
+/// role, not the lease's interleaved topology, decides which shards this
+/// process owns — the lease's `num_shards` still sizes the session, and
+/// every grant carries the cluster's shard map for that size.
+fn spawn_session(
+    sessions: &mut SessionMap,
+    key: (u64, u64),
+    lease: &LeaseFrame,
+    role: &Option<ClusterRole>,
+) {
     let num_shards = (lease.num_shards as usize).max(1);
     let workers = (lease.workers as usize).clamp(1, num_shards);
     let worker = (lease.worker as usize).min(workers.saturating_sub(1));
-    let shard_ids: Vec<usize> = (worker..num_shards).step_by(workers).collect();
+    let (shard_ids, shard_map) = match role {
+        Some(role) => (role.shard_ids(num_shards), Some(role.shard_map(num_shards))),
+        None => (
+            (worker..num_shards)
+                .step_by(workers)
+                .collect::<Vec<usize>>(),
+            None,
+        ),
+    };
     let (tx, rx) = channel::<ServeHandoff>();
     let alive = Arc::new(AtomicBool::new(true));
     let thread_alive = alive.clone();
@@ -289,7 +399,7 @@ fn spawn_session(sessions: &mut SessionMap, key: (u64, u64), lease: &LeaseFrame)
                 }
             }
             let _guard = AliveGuard(thread_alive);
-            let server = TcpServer::from_mailbox(rx, worker);
+            let server = TcpServer::from_mailbox(rx, worker).with_shard_map(shard_map);
             Worker::new(shard_ids).serve(server);
         });
     match handle {
@@ -419,7 +529,8 @@ mod tests {
             Reply::LeaseGranted {
                 session,
                 ttl_ms: 60_000,
-                resumed: false
+                resumed: false,
+                shard_map: None
             }
         );
         send_request(
@@ -450,7 +561,8 @@ mod tests {
             Reply::LeaseGranted {
                 session,
                 ttl_ms: 60_000,
-                resumed: true
+                resumed: true,
+                shard_map: None
             }
         );
         send_request(
@@ -611,7 +723,8 @@ mod tests {
             Reply::LeaseGranted {
                 session,
                 ttl_ms: 120_000,
-                resumed: true
+                resumed: true,
+                shard_map: None
             }
         );
         send_request(&mut stream, &Request::TotalWrites);

@@ -6,13 +6,21 @@
 //! it owns the *idempotency* that makes the session layer's replay safe:
 //!
 //! * `Commit` requests are deduplicated over a bounded window of recently
-//!   applied sequence numbers.  The window must be at least as deep as the
-//!   client's maximum pipeline of outstanding commits: a reconnect replays
-//!   *all* of them, and every already-applied one must be re-acknowledged
-//!   from the window rather than re-applied.  (A single-entry "last seq"
-//!   memory — sufficient when one request was in flight at a time — would
-//!   re-apply every replayed commit but the newest.)
+//!   applied sequence numbers, kept **per `(session, worker)`**: each
+//!   session that reaches this worker gets its own window, so two clients
+//!   of one owner can never evict each other's replay memory.  The window
+//!   must be at least as deep as the client's maximum pipeline of
+//!   outstanding commits: a reconnect replays *all* of them, and every
+//!   already-applied one must be re-acknowledged from the window rather
+//!   than re-applied.  (A single-entry "last seq" memory — sufficient when
+//!   one request was in flight at a time — would re-apply every replayed
+//!   commit but the newest.)
 //! * `Advance` retransmissions re-publish the already-frozen epoch.
+//! * `FreezeEpoch` / `PublishEpoch` — the cluster's two-phase barrier —
+//!   are each idempotent: a replayed freeze of a prepared (or published)
+//!   epoch is re-acked, a replayed publish re-sends the published frame,
+//!   and a prepared-but-unpublished epoch survives a reconnect and is
+//!   publishable afterwards.
 //! * `Loads` / `Dump` / `TotalWrites` are pure reads.
 //!
 //! Connection-lifecycle requests (`Lease`, `Goodbye`) are consumed entirely
@@ -47,14 +55,22 @@ pub(crate) struct Worker {
     /// Published epochs, in order; the owner keeps its own handle so it can
     /// serve `Loads` / `Dump` for epochs whose views are long gone.
     frozen: Vec<Arc<FrozenEpoch>>,
+    /// An epoch frozen by `FreezeEpoch` but not yet released by
+    /// `PublishEpoch` — phase 1 of the two-phase barrier parks it here, so
+    /// it is never observable through `Loads` / `Dump` (which only see
+    /// `frozen`) until every owner has acked its freeze and the coordinator
+    /// publishes.
+    prepared: Option<Arc<FrozenEpoch>>,
     /// Total writes accepted across all epochs.
     total_writes: u64,
     /// `(seq, accepted)` of recently applied commits, oldest first, bounded
-    /// by [`COMMIT_REPLAY_WINDOW`]: a retransmitted commit (its ack lost in
-    /// transit, or a severed pipeline replayed) is re-acknowledged from
-    /// here without being re-applied — at-least-once delivery,
-    /// exactly-once application.
-    recent_commits: VecDeque<(u64, u64)>,
+    /// by [`COMMIT_REPLAY_WINDOW`] **per session**: a retransmitted commit
+    /// (its ack lost in transit, or a severed pipeline replayed) is
+    /// re-acknowledged from here without being re-applied — at-least-once
+    /// delivery, exactly-once application.  Keyed by session so that when
+    /// one worker serves several clients, their seq spaces stay isolated
+    /// and one client's burst cannot evict another's replay window.
+    recent_commits: FxHashMap<u64, VecDeque<(u64, u64)>>,
 }
 
 impl Worker {
@@ -64,8 +80,9 @@ impl Worker {
             writable_writes: vec![0; shard_ids.len()],
             shard_ids,
             frozen: Vec::new(),
+            prepared: None,
             total_writes: 0,
-            recent_commits: VecDeque::new(),
+            recent_commits: FxHashMap::default(),
         }
     }
 
@@ -77,7 +94,8 @@ impl Worker {
     /// queues.
     pub(crate) fn serve<S: ServerTransport>(mut self, mut transport: S) {
         while let Some(request) = transport.recv_request() {
-            let reply = self.handle(request);
+            let session = transport.session();
+            let reply = self.handle(session, request);
             if !transport.send_reply(reply) {
                 break;
             }
@@ -96,7 +114,36 @@ impl Worker {
         &self.frozen[epoch]
     }
 
-    fn handle(&mut self, request: Request) -> OwnerReply {
+    /// Freeze the writable maps in place and hand them over as one epoch;
+    /// shared by `Advance` (freeze + publish in one step) and
+    /// `FreezeEpoch` (phase 1 of the barrier, which parks the result).
+    fn freeze_writable(&mut self) -> Arc<FrozenEpoch> {
+        let shard_count = self.shard_ids.len();
+        // In-place freeze: reuse the writable maps as the frozen maps,
+        // only shrinking the rare multi-value slots.
+        let mut shards = std::mem::replace(
+            &mut self.writable,
+            (0..shard_count).map(|_| FxHashMap::default()).collect(),
+        );
+        for map in &mut shards {
+            crate::slot::freeze_map_in_place(map);
+        }
+        let writes = std::mem::replace(&mut self.writable_writes, vec![0; shard_count]);
+        Arc::new(FrozenEpoch {
+            shards,
+            writes,
+            reads: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+        })
+    }
+
+    /// Index of the epoch commits currently build: the published count,
+    /// plus one if an epoch is frozen-but-unpublished (its successor is
+    /// already accepting writes while the barrier completes).
+    fn writable_epoch(&self) -> usize {
+        self.frozen.len() + usize::from(self.prepared.is_some())
+    }
+
+    fn handle(&mut self, session: u64, request: Request) -> OwnerReply {
         match request {
             Request::Commit {
                 epoch,
@@ -106,16 +153,13 @@ impl Worker {
                 // Deduplicate before validating the epoch: a replayed
                 // pipeline can carry commits of an epoch that has since
                 // been frozen, and those must be re-acked, not asserted on.
-                if let Some(&(_, accepted)) = self
-                    .recent_commits
-                    .iter()
-                    .find(|&&(applied, _)| applied == seq)
-                {
+                let window = self.recent_commits.entry(session).or_default();
+                if let Some(&(_, accepted)) = window.iter().find(|&&(applied, _)| applied == seq) {
                     return OwnerReply::Wire(Reply::Committed { epoch, accepted });
                 }
                 assert_eq!(
                     epoch,
-                    self.frozen.len(),
+                    self.writable_epoch(),
                     "commit must target the writable epoch"
                 );
                 let mut accepted = 0u64;
@@ -136,13 +180,23 @@ impl Worker {
                         }
                     }
                 }
-                self.recent_commits.push_back((seq, accepted));
-                if self.recent_commits.len() > COMMIT_REPLAY_WINDOW {
-                    self.recent_commits.pop_front();
+                let window = self
+                    .recent_commits
+                    .get_mut(&session)
+                    .expect("window created above");
+                window.push_back((seq, accepted));
+                if window.len() > COMMIT_REPLAY_WINDOW {
+                    window.pop_front();
                 }
                 OwnerReply::Wire(Reply::Committed { epoch, accepted })
             }
             Request::Advance { epoch } => {
+                assert!(
+                    self.prepared.is_none(),
+                    "advance while an epoch is prepared: a connection must \
+                     speak either the one-shot advance or the two-phase \
+                     barrier, not both"
+                );
                 if epoch + 1 == self.frozen.len() {
                     // Retransmission of the advance that froze the last
                     // epoch (its reply was lost): republish it unchanged.
@@ -154,24 +208,53 @@ impl Worker {
                     self.frozen.len(),
                     "advance must freeze the writable epoch"
                 );
-                let shard_count = self.shard_ids.len();
-                // In-place freeze: reuse the writable maps as the frozen
-                // maps, only shrinking the rare multi-value slots.
-                let mut shards = std::mem::replace(
-                    &mut self.writable,
-                    (0..shard_count).map(|_| FxHashMap::default()).collect(),
-                );
-                for map in &mut shards {
-                    crate::slot::freeze_map_in_place(map);
-                }
-                let writes = std::mem::replace(&mut self.writable_writes, vec![0; shard_count]);
-                let epoch = Arc::new(FrozenEpoch {
-                    shards,
-                    writes,
-                    reads: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
-                });
+                let epoch = self.freeze_writable();
                 self.frozen.push(epoch.clone());
                 OwnerReply::Epoch(epoch)
+            }
+            Request::FreezeEpoch { epoch } => {
+                if self.prepared.is_some() {
+                    // A replayed freeze of the epoch already parked: re-ack
+                    // without touching the writable maps (which now belong
+                    // to the next epoch).
+                    assert_eq!(
+                        epoch,
+                        self.frozen.len(),
+                        "freeze replay must name the prepared epoch"
+                    );
+                    return OwnerReply::Wire(Reply::EpochFrozen { epoch });
+                }
+                if epoch + 1 == self.frozen.len() {
+                    // Freeze and publish both completed before the replay
+                    // arrived (the sever hit after the barrier finished).
+                    return OwnerReply::Wire(Reply::EpochFrozen { epoch });
+                }
+                assert_eq!(
+                    epoch,
+                    self.frozen.len(),
+                    "freeze must target the writable epoch"
+                );
+                self.prepared = Some(self.freeze_writable());
+                OwnerReply::Wire(Reply::EpochFrozen { epoch })
+            }
+            Request::PublishEpoch { epoch } => {
+                if epoch + 1 == self.frozen.len() {
+                    // Retransmission of a publish whose reply was lost:
+                    // re-send the identical frame.
+                    let replay = self.frozen.last().expect("a frozen epoch exists").clone();
+                    return OwnerReply::Epoch(replay);
+                }
+                assert_eq!(
+                    epoch,
+                    self.frozen.len(),
+                    "publish must name the prepared epoch"
+                );
+                let prepared = self
+                    .prepared
+                    .take()
+                    .expect("publish without a prepared freeze");
+                self.frozen.push(prepared.clone());
+                OwnerReply::Epoch(prepared)
             }
             Request::Loads { epoch } => {
                 let epoch = self.completed(epoch, "report loads of");
@@ -240,7 +323,7 @@ mod tests {
         let mut worker = Worker::new(vec![0]);
         // A pipeline of six commits lands…
         for seq in 0..6 {
-            assert_eq!(accepted(worker.handle(commit(seq, 0, 3))), 3);
+            assert_eq!(accepted(worker.handle(0, commit(seq, 0, 3))), 3);
         }
         assert_eq!(worker.total_writes, 18);
         // …then the connection severs and the client replays all six (its
@@ -248,26 +331,26 @@ mod tests {
         // original count, none re-applied — a single-entry "last seq"
         // memory would only catch seq 5.
         for seq in 0..6 {
-            assert_eq!(accepted(worker.handle(commit(seq, 0, 3))), 3);
+            assert_eq!(accepted(worker.handle(0, commit(seq, 0, 3))), 3);
         }
         assert_eq!(worker.total_writes, 18, "replay must not double-apply");
 
         // Fresh sequence numbers still apply normally after the replay.
-        assert_eq!(accepted(worker.handle(commit(6, 0, 2))), 2);
+        assert_eq!(accepted(worker.handle(0, commit(6, 0, 2))), 2);
         assert_eq!(worker.total_writes, 20);
     }
 
     #[test]
     fn replayed_commits_of_a_frozen_epoch_are_reacked() {
         let mut worker = Worker::new(vec![0]);
-        assert_eq!(accepted(worker.handle(commit(0, 0, 4))), 4);
+        assert_eq!(accepted(worker.handle(0, commit(0, 0, 4))), 4);
         // The epoch freezes while the commit's ack is lost in flight…
-        let OwnerReply::Epoch(_) = worker.handle(Request::Advance { epoch: 0 }) else {
+        let OwnerReply::Epoch(_) = worker.handle(0, Request::Advance { epoch: 0 }) else {
             panic!("advance must publish the epoch");
         };
         // …and the replayed commit still names epoch 0.  The window must
         // re-ack it (the epoch assert would otherwise reject the replay).
-        assert_eq!(accepted(worker.handle(commit(0, 0, 4))), 4);
+        assert_eq!(accepted(worker.handle(0, commit(0, 0, 4))), 4);
         assert_eq!(worker.total_writes, 4);
     }
 
@@ -275,14 +358,105 @@ mod tests {
     fn the_window_is_bounded() {
         let mut worker = Worker::new(vec![0]);
         for seq in 0..(2 * COMMIT_REPLAY_WINDOW as u64) {
-            worker.handle(commit(seq, 0, 1));
+            worker.handle(0, commit(seq, 0, 1));
         }
-        assert_eq!(worker.recent_commits.len(), COMMIT_REPLAY_WINDOW);
+        let window = &worker.recent_commits[&0];
+        assert_eq!(window.len(), COMMIT_REPLAY_WINDOW);
         // The retained half is the most recent — the half a replay can
         // still name.
         assert_eq!(
-            worker.recent_commits.front().map(|&(seq, _)| seq),
+            window.front().map(|&(seq, _)| seq),
             Some(COMMIT_REPLAY_WINDOW as u64)
         );
+    }
+
+    #[test]
+    fn concurrent_sessions_cannot_evict_each_others_replay_windows() {
+        // Two clients of one owner, overlapping seq spaces.  Session B
+        // bursts a full window's worth of commits; session A's older seqs
+        // must still be re-acked from A's own window — with a single
+        // shared window, B's burst would have evicted them and the replay
+        // would double-apply.
+        let mut worker = Worker::new(vec![0]);
+        for seq in 0..4 {
+            assert_eq!(accepted(worker.handle(7, commit(seq, 0, 2))), 2);
+        }
+        for seq in 0..COMMIT_REPLAY_WINDOW as u64 {
+            assert_eq!(accepted(worker.handle(8, commit(seq, 0, 1))), 1);
+        }
+        let before = worker.total_writes;
+        // Both clients sever and replay concurrently (interleaved).
+        for seq in 0..4 {
+            assert_eq!(
+                accepted(worker.handle(7, commit(seq, 0, 2))),
+                2,
+                "session 7's replay of seq {seq} must re-ack, not re-apply"
+            );
+            assert_eq!(accepted(worker.handle(8, commit(seq, 0, 1))), 1);
+        }
+        assert_eq!(
+            worker.total_writes, before,
+            "neither session's replay may double-apply"
+        );
+    }
+
+    #[test]
+    fn freeze_then_publish_equals_advance_and_is_idempotent() {
+        let mut worker = Worker::new(vec![0]);
+        assert_eq!(accepted(worker.handle(0, commit(0, 0, 3))), 3);
+
+        // Phase 1: the epoch freezes but stays unpublished — Loads/Dump
+        // must not see it yet (no mixed epoch is ever observable).
+        let OwnerReply::Wire(Reply::EpochFrozen { epoch: 0 }) =
+            worker.handle(0, Request::FreezeEpoch { epoch: 0 })
+        else {
+            panic!("freeze must be acked");
+        };
+        assert_eq!(worker.frozen.len(), 0, "prepared epochs are not published");
+
+        // A replayed freeze (reply lost, connection replayed) re-acks.
+        let OwnerReply::Wire(Reply::EpochFrozen { epoch: 0 }) =
+            worker.handle(0, Request::FreezeEpoch { epoch: 0 })
+        else {
+            panic!("freeze replay must be re-acked");
+        };
+        assert_eq!(worker.frozen.len(), 0);
+
+        // Commits for the *next* epoch are already accepted while the
+        // barrier is still completing.
+        assert_eq!(accepted(worker.handle(0, commit(1, 1, 2))), 2);
+
+        // Phase 2 publishes the prepared epoch…
+        let OwnerReply::Epoch(published) = worker.handle(0, Request::PublishEpoch { epoch: 0 })
+        else {
+            panic!("publish must answer with the epoch");
+        };
+        assert_eq!(published.writes, vec![3]);
+        assert_eq!(worker.frozen.len(), 1);
+
+        // …and a replayed publish after a reconnect re-sends the same
+        // frame (a prepared-but-unpublished epoch must be re-publishable
+        // idempotently; an already-published one re-publishes).
+        let OwnerReply::Epoch(replayed) = worker.handle(0, Request::PublishEpoch { epoch: 0 })
+        else {
+            panic!("publish replay must answer with the epoch");
+        };
+        assert!(Arc::ptr_eq(&published, &replayed));
+        assert_eq!(worker.frozen.len(), 1, "replay must not double-publish");
+
+        // A replayed freeze of the now-published epoch is also re-acked.
+        let OwnerReply::Wire(Reply::EpochFrozen { epoch: 0 }) =
+            worker.handle(0, Request::FreezeEpoch { epoch: 0 })
+        else {
+            panic!("freeze replay after publish must be re-acked");
+        };
+        assert_eq!(worker.frozen.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "publish without a prepared freeze")]
+    fn publish_without_freeze_is_a_protocol_violation() {
+        let mut worker = Worker::new(vec![0]);
+        worker.handle(0, Request::PublishEpoch { epoch: 0 });
     }
 }

@@ -313,6 +313,8 @@ fn fault_coordinates(request: &Request) -> Option<(RequestKind, usize)> {
     match request {
         Request::Commit { epoch, .. } => Some((RequestKind::Commit, *epoch)),
         Request::Advance { epoch } => Some((RequestKind::Advance, *epoch)),
+        Request::FreezeEpoch { epoch } => Some((RequestKind::FreezeEpoch, *epoch)),
+        Request::PublishEpoch { epoch } => Some((RequestKind::PublishEpoch, *epoch)),
         _ => None,
     }
 }
@@ -390,4 +392,12 @@ pub trait ServerTransport: Send + 'static {
     /// Reconnecting transports report `true` on a lost reply — the client
     /// replays the request after reconnecting, so serving continues.
     fn send_reply(&mut self, reply: OwnerReply) -> bool;
+
+    /// Session id of the client whose request [`Self::recv_request`] last
+    /// returned.  Dispatch keys its commit-replay windows by this, so two
+    /// clients multiplexed onto one owner keep isolated replay memory.
+    /// Transports that serve exactly one anonymous client report `0`.
+    fn session(&self) -> u64 {
+        0
+    }
 }

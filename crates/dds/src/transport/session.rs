@@ -14,7 +14,7 @@ use super::{
 };
 use crate::proto::{
     decode_reply, decode_request, encode_reply_into, read_frame, write_frame, ProtoError, Reply,
-    Request,
+    Request, ShardMap,
 };
 use std::collections::VecDeque;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -240,6 +240,9 @@ pub struct TcpTransport {
     /// Whether the pending grant must report `resumed` (reconnects) or
     /// fresh state (first connection).
     expect_resumed: bool,
+    /// The cluster shard map carried by the most recent lease grant
+    /// (`None` when the owner serves standalone).
+    shard_map: Option<ShardMap>,
     faults: RequestFaults,
 }
 
@@ -299,6 +302,7 @@ impl TcpTransport {
             pending: VecDeque::new(),
             await_grant: true,
             expect_resumed: false,
+            shard_map: None,
             faults: RequestFaults::none(),
         };
         let lease = transport.lease_request();
@@ -396,9 +400,37 @@ impl TcpTransport {
         Ok(decode_reply(payload))
     }
 
+    /// Drive the handshake to completion: read (and verify) the pending
+    /// lease grant without consuming any ordinary reply.  A no-op on a
+    /// connection whose grant was already absorbed.  Cluster clients call
+    /// this right after connecting, because the grant carries the shard
+    /// map they must route by ([`Self::shard_map`]).
+    pub fn finish_handshake(&mut self) -> Result<(), TransportError> {
+        while self.await_grant {
+            self.pump(true)?;
+        }
+        Ok(())
+    }
+
+    /// The cluster shard map advertised by the owner's most recent lease
+    /// grant, if any (populated once the handshake completes).
+    pub fn shard_map(&self) -> Option<&ShardMap> {
+        self.shard_map.as_ref()
+    }
+
     /// Read the next ordinary reply, consuming (and verifying) any pending
     /// lease grant first and reconnecting through socket failures.
     fn recv_reply(&mut self) -> Result<Reply, TransportError> {
+        let reply = self.pump(false)?;
+        Ok(reply.expect("pump only stops early when asked to"))
+    }
+
+    /// The receive loop shared by [`Self::recv_reply`] and
+    /// [`Self::finish_handshake`]: reconnect through socket failures,
+    /// verify and absorb lease grants, and either stop once the grant is
+    /// in (`stop_after_grant`, returning `None`) or keep reading until an
+    /// ordinary reply arrives.
+    fn pump(&mut self, stop_after_grant: bool) -> Result<Option<Reply>, TransportError> {
         // Loop guard, not retry policy: [`TcpOptions::reconnect_attempts`]
         // bounds the dials within one recovery; this bounds how many
         // *successful* recoveries one receive may burn through, so a
@@ -426,7 +458,10 @@ impl TcpTransport {
             })?;
             if self.await_grant {
                 let Reply::LeaseGranted {
-                    session, resumed, ..
+                    session,
+                    resumed,
+                    shard_map,
+                    ..
                 } = reply
                 else {
                     return Err(TransportError::Protocol {
@@ -455,10 +490,14 @@ impl TcpTransport {
                         message: format!("session {session:#x} collided with existing state"),
                     });
                 }
+                self.shard_map = shard_map;
                 self.await_grant = false;
+                if stop_after_grant {
+                    return Ok(None);
+                }
                 continue;
             }
-            return Ok(reply);
+            return Ok(Some(reply));
         }
     }
 
@@ -762,6 +801,12 @@ pub struct TcpServer {
     /// Whether this session served a connection before — what the grant
     /// reports as `resumed`.
     served_before: bool,
+    /// Session id of the connection currently (or last) served; dispatch
+    /// keys its per-session replay windows by this.
+    session: u64,
+    /// Cluster topology advertised in every lease grant (`None` when the
+    /// owner serves standalone).
+    shard_map: Option<ShardMap>,
     /// The client said goodbye (or the lease expired): serving is over.
     finished: bool,
 }
@@ -784,6 +829,8 @@ impl TcpServer {
             ttl: Duration::ZERO,
             disconnected_at: None,
             served_before: false,
+            session: 0,
+            shard_map: None,
             finished: false,
         }
     }
@@ -799,8 +846,17 @@ impl TcpServer {
             ttl: Duration::ZERO,
             disconnected_at: None,
             served_before: false,
+            session: 0,
+            shard_map: None,
             finished: false,
         }
+    }
+
+    /// Advertise a cluster shard map in every lease grant this server
+    /// issues (`ampc_dds::serve` sets this when serving as a cluster node).
+    pub(crate) fn with_shard_map(mut self, shard_map: Option<ShardMap>) -> TcpServer {
+        self.shard_map = shard_map;
+        self
     }
 
     /// The expiry deadline of the current disconnect, if the lease expires
@@ -820,6 +876,7 @@ impl TcpServer {
         }
         self.ttl = Duration::from_millis(ttl_ms);
         self.disconnected_at = None;
+        self.session = session;
         let resumed = self.served_before;
         self.served_before = true;
         match Conn::start(stream, self.pool.clone()) {
@@ -840,6 +897,7 @@ impl TcpServer {
             session,
             ttl_ms: self.ttl.as_millis() as u64,
             resumed,
+            shard_map: self.shard_map.clone(),
         };
         self.queue_reply(&reply);
     }
@@ -999,6 +1057,10 @@ impl ServerTransport for TcpServer {
         // reconnect replay re-asks and the owner re-answers idempotently.
         self.queue_reply(&reply);
         true
+    }
+
+    fn session(&self) -> u64 {
+        self.session
     }
 }
 

@@ -8,7 +8,7 @@
 
 use ampc_dds::proto::{
     decode_reply, decode_request, encode_reply, encode_request, read_frame, write_frame,
-    EpochFrame, ProtoError, Reply, Request, ShardFrame, MAX_FRAME_BYTES,
+    EpochFrame, OwnerSlice, ProtoError, Reply, Request, ShardFrame, ShardMap, MAX_FRAME_BYTES,
 };
 use ampc_dds::{Key, KeyTag, ShardLoad, Value};
 use proptest::prelude::*;
@@ -41,7 +41,7 @@ fn arbitrary_entries() -> impl Strategy<Value = Vec<(Key, Vec<Value>)>> {
 
 fn arbitrary_request() -> impl Strategy<Value = Request> {
     (
-        0u32..7,
+        0u32..9,
         0u64..1_000_000,
         any::<u64>(),
         proptest::collection::vec((0usize..64, arbitrary_pairs()), 0..6),
@@ -69,8 +69,35 @@ fn arbitrary_request() -> impl Strategy<Value = Request> {
                 ttl_ms: epoch,
             },
             5 => Request::Goodbye,
+            6 => Request::FreezeEpoch {
+                epoch: epoch as usize,
+            },
+            7 => Request::PublishEpoch {
+                epoch: epoch as usize,
+            },
             _ => Request::TotalWrites,
         })
+}
+
+/// Derive a shard map deterministically from one seed so the reply strategy
+/// stays within the compat-proptest tuple arity while still covering `None`,
+/// empty maps, multi-owner maps, and non-ASCII-boring endpoints.
+fn shard_map_from(seed: u64) -> Option<ShardMap> {
+    if seed.is_multiple_of(3) {
+        return None;
+    }
+    let owners = seed % 5;
+    let span = 1 + seed % 7;
+    Some(ShardMap {
+        epoch: seed.rotate_left(17),
+        owners: (0..owners)
+            .map(|i| OwnerSlice {
+                endpoint: format!("[::{i}]:{}", 7000 + seed % 100),
+                start: i * span,
+                end: (i + 1) * span,
+            })
+            .collect(),
+    })
 }
 
 fn arbitrary_loads() -> impl Strategy<Value = Vec<ShardLoad>> {
@@ -98,7 +125,7 @@ fn arbitrary_frame() -> impl Strategy<Value = EpochFrame> {
 
 fn arbitrary_reply() -> impl Strategy<Value = Reply> {
     (
-        0u32..6,
+        0u32..7,
         0u64..1_000_000,
         any::<u64>(),
         arbitrary_frame(),
@@ -118,6 +145,10 @@ fn arbitrary_reply() -> impl Strategy<Value = Reply> {
                     session: count,
                     ttl_ms: epoch,
                     resumed: count % 2 == 0,
+                    shard_map: shard_map_from(count),
+                },
+                5 => Reply::EpochFrozen {
+                    epoch: epoch as usize,
                 },
                 _ => Reply::TotalWrites(count),
             },

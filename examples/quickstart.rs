@@ -27,14 +27,51 @@
 //! its own leased session over real sockets, with automatic reconnect if a
 //! connection drops mid-round.  Any number of `--connect` clients may share
 //! one `--serve` process concurrently.
+//!
+//! # Cluster mode
+//!
+//! The store can also be *sharded across several owners*, each holding a
+//! contiguous shard range and coordinated through the two-phase advance
+//! barrier:
+//!
+//! ```text
+//! cargo run --release --example quickstart -- --cluster 3
+//! ```
+//!
+//! spawns 3 cluster owners on ephemeral ports inside this process and runs
+//! the quickstart against them.  To split the owners into their own
+//! processes, give every owner the same peer list plus its own index, then
+//! point a client at the list (or set `AMPC_ENDPOINTS`):
+//!
+//! ```text
+//! cargo run --release --example quickstart -- --serve-cluster 0 127.0.0.1:7481,127.0.0.1:7482
+//! cargo run --release --example quickstart -- --serve-cluster 1 127.0.0.1:7481,127.0.0.1:7482
+//! cargo run --release --example quickstart -- --connect-cluster 127.0.0.1:7481,127.0.0.1:7482
+//! ```
 
 use ampc_suite::prelude::*;
+use ampc_suite::runtime::{parse_endpoint_list, MAX_CLUSTER_OWNERS};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: quickstart [local|channel|remote]\n       quickstart --serve <addr>\n       quickstart --connect <addr>"
+        "usage: quickstart [local|channel|remote|cluster]\n       \
+         quickstart --serve <addr>\n       \
+         quickstart --connect <addr>\n       \
+         quickstart --cluster <owners>\n       \
+         quickstart --serve-cluster <node> <addr,addr,...>\n       \
+         quickstart --connect-cluster <addr,addr,...>\n\n\
+         AMPC_ENDPOINTS=<addr,addr,...> selects cluster mode without flags."
     );
     std::process::exit(2);
+}
+
+/// Parse a comma-separated endpoint list, exiting with the typed
+/// [`ampc_runtime::AmpcError`] message on malformed input (never a panic).
+fn endpoints_or_exit(list: &str) -> Vec<String> {
+    parse_endpoint_list(list).unwrap_or_else(|err| {
+        eprintln!("{err}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -56,6 +93,84 @@ fn main() {
             let addr = args.get(1).cloned().unwrap_or_else(|| usage());
             run_quickstart(Mode::Connect(addr));
         }
+        Some("--cluster") => {
+            let owners: usize = args
+                .get(1)
+                .and_then(|raw| raw.parse().ok())
+                .unwrap_or_else(|| usage());
+            if owners == 0 || owners > MAX_CLUSTER_OWNERS {
+                eprintln!("--cluster takes 1..={MAX_CLUSTER_OWNERS} owners, got {owners}");
+                std::process::exit(2);
+            }
+            // Spawn the owners on ephemeral ports: bind every listener first
+            // so the full peer list exists before any owner starts serving.
+            let listeners: Vec<std::net::TcpListener> = (0..owners)
+                .map(|_| std::net::TcpListener::bind("127.0.0.1:0"))
+                .collect::<std::io::Result<_>>()
+                .unwrap_or_else(|err| {
+                    eprintln!("failed to bind a cluster owner: {err}");
+                    std::process::exit(1);
+                });
+            let peers: Vec<String> = listeners
+                .iter()
+                .map(|l| {
+                    l.local_addr()
+                        .expect("bound listener has an addr")
+                        .to_string()
+                })
+                .collect();
+            let servers: Vec<_> = listeners
+                .into_iter()
+                .enumerate()
+                .map(|(node, listener)| {
+                    ampc_suite::dds::serve::serve_cluster_listener(listener, node, peers.clone())
+                        .unwrap_or_else(|err| {
+                            eprintln!("failed to start cluster owner {node}: {err}");
+                            std::process::exit(1);
+                        })
+                })
+                .collect();
+            println!("spawned {owners} cluster owners on {}", peers.join(", "));
+            run_quickstart(Mode::Cluster(peers));
+            drop(servers); // owners outlive every client runtime
+        }
+        Some("--serve-cluster") => {
+            let node: usize = args
+                .get(1)
+                .and_then(|raw| raw.parse().ok())
+                .unwrap_or_else(|| usage());
+            let peers =
+                endpoints_or_exit(args.get(2).map(String::as_str).unwrap_or_else(|| usage()));
+            if node >= peers.len() {
+                eprintln!(
+                    "--serve-cluster node {node} is out of range for {} peers",
+                    peers.len()
+                );
+                std::process::exit(2);
+            }
+            let addr = peers[node].clone();
+            let server = ampc_suite::dds::serve_cluster(addr.as_str(), node, peers.clone())
+                .unwrap_or_else(|err| {
+                    eprintln!("failed to bind cluster owner {node} on {addr}: {err}");
+                    std::process::exit(1);
+                });
+            println!(
+                "AMPC DDS cluster owner {node}/{} serving on {}",
+                peers.len(),
+                server.local_addr()
+            );
+            println!(
+                "(press Ctrl-C to stop; clients connect with --connect-cluster {})",
+                peers.join(",")
+            );
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Some("--connect-cluster") => {
+            let list = args.get(1).cloned().unwrap_or_else(|| usage());
+            run_quickstart(Mode::Cluster(endpoints_or_exit(&list)));
+        }
         Some(name) if name.starts_with('-') => usage(),
         Some(name) => {
             let backend = name.parse().unwrap_or_else(|err| {
@@ -65,6 +180,10 @@ fn main() {
             run_quickstart(Mode::InProcess(backend));
         }
         None => {
+            if let Ok(list) = std::env::var("AMPC_ENDPOINTS") {
+                run_quickstart(Mode::Cluster(endpoints_or_exit(&list)));
+                return;
+            }
             let backend = match std::env::var("AMPC_BACKEND") {
                 Ok(name) => name.parse().unwrap_or_else(|err| {
                     eprintln!("{err}");
@@ -82,6 +201,8 @@ enum Mode {
     InProcess(DdsBackendKind),
     /// Owners served by an external `--serve` process at this address.
     Connect(String),
+    /// Shards split across cluster owners at these endpoints.
+    Cluster(Vec<String>),
 }
 
 fn run_quickstart(mode: Mode) {
@@ -89,6 +210,11 @@ fn run_quickstart(mode: Mode) {
     match &mode {
         Mode::InProcess(backend) => println!("DDS backend: {backend}\n"),
         Mode::Connect(addr) => println!("DDS backend: remote, served by {addr}\n"),
+        Mode::Cluster(endpoints) => println!(
+            "DDS backend: cluster, {} owners at {}\n",
+            endpoints.len(),
+            endpoints.join(", ")
+        ),
     }
     println!(
         "{:>10} {:>12} {:>14} {:>14}",
@@ -105,6 +231,12 @@ fn run_quickstart(mode: Mode) {
             let config = match &mode {
                 Mode::InProcess(backend) => config.with_backend(*backend),
                 Mode::Connect(addr) => config.with_remote_endpoint(addr.clone()),
+                Mode::Cluster(endpoints) => config
+                    .with_cluster_endpoints(endpoints.clone())
+                    .unwrap_or_else(|err| {
+                        eprintln!("{err}");
+                        std::process::exit(2);
+                    }),
             };
             let ampc = two_cycle_with(&graph, &config);
 

@@ -11,7 +11,8 @@
 
 use ampc_dds::legacy::LegacyStore;
 use ampc_dds::{
-    ChannelBackend, DdsBackend, Key, KeyTag, LocalBackend, SnapshotView, TcpBackend, Value,
+    ChannelBackend, ClusterBackend, DdsBackend, Key, KeyTag, LocalBackend, SnapshotView,
+    TcpBackend, Value,
 };
 use ampc_runtime::{AmpcConfig, AmpcRuntime, DdsBackendKind};
 use proptest::prelude::*;
@@ -21,6 +22,7 @@ const ALL_BACKENDS: &[DdsBackendKind] = &[
     DdsBackendKind::Local,
     DdsBackendKind::Channel,
     DdsBackendKind::Remote,
+    DdsBackendKind::Cluster,
 ];
 
 /// One round's writes: ordered batches (for the runtime: one per machine).
@@ -117,26 +119,44 @@ fn conformance_battery(script: Script, shards: usize, threads: usize) {
     let local = run_script::<LocalBackend>(&script, shards, threads);
     let channel = run_script::<ChannelBackend>(&script, shards, threads);
     let remote = run_script::<TcpBackend>(&script, shards, threads);
+    let cluster2 = run_script::<ClusterBackend<2>>(&script, shards, threads);
+    let cluster4 = run_script::<ClusterBackend<4>>(&script, shards, threads);
     let legacy = legacy_epochs(&script, shards);
 
     assert_eq!(local.len(), legacy.len());
     assert_eq!(channel.len(), legacy.len());
     assert_eq!(remote.len(), legacy.len());
+    assert_eq!(cluster2.len(), legacy.len());
+    assert_eq!(cluster4.len(), legacy.len());
     for epoch in 0..legacy.len() {
         assert_view_matches_legacy(&local[epoch], &legacy[epoch], &probe);
         assert_view_matches_legacy(&channel[epoch], &legacy[epoch], &probe);
         assert_view_matches_legacy(&remote[epoch], &legacy[epoch], &probe);
+        assert_view_matches_legacy(&cluster2[epoch], &legacy[epoch], &probe);
+        assert_view_matches_legacy(&cluster4[epoch], &legacy[epoch], &probe);
         // The trait backends also agree on the unordered entry dump.
         let mut local_entries = local[epoch].entries();
         let mut channel_entries = channel[epoch].entries();
         let mut remote_entries = remote[epoch].entries();
+        let mut cluster2_entries = cluster2[epoch].entries();
+        let mut cluster4_entries = cluster4[epoch].entries();
         local_entries.sort_by_key(|&(key, _)| key);
         channel_entries.sort_by_key(|&(key, _)| key);
         remote_entries.sort_by_key(|&(key, _)| key);
+        cluster2_entries.sort_by_key(|&(key, _)| key);
+        cluster4_entries.sort_by_key(|&(key, _)| key);
         assert_eq!(local_entries, channel_entries, "epoch {epoch} entries");
         assert_eq!(
             local_entries, remote_entries,
             "epoch {epoch} remote entries"
+        );
+        assert_eq!(
+            local_entries, cluster2_entries,
+            "epoch {epoch} cluster(2) entries"
+        );
+        assert_eq!(
+            local_entries, cluster4_entries,
+            "epoch {epoch} cluster(4) entries"
         );
     }
 }
@@ -290,6 +310,11 @@ fn tcp_backend_runs_a_full_runtime_program() {
     runtime_program_smoke::<TcpBackend>();
 }
 
+#[test]
+fn cluster_backend_runs_a_full_runtime_program() {
+    runtime_program_smoke::<ClusterBackend<2>>();
+}
+
 /// Everything a view can tell us about an epoch: key count, sorted entry
 /// dump, and the flattened results of every probe lookup.
 type EpochObservation = (usize, Vec<(Key, Vec<Value>)>, Vec<u64>);
@@ -374,6 +399,12 @@ fn channel_views_stay_valid_across_epochs_and_backend_drop() {
 fn tcp_views_stay_valid_across_epochs_and_backend_drop() {
     snapshot_lifetime_battery::<TcpBackend>(8, 3);
     snapshot_lifetime_battery::<TcpBackend>(16, 1);
+}
+
+#[test]
+fn cluster_views_stay_valid_across_epochs_and_backend_drop() {
+    snapshot_lifetime_battery::<ClusterBackend<2>>(8, 3);
+    snapshot_lifetime_battery::<ClusterBackend<4>>(16, 1);
 }
 
 fn arbitrary_key() -> impl Strategy<Value = Key> {

@@ -100,6 +100,43 @@ fn severed_connections_reconnect_and_replay_byte_identically() {
 }
 
 #[test]
+fn owners_severed_mid_barrier_replay_the_two_phase_advance_byte_identically() {
+    // Cluster epoch coordinates: the advance after `load_input` runs the
+    // freeze/publish barrier for epoch 0, round 0's advance for epoch 1,
+    // round 1's for epoch 2.  The plan cuts owner 0's connection right
+    // before round 0's `FreezeEpoch` goes out, and owner 1's *between* the
+    // phases of round 1's barrier — after its freeze was acked, before the
+    // publish — so one owner holds a prepared-but-unpublished epoch across
+    // a reconnect while the other may already have published.  Both heals
+    // must leave every observable byte identical to a fault-free cluster
+    // run, on every thread count.
+    for threads in [1usize, 2, 8] {
+        let config = || {
+            AmpcConfig::for_graph(1_000, 1_000, 0.5)
+                .with_threads(threads)
+                .with_cluster_owners(2)
+                .expect("two owners are in range")
+        };
+        let clean = run_workload(config(), FaultPlan::none());
+        assert_eq!(clean.4, 0, "fault-free cluster runs sever nothing");
+
+        let plan = FaultPlan::none()
+            .sever_owner(1, 0)
+            .sever_between_freeze_and_publish(2, 1);
+        let severed = run_workload(config(), plan);
+        assert_eq!(
+            severed.4, 2,
+            "both mid-barrier severs must fire with {threads} threads"
+        );
+        assert_eq!(
+            (&clean.0, &clean.1, &clean.2, &clean.3),
+            (&severed.0, &severed.1, &severed.2, &severed.3),
+            "a cluster severed mid-barrier must heal byte-identically with {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn severs_are_ignored_by_backends_without_connections() {
     for backend in [DdsBackendKind::Local, DdsBackendKind::Channel] {
         let config = AmpcConfig::for_graph(1_000, 1_000, 0.5)
