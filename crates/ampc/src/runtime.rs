@@ -426,6 +426,7 @@ macro_rules! with_dds_backend {
                         __config.num_shards(),
                         __config.effective_threads(),
                     )
+                    // lint: allow(panic) — construction-time connect failure: no runtime exists yet to carry AmpcError, and callers treat a missing cluster as fatal
                     .unwrap_or_else(|err| panic!("DDS transport failure: {err}"));
                     #[allow(unused_mut)]
                     let mut $runtime = $crate::AmpcRuntime::<$crate::TcpBackend>::from_backend(
@@ -455,6 +456,7 @@ macro_rules! with_dds_backend {
                     2 => $crate::cluster_backend_arm!(2, __config, __endpoints, $runtime, $body),
                     3 => $crate::cluster_backend_arm!(3, __config, __endpoints, $runtime, $body),
                     4 => $crate::cluster_backend_arm!(4, __config, __endpoints, $runtime, $body),
+                    // lint: allow(panic) — unreachable: with_cluster_owners/with_cluster_endpoints validate against MAX_CLUSTER_OWNERS at the config boundary
                     n => panic!("cluster runs support 1..=4 owners, got {n}"),
                 }
             }
@@ -476,6 +478,7 @@ macro_rules! cluster_backend_arm {
             }
             None => $crate::ClusterBackend::<$owners>::spawn_local($config.num_shards()),
         }
+        // lint: allow(panic) — construction-time connect failure: no runtime exists yet to carry AmpcError, and callers treat a missing cluster as fatal
         .unwrap_or_else(|err| panic!("DDS transport failure: {err}"));
         #[allow(unused_mut)]
         let mut $runtime = $crate::AmpcRuntime::<$crate::ClusterBackend<$owners>>::from_backend(

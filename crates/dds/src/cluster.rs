@@ -56,7 +56,7 @@ use crate::remote::{expect_transport, FrozenEpoch, RemoteSnapshot, Routing};
 use crate::serve::{serve_cluster_listener, DdsServer};
 use crate::stats::ShardLoad;
 use crate::transport::{
-    ClientReply, RequestFaults, TcpOptions, TcpTransport, Transport, TransportError,
+    panic_message, ClientReply, RequestFaults, TcpOptions, TcpTransport, Transport, TransportError,
 };
 use crate::FxHashMap;
 use std::net::TcpListener;
@@ -289,7 +289,18 @@ impl<const OWNERS: usize> ClusterBackend<OWNERS> {
                 .collect();
             fetchers
                 .into_iter()
-                .map(|fetcher| fetcher.join().expect("epoch fetch thread panicked"))
+                .enumerate()
+                .map(|(node, fetcher)| {
+                    fetcher.join().unwrap_or_else(|payload| {
+                        // A panicked fetcher is a dead owner connection,
+                        // not a dead coordinator: surface it as the same
+                        // typed error an owner crash produces elsewhere.
+                        Err(TransportError::PeerClosed {
+                            worker: node,
+                            panic: panic_message(payload.as_ref()),
+                        })
+                    })
+                })
                 .collect()
         });
         self.completed += 1;

@@ -28,12 +28,14 @@ pub fn encode_key(key: &Key) -> Bytes {
 
 /// Decode a key from its wire representation.
 ///
-/// Returns `None` if the buffer is too short.
+/// Returns `None` if the buffer is too short or the tag code is not one a
+/// well-formed encoder can produce — a corrupt frame must fail decoding,
+/// not panic the decoder's thread.
 pub fn decode_key(mut bytes: &[u8]) -> Option<Key> {
     if bytes.len() < ENCODED_KEY_BYTES {
         return None;
     }
-    let tag = KeyTag::from_code(bytes.get_u32_le());
+    let tag = KeyTag::try_from_code(bytes.get_u32_le())?;
     let a = bytes.get_u64_le();
     let b = bytes.get_u64_le();
     Some(Key { tag, a, b })

@@ -63,10 +63,13 @@ impl KeyTag {
         }
     }
 
-    /// Inverse of [`KeyTag::code`].
+    /// Inverse of [`KeyTag::code`] for codes a well-formed encoder can
+    /// produce; `None` for the gap between the named tags and the
+    /// `Custom` namespace.  Wire decoders use this so a corrupt frame
+    /// surfaces as a decode error instead of a panic.
     #[inline]
-    pub fn from_code(code: u32) -> Self {
-        match code {
+    pub fn try_from_code(code: u32) -> Option<Self> {
+        Some(match code {
             0 => KeyTag::Degree,
             1 => KeyTag::Adjacency,
             2 => KeyTag::CycleNeighbors,
@@ -79,8 +82,17 @@ impl KeyTag {
             9 => KeyTag::WeightedAdjacency,
             10 => KeyTag::Scalar,
             c if c >= 0x1_0000 => KeyTag::Custom((c - 0x1_0000) as u16),
-            other => panic!("invalid KeyTag code {other}"),
-        }
+            _ => return None,
+        })
+    }
+
+    /// Inverse of [`KeyTag::code`], panicking on unassigned codes.  For
+    /// trusted in-process codes only — untrusted input goes through
+    /// [`KeyTag::try_from_code`].
+    #[inline]
+    pub fn from_code(code: u32) -> Self {
+        // lint: allow(panic) — trusted-input inverse; wire decoding uses try_from_code
+        Self::try_from_code(code).unwrap_or_else(|| panic!("invalid KeyTag code {code}"))
     }
 }
 

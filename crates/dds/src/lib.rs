@@ -163,6 +163,39 @@
 //! The pre-refactor `Vec<Value>`-per-key layout survives as
 //! [`legacy::LegacyStore`], an executable specification the property tests
 //! compare against.
+//!
+//! # Machine-checked invariants
+//!
+//! Several of the guarantees above are *cross-file* properties that no
+//! single `#[test]` or compiler lint can see whole.  They are enforced by
+//! `ampc-lint` (`cargo run -p ampc-lint`, wired into CI), a
+//! workspace-native static analyzer that parses this crate and `ampc`
+//! directly and fails the build with `file:line` diagnostics:
+//!
+//! * **proto-conformance** — the [`proto::Request`] / [`proto::Reply`]
+//!   enums, their `TAG_*` wire constants, the `fn handle` match in
+//!   `transport::dispatch`, and the [`proto::REPLAY_POLICY`] table must
+//!   stay mutually total: every request variant has a unique tag used by
+//!   both encode and decode, a dispatch arm, and a declared replay policy
+//!   ([`proto::ReplayPolicy`]).  Deleting any one of those is a lint
+//!   failure, so "every request is idempotent at the owner" is a checked
+//!   claim, not a comment.
+//! * **panic-path** — non-test code in `dds` and `ampc` may not call
+//!   `unwrap()` / `expect(` / `panic!` / `unimplemented!` / `todo!`
+//!   unannotated.  Intentional panics (owner-side protocol violations
+//!   harvested into [`TransportError::PeerClosed`], provably-infallible
+//!   decodes) carry a `// lint: allow(panic) — <reason>` on the preceding
+//!   line; an allow without a reason is itself a finding.
+//! * **const-consistency** — the numeric relationships the replay design
+//!   depends on: the commit dedup window covers at least two full
+//!   pipelines (`COMMIT_REPLAY_WINDOW ≥ 2 × PIPELINE_DEPTH`), the frame
+//!   cap in [`proto`] equals the pool-retention cap in `transport::codec`,
+//!   and `MAX_CLUSTER_OWNERS` matches the owner-count arms the `ampc`
+//!   runtime monomorphizes.
+//! * **blocking-discipline** — no `thread::sleep` or unbounded reads on
+//!   the dispatch/session/serve hot paths outside annotated backoff
+//!   (`// lint: allow(blocking) — <reason>`); `clippy.toml` bans
+//!   `thread::sleep` workspace-wide as the compiler-visible half.
 
 #![warn(missing_docs)]
 

@@ -194,7 +194,63 @@ impl Request {
             Request::Goodbye => RequestKind::Goodbye,
         }
     }
+
+    /// The declared [`ReplayPolicy`] of this request.  Total by
+    /// construction: `ampc-lint` fails the build when a `Request` variant
+    /// is missing from [`REPLAY_POLICY`].
+    pub fn replay_policy(&self) -> ReplayPolicy {
+        let kind = self.kind();
+        REPLAY_POLICY
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, policy)| *policy)
+            // lint: allow(panic) — REPLAY_POLICY totality is machine-checked by the proto-conformance pass
+            .unwrap_or_else(|| panic!("REPLAY_POLICY has no entry for {kind}"))
+    }
 }
+
+/// *Why* a [`Request`] is safe to retransmit — the machine-checked half of
+/// the idempotent-replay guarantee.
+///
+/// After a reconnect the transport replays every request whose reply is
+/// outstanding, so every request must be safe to reach the owner twice.
+/// How each one achieves that is protocol design, not an implementation
+/// accident, so it is declared in [`REPLAY_POLICY`] and cross-checked by
+/// `ampc-lint`'s proto-conformance pass: adding a `Request` variant
+/// without classifying its replay behavior is a CI failure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReplayPolicy {
+    /// Applied at most once: a replay inside the dispatch layer's
+    /// deduplication window is acknowledged without re-applying
+    /// (`Commit`, keyed by its per-session sequence number).
+    Deduped,
+    /// Re-applying converges: the owner re-acknowledges with the same
+    /// observable result (`Advance` / `FreezeEpoch` / `PublishEpoch`
+    /// republish the already-frozen epoch; the session-layer `Lease` and
+    /// `Goodbye` lifecycle re-attaches or re-releases).
+    Idempotent,
+    /// A pure read of completed state with no owner-side effect
+    /// (`Loads`, `Dump`, `TotalWrites`).
+    Pure,
+}
+
+/// The replay classification of every request kind.
+///
+/// `ampc-lint` checks this table for totality over `Request`'s variants,
+/// rejects duplicate or unknown entries, and requires a dispatch match arm
+/// for every classified variant; [`Request::replay_policy`] is the runtime
+/// lookup.
+pub const REPLAY_POLICY: &[(RequestKind, ReplayPolicy)] = &[
+    (RequestKind::Commit, ReplayPolicy::Deduped),
+    (RequestKind::Advance, ReplayPolicy::Idempotent),
+    (RequestKind::FreezeEpoch, ReplayPolicy::Idempotent),
+    (RequestKind::PublishEpoch, ReplayPolicy::Idempotent),
+    (RequestKind::Loads, ReplayPolicy::Pure),
+    (RequestKind::Dump, ReplayPolicy::Pure),
+    (RequestKind::TotalWrites, ReplayPolicy::Pure),
+    (RequestKind::Lease, ReplayPolicy::Idempotent),
+    (RequestKind::Goodbye, ReplayPolicy::Idempotent),
+];
 
 /// The reply to one [`Request`] (same variant order as the request kinds).
 #[derive(Clone, Debug, PartialEq)]
@@ -604,17 +660,21 @@ impl<'a> Cursor<'a> {
 
     fn u32(&mut self, context: &'static str) -> Result<u32, ProtoError> {
         let bytes = self.take(4, context)?;
+        // lint: allow(panic) — infallible: take() just returned exactly 4 bytes
         Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte take")))
     }
 
     fn u64(&mut self, context: &'static str) -> Result<u64, ProtoError> {
         let bytes = self.take(8, context)?;
+        // lint: allow(panic) — infallible: take() just returned exactly 8 bytes
         Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte take")))
     }
 
     fn key(&mut self) -> Result<Key, ProtoError> {
         let bytes = self.take(ENCODED_KEY_BYTES, "key")?;
-        decode_key(bytes).ok_or(ProtoError::Truncated { context: "key" })
+        // take() guaranteed the length, so the only way to fail is an
+        // unassigned tag code — malformed, not truncated.
+        decode_key(bytes).ok_or(ProtoError::Malformed { context: "key tag" })
     }
 
     fn value(&mut self) -> Result<Value, ProtoError> {
@@ -1082,6 +1142,61 @@ mod tests {
                 tag: 99
             })
         );
+    }
+
+    #[test]
+    fn corrupt_key_tags_fail_decoding_instead_of_panicking() {
+        let mut bytes = encode_request(&Request::Commit {
+            epoch: 0,
+            seq: 1,
+            batches: vec![(0, vec![(Key::of(KeyTag::Scalar, 7), Value::scalar(8))])],
+        });
+        // The key's 4-byte tag code is the first field of the encoded pair;
+        // overwrite it with a code in the unassigned gap (11..0x1_0000).
+        let key_at = bytes.len() - crate::codec::ENCODED_PAIR_BYTES;
+        bytes[key_at..key_at + 4].copy_from_slice(&999u32.to_le_bytes());
+        assert_eq!(
+            decode_request(&bytes),
+            Err(ProtoError::Malformed { context: "key tag" })
+        );
+    }
+
+    #[test]
+    fn replay_policy_is_total_over_request_kinds() {
+        // The lint checks the table against the enum *textually*; this
+        // pins the runtime lookup for every constructible kind.
+        let requests = [
+            Request::Commit {
+                epoch: 0,
+                seq: 0,
+                batches: Vec::new(),
+            },
+            Request::Advance { epoch: 0 },
+            Request::FreezeEpoch { epoch: 0 },
+            Request::PublishEpoch { epoch: 0 },
+            Request::Loads { epoch: 0 },
+            Request::Dump { epoch: 0 },
+            Request::TotalWrites,
+            Request::Lease {
+                session: 0,
+                worker: 0,
+                num_shards: 1,
+                workers: 1,
+                ttl_ms: 0,
+            },
+            Request::Goodbye,
+        ];
+        assert_eq!(requests.len(), REPLAY_POLICY.len());
+        for request in &requests {
+            let policy = request.replay_policy(); // must not panic
+            match request.kind() {
+                RequestKind::Commit => assert_eq!(policy, ReplayPolicy::Deduped),
+                RequestKind::Loads | RequestKind::Dump | RequestKind::TotalWrites => {
+                    assert_eq!(policy, ReplayPolicy::Pure)
+                }
+                _ => assert_eq!(policy, ReplayPolicy::Idempotent),
+            }
+        }
     }
 
     #[test]

@@ -184,11 +184,13 @@ impl ShardedStore {
         let outputs: Vec<Mutex<Option<BucketMatrix>>> =
             (0..slots.len()).map(|_| Mutex::new(None)).collect();
         for_each_index_parallel(slots.len(), threads, |w| {
+            // lint: allow(panic) — for_each_index_parallel visits each index exactly once by construction
             let run = slots[w].lock().take().expect("each run partitioned once");
             *outputs[w].lock() = Some(self.partition_writes(run));
         });
         outputs
             .into_iter()
+            // lint: allow(panic) — every slot was filled by the parallel loop above
             .map(|slot| slot.into_inner().expect("each run partitioned once"))
             .collect()
     }
@@ -356,11 +358,13 @@ impl ShardedStore {
             let outputs: Vec<Mutex<Option<FxHashMap<Key, Slot>>>> =
                 (0..num_shards).map(|_| Mutex::new(None)).collect();
             for_each_index_parallel(num_shards, threads, |i| {
+                // lint: allow(panic) — for_each_index_parallel visits each index exactly once by construction
                 let map = slots[i].lock().take().expect("each shard frozen once");
                 *outputs[i].lock() = Some(freeze_shard(map));
             });
             outputs
                 .into_iter()
+                // lint: allow(panic) — every slot was filled by the parallel loop above
                 .map(|slot| slot.into_inner().expect("each shard frozen once"))
                 .collect()
         };

@@ -82,6 +82,13 @@ impl FrameWriter {
 /// bounds the memory a burst of large epoch frames can pin.
 const POOL_CAP: usize = 8;
 
+/// Largest buffer capacity the pool will retain — the same number as
+/// [`crate::proto::MAX_FRAME_BYTES`], because no legal frame can need more:
+/// a returned buffer that somehow grew past the frame cap is freed rather
+/// than pinned for a payload size the codec would reject anyway.  The
+/// `ampc-lint` const-consistency pass holds the two caps identical.
+const MAX_RETAINED_FRAME_BYTES: usize = 256 << 20;
+
 /// A shared pool of encoded-frame buffers, for handing serialized frames
 /// between pipeline stages without a fresh allocation per frame.
 ///
@@ -104,8 +111,12 @@ impl FramePool {
     }
 
     /// Return a buffer to the pool (cleared, capacity retained) unless the
-    /// pool is already at capacity.
+    /// pool is already at capacity or the buffer outgrew the largest legal
+    /// frame.
     pub fn put(&self, mut buffer: Vec<u8>) {
+        if buffer.capacity() > MAX_RETAINED_FRAME_BYTES {
+            return;
+        }
         buffer.clear();
         let mut buffers = self.buffers.lock();
         if buffers.len() < POOL_CAP {

@@ -183,6 +183,7 @@ impl Worker {
                 let window = self
                     .recent_commits
                     .get_mut(&session)
+                    // lint: allow(panic) — infallible: the entry was inserted a few lines up
                     .expect("window created above");
                 window.push_back((seq, accepted));
                 if window.len() > COMMIT_REPLAY_WINDOW {
@@ -200,6 +201,7 @@ impl Worker {
                 if epoch + 1 == self.frozen.len() {
                     // Retransmission of the advance that froze the last
                     // epoch (its reply was lost): republish it unchanged.
+                    // lint: allow(panic) — infallible: frozen.len() == epoch + 1 ≥ 1 in this branch
                     let replay = self.frozen.last().expect("a frozen epoch exists").clone();
                     return OwnerReply::Epoch(replay);
                 }
@@ -241,6 +243,7 @@ impl Worker {
                 if epoch + 1 == self.frozen.len() {
                     // Retransmission of a publish whose reply was lost:
                     // re-send the identical frame.
+                    // lint: allow(panic) — infallible: frozen.len() == epoch + 1 ≥ 1 in this branch
                     let replay = self.frozen.last().expect("a frozen epoch exists").clone();
                     return OwnerReply::Epoch(replay);
                 }
@@ -252,6 +255,7 @@ impl Worker {
                 let prepared = self
                     .prepared
                     .take()
+                    // lint: allow(panic) — owner-side protocol violation: panics are the owner's error surface, harvested into TransportError::PeerClosed at the round boundary
                     .expect("publish without a prepared freeze");
                 self.frozen.push(prepared.clone());
                 OwnerReply::Epoch(prepared)
@@ -287,6 +291,7 @@ impl Worker {
             // arriving here is a protocol bug, surfaced like any other
             // owner-side violation (panic, harvested into a typed error).
             Request::Lease { .. } | Request::Goodbye => {
+                // lint: allow(panic) — owner-side protocol violation: panics are the owner's error surface, harvested into TransportError::PeerClosed at the round boundary
                 panic!("connection-lifecycle request leaked into the owner state machine")
             }
         }

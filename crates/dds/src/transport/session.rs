@@ -366,6 +366,8 @@ impl TcpTransport {
         let mut backoff = self.options.initial_backoff;
         for attempt in 0..self.options.reconnect_attempts {
             if attempt > 0 {
+                #[allow(clippy::disallowed_methods)]
+                // lint: allow(blocking) — reconnect backoff: capped exponential wait on an already-severed connection, not the serve hot path
                 std::thread::sleep(backoff);
                 backoff = (backoff * 2).min(self.options.max_backoff);
             }
@@ -386,6 +388,7 @@ impl TcpTransport {
              (the owner's replay-deduplication window must cover them all)"
         );
         self.pending.push_back(request);
+        // lint: allow(panic) — infallible: the request was pushed on the line above
         let request = self.pending.back().expect("just pushed");
         if let Err(err) = self.encoder.send_request(&mut self.stream, request) {
             let cause = self.classify(&err);
@@ -422,6 +425,7 @@ impl TcpTransport {
     /// lease grant first and reconnecting through socket failures.
     fn recv_reply(&mut self) -> Result<Reply, TransportError> {
         let reply = self.pump(false)?;
+        // lint: allow(panic) — infallible: pump(false) only returns Ok(None) when drain_only is set
         Ok(reply.expect("pump only stops early when asked to"))
     }
 
@@ -519,6 +523,7 @@ impl Transport for TcpTransport {
         // deadlock.  Setup failures have no transport thread to surface
         // through yet, so they are a loud construction panic.
         TcpTransport::connect_pair(worker, TcpOptions::fresh())
+            // lint: allow(panic) — construction-time setup failure: no transport thread exists yet to carry a typed error
             .unwrap_or_else(|err| panic!("DDS transport setup failed: {err}"))
     }
 
@@ -962,6 +967,8 @@ impl TcpServer {
                         if deadline.is_some_and(|deadline| Instant::now() >= deadline) {
                             return false; // lease expired: reclaim
                         }
+                        #[allow(clippy::disallowed_methods)]
+                        // lint: allow(blocking) — reconnect-wait poll: a disconnected session waiting out its lease, bounded by ACCEPT_POLL per spin and the lease deadline overall
                         std::thread::sleep(ACCEPT_POLL);
                     }
                     Err(_) => return false, // listener broken: give up
@@ -1038,6 +1045,7 @@ impl ServerTransport for TcpServer {
                 // because the backend joins the owner thread (not the
                 // connection's reader stage).
                 Ok(ConnEvent::Malformed(error)) => {
+                    // lint: allow(panic) — owner-side protocol violation: the panic is the owner's error surface, harvested into TransportError::PeerClosed by the backend join
                     panic!("malformed request frame from the backend: {error}")
                 }
                 // EOF or reset without a goodbye: hold the session and

@@ -1,0 +1,39 @@
+//! Diagnostics: one finding per line, `file:line: [pass] message`, sortable
+//! so output is stable across runs.
+
+use std::fmt;
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-indexed line (0 when the finding is file-level, e.g. a missing
+    /// anchor).
+    pub line: usize,
+    /// Pass that produced the finding.
+    pub pass: &'static str,
+    /// Human-readable description, including the fix or allowlist syntax.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(pass: &'static str, file: &str, line: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            pass,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.pass, self.message
+        )
+    }
+}

@@ -1,0 +1,115 @@
+//! `ampc-lint` — run the workspace static-analysis passes.
+//!
+//! ```text
+//! cargo run -p ampc-lint                  # all passes, auto-detected root
+//! cargo run -p ampc-lint -- --pass panic-path
+//! cargo run -p ampc-lint -- --root /path/to/checkout
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on any finding, 2 on usage/setup errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => return usage("--root needs a path"),
+            },
+            "--pass" => match args.next() {
+                Some(name) => selected.push(name),
+                None => return usage("--pass needs a pass name"),
+            },
+            "--list" => {
+                for name in ampc_lint::PASS_NAMES {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(detect_root) {
+        Some(root) => root,
+        None => {
+            eprintln!(
+                "ampc-lint: no workspace root found (run from inside the checkout or pass --root)"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let ws = match ampc_lint::Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(err) => {
+            eprintln!("ampc-lint: failed to load {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let passes: Vec<String> = if selected.is_empty() {
+        ampc_lint::PASS_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        selected
+    };
+
+    let mut findings = 0usize;
+    for name in &passes {
+        let Some(diags) = ampc_lint::run_pass(name, &ws) else {
+            return usage(&format!(
+                "unknown pass `{name}` (one of: {})",
+                ampc_lint::PASS_NAMES.join(", ")
+            ));
+        };
+        findings += diags.len();
+        for diag in diags {
+            println!("{diag}");
+        }
+    }
+
+    if findings == 0 {
+        eprintln!(
+            "ampc-lint: {} pass(es) clean on {}",
+            passes.len(),
+            root.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ampc-lint: {findings} finding(s)");
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("ampc-lint: {message}");
+    eprintln!("usage: ampc-lint [--root PATH] [--pass NAME]... [--list]");
+    ExitCode::from(2)
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]`.
+fn detect_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if is_workspace_root(&dir) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|text| text.contains("[workspace]"))
+        .unwrap_or(false)
+}

@@ -1,0 +1,100 @@
+//! **blocking-discipline** — the serve path must never stall on a timer or
+//! an unbounded read.
+//!
+//! The owner dispatch and serve loops are the latency floor of every
+//! backend: a `thread::sleep` there turns into per-request tail latency,
+//! and an unbounded `read_to_end` lets a peer pin a thread forever.  Both
+//! are forbidden in the transport/serve files except in *annotated backoff
+//! regions*:
+//!
+//! ```text
+//! // lint: allow(blocking) — <why this wait is bounded and off the hot path>
+//! ```
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+pub const NAME: &str = "blocking-discipline";
+const KEY: &str = "blocking";
+
+/// The owner dispatch/serve loops.  `remote.rs` spawns owners but never
+/// loops on a socket; the client session and the server serve path do.
+const SCANNED: [&str; 3] = [
+    "crates/dds/src/transport/dispatch.rs",
+    "crates/dds/src/transport/session.rs",
+    "crates/dds/src/serve.rs",
+];
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for rel in SCANNED {
+        if let Some(sf) = ws.file(rel) {
+            scan_file(sf, &mut diags);
+        }
+    }
+    diags
+}
+
+fn scan_file(sf: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    for line in 1..=sf.line_count() {
+        if sf.is_test_line(line) {
+            continue;
+        }
+        let text = sf.code_line(line);
+        let Some(what) = blocking_site(text) else {
+            continue;
+        };
+        match sf.allow_for(line, KEY) {
+            Some(allow) if allow.justified => {}
+            Some(allow) => diags.push(Diagnostic::new(
+                NAME,
+                &sf.rel,
+                allow.at,
+                format!("`lint: allow(blocking)` for `{what}` is missing its justification — write `// lint: allow(blocking) — <reason>`"),
+            )),
+            None => diags.push(Diagnostic::new(
+                NAME,
+                &sf.rel,
+                line,
+                format!("`{what}` inside the dispatch/serve path — restructure, or justify the bounded wait with `// lint: allow(blocking) — <reason>`"),
+            )),
+        }
+    }
+}
+
+fn blocking_site(line: &str) -> Option<&'static str> {
+    if line.contains("thread::sleep") {
+        return Some("thread::sleep");
+    }
+    if line.contains(".read_to_end") {
+        return Some("read_to_end");
+    }
+    if line.contains(".read_to_string") {
+        return Some("read_to_string");
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_blocking_sites() {
+        assert_eq!(
+            blocking_site("std::thread::sleep(d);"),
+            Some("thread::sleep")
+        );
+        assert_eq!(
+            blocking_site("thread::sleep(backoff);"),
+            Some("thread::sleep")
+        );
+        assert_eq!(
+            blocking_site("stream.read_to_end(&mut buf)?;"),
+            Some("read_to_end")
+        );
+        assert_eq!(blocking_site("reader.read_exact(&mut buf)?;"), None);
+        assert_eq!(blocking_site("let sleepy = 3;"), None);
+    }
+}

@@ -1,0 +1,201 @@
+//! **const-consistency** — numeric invariants that span files.
+//!
+//! Three relationships hold the transport together and nothing but
+//! convention kept them aligned:
+//!
+//! * `COMMIT_REPLAY_WINDOW` (dispatch) must be ≥ 2 × `PIPELINE_DEPTH` and
+//!   ≥ `MAX_PIPELINE` (session): a reconnect replays up to a full pipeline
+//!   of outstanding commits, and the dedup window must still recognize all
+//!   of them *plus* the new traffic pipelined behind the replay.
+//! * the frame-size cap must be the same number in `proto.rs`
+//!   (`MAX_FRAME_BYTES`, rejects oversized frames) and
+//!   `transport/codec.rs` (`MAX_RETAINED_FRAME_BYTES`, stops the frame
+//!   pool from pinning buffers no legal frame can need).
+//! * `MAX_CLUSTER_OWNERS` (ampc config) must equal the monomorphized
+//!   `cluster_backend_arm!` arm count in `runtime.rs` — the arms are
+//!   written out by hand, so a bumped constant without new arms would
+//!   panic at run time on a count the config layer accepts.
+
+use crate::diag::Diagnostic;
+use crate::parse;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+pub const NAME: &str = "const-consistency";
+
+const DISPATCH: &str = "crates/dds/src/transport/dispatch.rs";
+const SESSION: &str = "crates/dds/src/transport/session.rs";
+const PROTO: &str = "crates/dds/src/proto.rs";
+const TCODEC: &str = "crates/dds/src/transport/codec.rs";
+const CONFIG: &str = "crates/ampc/src/config.rs";
+const RUNTIME: &str = "crates/ampc/src/runtime.rs";
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    let window = anchor(ws, DISPATCH, "COMMIT_REPLAY_WINDOW", &mut diags);
+    let depth = anchor(ws, SESSION, "PIPELINE_DEPTH", &mut diags);
+    let max_pipeline = anchor(ws, SESSION, "MAX_PIPELINE", &mut diags);
+    if let (Some((window, line)), Some((depth, _))) = (window, depth) {
+        if window < 2 * depth {
+            diags.push(Diagnostic::new(
+                NAME,
+                DISPATCH,
+                line,
+                format!(
+                    "COMMIT_REPLAY_WINDOW ({window}) < 2 × PIPELINE_DEPTH ({depth}): a reconnect replaying a full pipeline could fall outside the dedup window and double-apply commits"
+                ),
+            ));
+        }
+    }
+    if let (Some((window, _)), Some((max_pipeline, line))) = (window, max_pipeline) {
+        if max_pipeline > window {
+            diags.push(Diagnostic::new(
+                NAME,
+                SESSION,
+                line,
+                format!(
+                    "MAX_PIPELINE ({max_pipeline}) > COMMIT_REPLAY_WINDOW ({window}): the deepest legal pipeline outruns commit deduplication"
+                ),
+            ));
+        }
+    }
+
+    let frame_cap = anchor(ws, PROTO, "MAX_FRAME_BYTES", &mut diags);
+    let retain_cap = anchor(ws, TCODEC, "MAX_RETAINED_FRAME_BYTES", &mut diags);
+    if let (Some((frame, _)), Some((retain, line))) = (frame_cap, retain_cap) {
+        if frame != retain {
+            diags.push(Diagnostic::new(
+                NAME,
+                TCODEC,
+                line,
+                format!(
+                    "MAX_RETAINED_FRAME_BYTES ({retain}) != proto::MAX_FRAME_BYTES ({frame}): the frame pool's retention cap must equal the legal frame cap"
+                ),
+            ));
+        }
+    }
+
+    check_cluster_arms(ws, &mut diags);
+    diags
+}
+
+fn anchor(
+    ws: &Workspace,
+    file: &'static str,
+    name: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<(u128, usize)> {
+    let Some(sf) = ws.file(file) else {
+        diags.push(Diagnostic::new(
+            NAME,
+            file,
+            0,
+            format!("file not found — anchor const `{name}` unreachable"),
+        ));
+        return None;
+    };
+    let found = parse::const_value(sf, name);
+    if found.is_none() {
+        diags.push(Diagnostic::new(
+            NAME,
+            file,
+            0,
+            format!("anchor const `{name}` not found or not a literal expression"),
+        ));
+    }
+    found
+}
+
+/// `MAX_CLUSTER_OWNERS` vs. the hand-written `N => cluster_backend_arm!(N, …)`
+/// arms: contiguous from 1, self-consistent, and exactly as many as the
+/// config layer admits.
+fn check_cluster_arms(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let max_owners = anchor(ws, CONFIG, "MAX_CLUSTER_OWNERS", diags);
+    let Some(runtime) = ws.file(RUNTIME) else {
+        diags.push(Diagnostic::new(
+            NAME,
+            RUNTIME,
+            0,
+            "file not found — cluster_backend_arm! arms unreachable",
+        ));
+        return;
+    };
+    let arms = cluster_arms(runtime);
+    for arm in &arms {
+        if arm.pattern != arm.argument {
+            diags.push(Diagnostic::new(
+                NAME,
+                RUNTIME,
+                arm.line,
+                format!(
+                    "cluster arm pattern {} instantiates cluster_backend_arm!({}) — owner counts disagree",
+                    arm.pattern, arm.argument
+                ),
+            ));
+        }
+    }
+    let Some((max_owners, max_line)) = max_owners else {
+        return;
+    };
+    let mut patterns: Vec<u128> = arms.iter().map(|a| a.pattern).collect();
+    patterns.sort_unstable();
+    patterns.dedup();
+    let expected: Vec<u128> = (1..=max_owners).collect();
+    if patterns != expected {
+        let line = arms.first().map_or(0, |a| a.line);
+        diags.push(Diagnostic::new(
+            NAME,
+            RUNTIME,
+            line,
+            format!(
+                "cluster_backend_arm! arms cover owner counts {patterns:?} but MAX_CLUSTER_OWNERS at {CONFIG}:{max_line} is {max_owners} (need exactly 1..={max_owners})"
+            ),
+        ));
+    }
+}
+
+struct ClusterArm {
+    pattern: u128,
+    argument: u128,
+    line: usize,
+}
+
+/// Match-arm lines of the form `N => …cluster_backend_arm!(M, …)`.  The
+/// macro definition itself has no integer-literal pattern prefix, so only
+/// the dispatch arms match.
+fn cluster_arms(sf: &SourceFile) -> Vec<ClusterArm> {
+    let mut arms = Vec::new();
+    for line in 1..=sf.line_count() {
+        let text = sf.code_line(line);
+        let Some(mac) = text.find("cluster_backend_arm!") else {
+            continue;
+        };
+        let trimmed = text.trim_start();
+        let digits: String = trimmed.chars().take_while(char::is_ascii_digit).collect();
+        if digits.is_empty() || !trimmed[digits.len()..].trim_start().starts_with("=>") {
+            continue;
+        }
+        let Ok(pattern) = digits.parse::<u128>() else {
+            continue;
+        };
+        let after = &text[mac + "cluster_backend_arm!".len()..];
+        let Some(open) = after.find('(') else {
+            continue;
+        };
+        let arg_digits: String = after[open + 1..]
+            .trim_start()
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        let Ok(argument) = arg_digits.parse::<u128>() else {
+            continue;
+        };
+        arms.push(ClusterArm {
+            pattern,
+            argument,
+            line,
+        });
+    }
+    arms
+}

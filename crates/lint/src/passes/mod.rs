@@ -1,0 +1,7 @@
+//! The four lint passes.  Each exposes `NAME` and `run(&Workspace)`; the
+//! registry lives in [`crate::run_pass`].
+
+pub mod blocking;
+pub mod const_consistency;
+pub mod panic_path;
+pub mod proto_conformance;

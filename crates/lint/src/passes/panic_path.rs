@@ -1,0 +1,140 @@
+//! **panic-path** — no unexplained aborts on production paths.
+//!
+//! `crates/dds` and `crates/ampc` promise typed errors at every boundary a
+//! caller can reach ([`TransportError`]/`AmpcError`); a stray `unwrap()` in
+//! a serve loop converts a malformed frame into a dead owner.  This pass
+//! forbids `unwrap()` / `expect(` / `panic!` / `unimplemented!` / `todo!`
+//! outside `#[cfg(test)]` items unless the line carries a justification:
+//!
+//! ```text
+//! // lint: allow(panic) — <why this cannot fire / why dying is correct>
+//! ```
+//!
+//! An annotation without a reason is itself a finding: the justification is
+//! the point.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+pub const NAME: &str = "panic-path";
+const KEY: &str = "panic";
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for sf in ws.files() {
+        scan_file(sf, &mut diags);
+    }
+    diags
+}
+
+fn scan_file(sf: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    for line in 1..=sf.line_count() {
+        if sf.is_test_line(line) {
+            continue;
+        }
+        let text = sf.code_line(line);
+        let Some(what) = panic_site(text) else {
+            continue;
+        };
+        match sf.allow_for(line, KEY) {
+            Some(allow) if allow.justified => {}
+            Some(allow) => diags.push(Diagnostic::new(
+                NAME,
+                &sf.rel,
+                allow.at,
+                format!("`lint: allow(panic)` for `{what}` is missing its justification — write `// lint: allow(panic) — <reason>`"),
+            )),
+            None => diags.push(Diagnostic::new(
+                NAME,
+                &sf.rel,
+                line,
+                format!("production path calls `{what}` — return a typed error, gate the item `#[cfg(test)]`, or justify with `// lint: allow(panic) — <reason>`"),
+            )),
+        }
+    }
+}
+
+/// The first forbidden panic site on a blanked code line, if any.
+fn panic_site(line: &str) -> Option<&'static str> {
+    if method_call(line, "unwrap") {
+        return Some("unwrap()");
+    }
+    if method_call(line, "expect") {
+        return Some("expect()");
+    }
+    for mac in ["panic", "unimplemented", "todo"] {
+        if macro_call(line, mac) {
+            return Some(match mac {
+                "panic" => "panic!",
+                "unimplemented" => "unimplemented!",
+                _ => "todo!",
+            });
+        }
+    }
+    None
+}
+
+/// `.name(` with nothing identifier-like after `name` (so `unwrap_or`,
+/// `expect_err` never match).
+fn method_call(line: &str, name: &str) -> bool {
+    let b = line.as_bytes();
+    let mut at = 0usize;
+    while let Some(pos) = line.get(at..).and_then(|s| s.find(name)) {
+        let start = at + pos;
+        let end = start + name.len();
+        at = start + 1;
+        if start == 0 || b[start - 1] != b'.' {
+            continue;
+        }
+        if b.get(end).is_some_and(|&c| crate::source::is_ident_byte(c)) {
+            continue;
+        }
+        let mut k = end;
+        while k < b.len() && (b[k] as char).is_whitespace() {
+            k += 1;
+        }
+        if b.get(k) == Some(&b'(') {
+            return true;
+        }
+    }
+    false
+}
+
+/// Word-boundary `name` followed by `!` (then not `=`, so `panic != x`
+/// never matches — not that it parses anyway).
+fn macro_call(line: &str, name: &str) -> bool {
+    let b = line.as_bytes();
+    let mut at = 0usize;
+    while let Some(start) = crate::source::find_word(line, name, at) {
+        let end = start + name.len();
+        at = end;
+        let mut k = end;
+        while k < b.len() && (b[k] as char).is_whitespace() {
+            k += 1;
+        }
+        if b.get(k) == Some(&b'!') && b.get(k + 1) != Some(&b'=') {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_panic_sites_precisely() {
+        assert_eq!(panic_site("let x = y.unwrap();"), Some("unwrap()"));
+        assert_eq!(panic_site("let x = y.expect(  );"), Some("expect()"));
+        assert_eq!(panic_site("panic!(\"\")"), Some("panic!"));
+        assert_eq!(panic_site("todo!()"), Some("todo!"));
+        assert_eq!(panic_site("y.unwrap_or(0)"), None);
+        assert_eq!(panic_site("y.unwrap_or_else(f)"), None);
+        assert_eq!(panic_site("y.expect_err(\"\")"), None);
+        assert_eq!(panic_site("let unwrap = 3;"), None);
+        assert_eq!(panic_site("fn expect(x: u8) {}"), None);
+        assert_eq!(panic_site("if panic != mode {}"), None);
+    }
+}

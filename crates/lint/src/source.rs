@@ -1,0 +1,609 @@
+//! Lexical source model for the lint passes.
+//!
+//! [`SourceFile::parse`] turns raw Rust source into a form the passes can
+//! scan without tripping over prose:
+//!
+//! * `code` — the text with every comment body and string/char-literal
+//!   *content* blanked to spaces (newlines and literal delimiters kept), so
+//!   byte offsets and line numbers are identical to the original file and a
+//!   search for `unwrap()` can never match inside a doc comment or an error
+//!   message.
+//! * a per-line **test mask** — lines belonging to a `#[cfg(test)]`-gated
+//!   item (the attribute line through the item's closing brace or
+//!   semicolon).  Gating is *attribute-scoped*: a `#[cfg(test)] fn helper`
+//!   in the middle of a file masks exactly that item, not the rest of the
+//!   file.
+//! * the **allowlist** — `// lint: allow(<key>) — <reason>` annotations,
+//!   attached to the line they govern (their own line for a trailing
+//!   comment, the next code line for a comment on its own line).
+//!
+//! This is deliberately a lexer plus brace matching, not a Rust parser: the
+//! grammar subset the passes need (enums, consts, fn bodies, match arms) is
+//! recovered by [`crate::parse`] on top of `code`.
+
+use std::collections::HashMap;
+
+/// One `// lint: allow(<key>)` annotation.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The key inside `allow(...)`, e.g. `panic` or `blocking`.
+    pub key: String,
+    /// Whether a non-empty justification follows the closing parenthesis.
+    pub justified: bool,
+    /// Line of the comment itself (diagnostics point here when the
+    /// annotation is malformed).
+    pub at: usize,
+}
+
+/// A lexed source file.  Lines are 1-indexed throughout.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (display + lookup key).
+    pub rel: String,
+    /// Source text with comments and literal contents blanked (see module
+    /// docs).  Same length and line structure as the input.
+    pub code: String,
+    /// Byte offset of the start of each line in `code` (index 0 = line 1).
+    line_starts: Vec<usize>,
+    /// `test_mask[line - 1]` is true when the line is `#[cfg(test)]`-gated.
+    test_mask: Vec<bool>,
+    /// Allow annotations keyed by the line they govern.
+    allows: HashMap<usize, Vec<Allow>>,
+}
+
+impl SourceFile {
+    /// Lex `text` into a source model.  `rel` is the workspace-relative
+    /// path used in diagnostics.
+    pub fn parse(rel: &str, text: &str) -> SourceFile {
+        let (code, comments) = blank(text);
+        let line_starts = line_starts(&code);
+        let test_mask = test_mask(&code, &line_starts);
+        let allows = collect_allows(&code, &line_starts, &comments);
+        SourceFile {
+            rel: rel.to_string(),
+            code,
+            line_starts,
+            test_mask,
+            allows,
+        }
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// 1-indexed line containing byte `offset` of `code`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(idx) => idx + 1,
+            Err(idx) => idx,
+        }
+    }
+
+    /// The blanked text of 1-indexed `line`.
+    pub fn code_line(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.code.len(), |&next| next);
+        self.code[start..end].trim_end_matches('\n')
+    }
+
+    /// Whether `line` belongs to a `#[cfg(test)]`-gated item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_mask.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// The allow annotation with `key` governing `line`, if any.
+    pub fn allow_for(&self, line: usize, key: &str) -> Option<&Allow> {
+        self.allows
+            .get(&line)
+            .and_then(|list| list.iter().find(|a| a.key == key))
+    }
+}
+
+/// Whether `b` can appear in a Rust identifier.
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+// ---------------------------------------------------------------------------
+// Blanking lexer
+// ---------------------------------------------------------------------------
+
+/// Blank comments and literal contents; return the blanked text plus every
+/// line comment as `(line, text)` for annotation parsing.
+fn blank(text: &str) -> (String, Vec<(usize, String)>) {
+    let b = text.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                out.push(b'\n');
+                line += 1;
+                i += 1;
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+                if let Ok(text) = std::str::from_utf8(&b[start..i]) {
+                    comments.push((line, text.to_string()));
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        out.push(b'\n');
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = copy_string(b, i, &mut out, &mut line);
+            }
+            b'\'' => {
+                // Char literal vs. lifetime: a literal either escapes
+                // (`'\n'`) or closes two bytes later (`'x'`).  Multibyte
+                // char literals fall through to the lifetime branch, which
+                // merely leaves their contents unblanked — harmless.
+                if b.get(i + 1) == Some(&b'\\') {
+                    out.push(b'\'');
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\\' && i + 1 < b.len() {
+                            out.extend_from_slice(b"  ");
+                            i += 2;
+                        } else {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                    if i < b.len() {
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                } else if b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\'') {
+                    out.extend_from_slice(b"' '");
+                    i += 3;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                // Raw/byte string prefixes must be recognized before the
+                // identifier they would otherwise lex as.
+                if let Some(next) = raw_string_start(b, i) {
+                    i = copy_raw_string(b, i, next, &mut out, &mut line);
+                } else if c == b'b' && b.get(i + 1) == Some(&b'"') {
+                    out.push(b' ');
+                    i = copy_string(b, i + 1, &mut out, &mut line);
+                } else {
+                    while i < b.len() && is_ident_byte(b[i]) {
+                        out.push(b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    // Blanking only ever substitutes ASCII for ASCII, so the output is
+    // valid UTF-8 whenever the input was.
+    let code = String::from_utf8_lossy(&out).into_owned();
+    (code, comments)
+}
+
+/// If a raw (byte) string literal starts at `i`, return the index of its
+/// opening quote's content (first byte after `"`); the number of `#`s is
+/// recoverable from the prefix.
+fn raw_string_start(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        Some(j + 1)
+    } else {
+        None
+    }
+}
+
+/// Copy a raw string starting at `start` (the `r`/`b` prefix) whose content
+/// begins at `content`: prefix and delimiters become spaces/quotes, content
+/// is blanked, newlines kept.
+fn copy_raw_string(
+    b: &[u8],
+    start: usize,
+    content: usize,
+    out: &mut Vec<u8>,
+    line: &mut usize,
+) -> usize {
+    let hashes = content - start - 2 - usize::from(b[start] == b'b'); // bytes between r and "
+    for _ in start..content - 1 {
+        out.push(b' ');
+    }
+    out.push(b'"');
+    let mut i = content;
+    'scan: while i < b.len() {
+        if b[i] == b'"' {
+            // Close only when followed by the right number of hashes.
+            let mut k = 0usize;
+            while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                out.push(b'"');
+                for _ in 0..hashes {
+                    out.push(b' ');
+                }
+                i += 1 + hashes;
+                break 'scan;
+            }
+        }
+        if b[i] == b'\n' {
+            out.push(b'\n');
+            *line += 1;
+        } else {
+            out.push(b' ');
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Copy a plain string literal starting at the opening quote `i`.
+fn copy_string(b: &[u8], i: usize, out: &mut Vec<u8>, line: &mut usize) -> usize {
+    debug_assert_eq!(b[i], b'"');
+    out.push(b'"');
+    let mut i = i + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                out.push(b' ');
+                i += 1;
+                if i < b.len() {
+                    if b[i] == b'\n' {
+                        out.push(b'\n');
+                        *line += 1;
+                    } else {
+                        out.push(b' ');
+                    }
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out.push(b'"');
+                return i + 1;
+            }
+            b'\n' => {
+                out.push(b'\n');
+                *line += 1;
+                i += 1;
+            }
+            _ => {
+                out.push(b' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+// ---------------------------------------------------------------------------
+// Line table
+// ---------------------------------------------------------------------------
+
+fn line_starts(code: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in code.bytes().enumerate() {
+        if b == b'\n' && i + 1 < code.len() {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+// ---------------------------------------------------------------------------
+// #[cfg(test)] masking
+// ---------------------------------------------------------------------------
+
+/// Whether attribute content (the text inside `#[...]`) gates on `test`.
+fn is_test_attr(content: &str) -> bool {
+    let content = content.trim();
+    if content == "test" {
+        return true;
+    }
+    let Some(rest) = content.strip_prefix("cfg") else {
+        return false;
+    };
+    // `cfg(test)`, `cfg(all(test, ...))` gate on test; `cfg(not(test))`
+    // does the opposite.  Nested `not(...)` around other predicates does
+    // not occur in this workspace.
+    rest.trim_start().starts_with('(')
+        && contains_word(rest, "test")
+        && !rest.replace(' ', "").contains("not(test)")
+}
+
+/// Word-boundary substring test.
+pub fn contains_word(haystack: &str, word: &str) -> bool {
+    find_word(haystack, word, 0).is_some()
+}
+
+/// Find `word` in `haystack` at a word boundary, starting at byte `from`.
+pub fn find_word(haystack: &str, word: &str, from: usize) -> Option<usize> {
+    let h = haystack.as_bytes();
+    let mut at = from;
+    while let Some(pos) = haystack.get(at..).and_then(|s| s.find(word)) {
+        let start = at + pos;
+        let end = start + word.len();
+        let left_ok = start == 0 || !is_ident_byte(h[start - 1]);
+        let right_ok = end >= h.len() || !is_ident_byte(h[end]);
+        if left_ok && right_ok {
+            return Some(start);
+        }
+        at = start + 1;
+    }
+    None
+}
+
+/// Compute the per-line test mask by scanning for test-gating attributes
+/// and brace-matching the item each one governs.
+fn test_mask(code: &str, line_starts: &[usize]) -> Vec<bool> {
+    let b = code.as_bytes();
+    let mut mask = vec![false; line_starts.len()];
+    let mut i = 0usize;
+    while i < b.len() {
+        if b[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut j = i + 1;
+        // `#![...]` is an inner attribute: it governs the enclosing module,
+        // which for a file-level `#![cfg(test)]` never occurs here.  Skip.
+        if b.get(j) == Some(&b'!') {
+            i += 1;
+            continue;
+        }
+        while j < b.len() && (b[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if b.get(j) != Some(&b'[') {
+            i += 1;
+            continue;
+        }
+        let Some(close) = match_delim(b, j, b'[', b']') else {
+            break;
+        };
+        let content = &code[j + 1..close];
+        if !is_test_attr(content) {
+            i = close + 1;
+            continue;
+        }
+        let end = item_end(b, close + 1);
+        let first = line_of(line_starts, attr_start);
+        let last = line_of(line_starts, end.min(b.len().saturating_sub(1)));
+        for line in first..=last {
+            mask[line - 1] = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+fn line_of(line_starts: &[usize], offset: usize) -> usize {
+    match line_starts.binary_search(&offset) {
+        Ok(idx) => idx + 1,
+        Err(idx) => idx,
+    }
+}
+
+/// Find the matching `close` for the `open` delimiter at `b[at]`.
+pub fn match_delim(b: &[u8], at: usize, open: u8, close: u8) -> Option<usize> {
+    debug_assert_eq!(b[at], open);
+    let mut depth = 0usize;
+    for (off, &c) in b[at..].iter().enumerate() {
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(at + off);
+            }
+        }
+    }
+    None
+}
+
+/// Byte offset of the end of the item starting at `from` (after its
+/// attributes): the first top-level `;`, or the close of its top-level
+/// brace block — continuing through blocks followed by `else` or `;` so
+/// `const X: T = if c { a } else { b };` is spanned fully.
+fn item_end(b: &[u8], from: usize) -> usize {
+    let mut i = from;
+    let mut paren = 0isize;
+    let mut bracket = 0isize;
+    while i < b.len() {
+        match b[i] {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b';' if paren == 0 && bracket == 0 => return i,
+            b'{' if paren == 0 && bracket == 0 => {
+                let Some(close) = match_delim(b, i, b'{', b'}') else {
+                    return b.len().saturating_sub(1);
+                };
+                // `} else {`, `};` continue the item; anything else ends it.
+                let mut k = close + 1;
+                while k < b.len() && (b[k] as char).is_whitespace() {
+                    k += 1;
+                }
+                if b.get(k) == Some(&b';') {
+                    return k;
+                }
+                if b[k..].starts_with(b"else") {
+                    i = k + 4;
+                    continue;
+                }
+                return close;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len().saturating_sub(1)
+}
+
+// ---------------------------------------------------------------------------
+// Allow annotations
+// ---------------------------------------------------------------------------
+
+/// Parse `// lint: allow(<key>) — <reason>` comments and attach each to
+/// the line it governs.
+fn collect_allows(
+    code: &str,
+    line_starts: &[usize],
+    comments: &[(usize, String)],
+) -> HashMap<usize, Vec<Allow>> {
+    let mut allows: HashMap<usize, Vec<Allow>> = HashMap::new();
+    let line_count = line_starts.len();
+    for (line, text) in comments {
+        let Some(allow) = parse_allow(*line, text) else {
+            continue;
+        };
+        let governed = governed_line(code, line_starts, *line, line_count);
+        allows.entry(governed).or_default().push(allow);
+    }
+    allows
+}
+
+fn parse_allow(line: usize, comment: &str) -> Option<Allow> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let key = rest[..close].trim().to_string();
+    let reason = rest[close + 1..]
+        .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+        .trim();
+    Some(Allow {
+        key,
+        justified: !reason.is_empty(),
+        at: line,
+    })
+}
+
+/// The line an annotation governs: its own line when code precedes the
+/// comment, otherwise the next line carrying code (within a short window,
+/// so a stray annotation cannot silence half a file).
+fn governed_line(code: &str, line_starts: &[usize], line: usize, line_count: usize) -> usize {
+    let text_of = |l: usize| -> &str {
+        let start = line_starts[l - 1];
+        let end = line_starts.get(l).map_or(code.len(), |&n| n);
+        &code[start..end]
+    };
+    if !text_of(line).trim().is_empty() {
+        return line;
+    }
+    for next in line + 1..=(line + 5).min(line_count) {
+        if !text_of(next).trim().is_empty() {
+            return next;
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings() {
+        let sf = SourceFile::parse(
+            "x.rs",
+            "let s = \"panic!\"; // unwrap()\nlet c = 'x';\n/* todo! */ let l: &'static str = r#\"expect(\"#;\n",
+        );
+        assert!(!sf.code.contains("panic!"));
+        assert!(!sf.code.contains("unwrap"));
+        assert!(!sf.code.contains("todo"));
+        assert!(!sf.code.contains("expect"));
+        assert!(sf.code.contains("'static"));
+        assert_eq!(sf.line_count(), 3);
+    }
+
+    #[test]
+    fn test_mask_scopes_single_item() {
+        let src =
+            "fn prod() { x(); }\n#[cfg(test)]\nfn helper() {\n  y();\n}\nfn prod2() { z(); }\n";
+        let sf = SourceFile::parse("x.rs", src);
+        assert!(!sf.is_test_line(1));
+        assert!(sf.is_test_line(2));
+        assert!(sf.is_test_line(3));
+        assert!(sf.is_test_line(4));
+        assert!(sf.is_test_line(5));
+        assert!(!sf.is_test_line(6));
+    }
+
+    #[test]
+    fn test_mask_covers_mod_tests() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n  use super::*;\n  #[test]\n  fn t() { prod(); }\n}\nfn after() {}\n";
+        let sf = SourceFile::parse("x.rs", src);
+        for line in 2..=7 {
+            assert!(sf.is_test_line(line), "line {line} should be masked");
+        }
+        assert!(!sf.is_test_line(1));
+        assert!(!sf.is_test_line(8));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn prod() {}\n";
+        let sf = SourceFile::parse("x.rs", src);
+        assert!(!sf.is_test_line(2));
+    }
+
+    #[test]
+    fn allows_attach_to_governed_line() {
+        let src = "// lint: allow(panic) — infallible by construction\nlet x = y.unwrap();\nlet z = w.unwrap(); // lint: allow(panic) — checked above\nlet naked = v.unwrap(); // lint: allow(panic)\n";
+        let sf = SourceFile::parse("x.rs", src);
+        assert!(sf.allow_for(2, "panic").is_some_and(|a| a.justified));
+        assert!(sf.allow_for(3, "panic").is_some_and(|a| a.justified));
+        assert!(sf.allow_for(4, "panic").is_some_and(|a| !a.justified));
+        assert!(sf.allow_for(2, "blocking").is_none());
+    }
+}

@@ -1,0 +1,49 @@
+pub enum RequestKind {
+    Commit,
+    Advance,
+}
+
+pub enum Request {
+    Commit { seq: u64 },
+    Advance { epoch: usize },
+}
+
+pub enum Reply {
+    Done,
+}
+
+pub enum ReplayPolicy {
+    Deduped,
+    Idempotent,
+    Pure,
+}
+
+pub const REPLAY_POLICY: &[(RequestKind, ReplayPolicy)] = &[
+    (RequestKind::Commit, ReplayPolicy::Deduped),
+    (RequestKind::Advance, ReplayPolicy::Idempotent),
+];
+
+const TAG_COMMIT: u8 = 0;
+const TAG_ADVANCE: u8 = 0;
+const TAG_ORPHAN: u8 = 9;
+
+pub fn encode_request_into(buf: &mut Vec<u8>, request: &Request) {
+    match request {
+        Request::Commit { .. } => buf.push(TAG_COMMIT),
+        Request::Advance { .. } => buf.push(TAG_ADVANCE),
+    }
+}
+
+pub fn decode_request(bytes: &[u8]) -> Option<Request> {
+    match bytes.first()? {
+        &TAG_COMMIT => Some(Request::Commit { seq: 0 }),
+        &TAG_ADVANCE => Some(Request::Advance { epoch: 0 }),
+        _ => None,
+    }
+}
+
+pub fn encode_reply_into(_buf: &mut Vec<u8>, _reply: &Reply) {}
+
+pub fn decode_reply(_bytes: &[u8]) -> Option<Reply> {
+    None
+}

@@ -1,0 +1,1 @@
+pub const MAX_CLUSTER_OWNERS: usize = 4;

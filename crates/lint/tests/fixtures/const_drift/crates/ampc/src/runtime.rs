@@ -1,0 +1,10 @@
+macro_rules! with_dds_backend {
+    () => {{
+        match owners {
+            1 => cluster_backend_arm!(1, config, body),
+            2 => cluster_backend_arm!(2, config, body),
+            3 => cluster_backend_arm!(2, config, body),
+            n => panic!("unsupported owner count {n}"),
+        }
+    }};
+}

@@ -1,0 +1,1 @@
+pub const MAX_FRAME_BYTES: usize = 256 << 20;

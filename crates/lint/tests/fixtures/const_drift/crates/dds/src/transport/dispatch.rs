@@ -1,0 +1,1 @@
+pub const COMMIT_REPLAY_WINDOW: usize = 100;

@@ -1,0 +1,2 @@
+pub const PIPELINE_DEPTH: usize = 64;
+const MAX_PIPELINE: usize = 128;

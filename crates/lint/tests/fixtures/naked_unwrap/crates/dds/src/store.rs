@@ -1,0 +1,15 @@
+pub fn produce(values: &[u64]) -> u64 {
+    let first = values.first().unwrap();
+
+    let second = values.get(1).copied().unwrap_or(0);
+    // lint: allow(panic)
+    let third = values.get(2).unwrap();
+    // lint: allow(panic) — slice length validated by the caller's contract
+    let fourth = values.get(3).unwrap();
+    first + second + third + fourth
+}
+
+#[cfg(test)]
+fn helper(values: &[u64]) -> u64 {
+    *values.first().unwrap()
+}

@@ -1,0 +1,7 @@
+use std::time::Duration;
+
+pub fn handle(busy: bool) {
+    if busy {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}

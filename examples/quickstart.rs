@@ -86,6 +86,8 @@ fn main() {
             println!("AMPC DDS owner serving on {}", server.local_addr());
             println!("(press Ctrl-C to stop; clients connect with --connect {addr})");
             loop {
+                // Parked on purpose: the example serves until Ctrl-C.
+                #[allow(clippy::disallowed_methods)]
                 std::thread::sleep(std::time::Duration::from_secs(3600));
             }
         }
@@ -164,6 +166,8 @@ fn main() {
                 peers.join(",")
             );
             loop {
+                // Parked on purpose: the example serves until Ctrl-C.
+                #[allow(clippy::disallowed_methods)]
                 std::thread::sleep(std::time::Duration::from_secs(3600));
             }
         }
